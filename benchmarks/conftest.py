@@ -1,0 +1,39 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one of the paper's tables/figures and saves
+the rendered table under ``benchmarks/results/`` (also echoed to
+stdout) so EXPERIMENTS.md can be checked against fresh runs.
+
+Run quick versions by default; set ``REPRO_SCALE=full`` for the
+paper-scale parameterizations (all eight topologies, 100 variability
+matrices, 50 configurations per overlap point).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def asymmetry_points():
+    """Shared Figure 16/17 sweep (one run feeds both figures)."""
+    from repro.experiments import run_fig16_17
+
+    return run_fig16_17()
+
+
+@pytest.fixture
+def save_result():
+    """Write a rendered experiment table to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,26 @@
+"""Ablation — datacenter capacity knee (Section 8.2).
+
+Paper reference: diminishing returns when growing the DC beyond
+8-10x, with the knee occurring earlier at lower MaxLinkLoad (a starved
+link budget can't feed a bigger cluster).
+"""
+
+from repro.experiments import format_dc_capacity, run_dc_capacity_ablation
+
+
+def test_ablation_dc_capacity(benchmark, save_result):
+    series = benchmark.pedantic(run_dc_capacity_ablation,
+                                iterations=1, rounds=1)
+    save_result("ablation_dc_capacity", format_dc_capacity(series))
+    for s in series:
+        # More DC capacity never hurts.
+        assert all(b <= a + 1e-6
+                   for a, b in zip(s.max_loads, s.max_loads[1:]))
+    # Knee comparison per topology: the 0.1-budget knee is at or below
+    # the 0.4-budget knee.
+    by_topology = {}
+    for s in series:
+        by_topology.setdefault(s.topology, {})[s.max_link_load] = s
+    for name, pair in by_topology.items():
+        assert pair[0.1].knee_capacity() <= \
+            pair[0.4].knee_capacity() + 1e-9

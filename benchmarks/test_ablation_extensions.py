@@ -1,0 +1,62 @@
+"""Ablation benches for the Section 9 extensions.
+
+These cover the design points the paper discusses without evaluating:
+slack provisioning, the soft piecewise link cost, NIPS rerouting, and
+the combined replication+aggregation formulation.
+"""
+
+from repro.experiments import (
+    format_combined,
+    format_link_cost,
+    format_nips,
+    format_slack,
+    run_combined_ablation,
+    run_link_cost_ablation,
+    run_nips_ablation,
+    run_slack_ablation,
+)
+
+
+def test_ablation_slack_provisioning(benchmark, save_result):
+    rows = benchmark.pedantic(run_slack_ablation, iterations=1,
+                              rounds=1)
+    save_result("ablation_slack", format_slack(rows))
+    for row in rows:
+        # Slack provisioning never has a worse worst case.
+        assert row.improvement >= 1.0 - 1e-9
+
+
+def test_ablation_piecewise_link_cost(benchmark, save_result):
+    rows = benchmark.pedantic(run_link_cost_ablation, iterations=1,
+                              rounds=1)
+    save_result("ablation_link_cost", format_link_cost(rows))
+    for row in rows:
+        # The soft penalty trades a bit of link headroom for load:
+        # load must not exceed the hard variant's by much, and links
+        # stay out of the congestion regime (< 1).
+        assert row.soft_load <= row.hard_load + 0.15
+        assert row.soft_worst_link < 1.0
+
+
+def test_ablation_nips_rerouting(benchmark, save_result):
+    rows = benchmark.pedantic(run_nips_ablation, iterations=1,
+                              rounds=1)
+    save_result("ablation_nips", format_nips(rows))
+    for row in rows:
+        budgets = sorted(row.nips_loads)
+        loads = [row.nips_loads[b] for b in budgets]
+        # Looser latency budgets never hurt.
+        assert all(b <= a + 1e-9 for a, b in zip(loads, loads[1:]))
+        # NIPS can never beat NIDS replication (rerouting is a
+        # restriction: it must respect latency and link conservation).
+        assert min(loads) >= row.nids_load - 1e-6
+
+
+def test_ablation_combined_formulation(benchmark, save_result):
+    rows = benchmark.pedantic(run_combined_ablation, iterations=1,
+                              rounds=1)
+    save_result("ablation_combined", format_combined(rows))
+    for row in rows:
+        # Strict generalization of Figure 9.
+        assert row.combined_objective <= row.pure_objective + 1e-9
+        assert row.combined_load <= row.pure_load + 1e-9

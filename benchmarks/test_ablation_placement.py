@@ -1,0 +1,20 @@
+"""Ablation — datacenter placement strategies (Section 8.2).
+
+Paper reference: "for most topologies the gap between the different
+placement strategies is very small and placing the datacenter at the
+PoP that observes the most traffic works best across all topologies."
+"""
+
+from repro.experiments import format_placement, run_placement_ablation
+
+
+def test_ablation_dc_placement(benchmark, save_result):
+    rows = benchmark.pedantic(run_placement_ablation,
+                              iterations=1, rounds=1)
+    save_result("ablation_placement", format_placement(rows))
+    for row in rows:
+        # The spread across strategies is small relative to load 1.
+        assert row.spread() < 0.3
+        # "Observed" is (near-)best: within 10% of the best strategy.
+        best = min(row.max_loads.values())
+        assert row.max_loads["observed"] <= best * 1.10 + 1e-9

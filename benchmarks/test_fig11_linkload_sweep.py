@@ -1,0 +1,18 @@
+"""Figure 11 — max compute load vs MaxLinkLoad (DC = 10x).
+
+Paper reference: diminishing returns beyond MaxLinkLoad = 0.4 — the
+40%-utilization budget already achieves near-optimal load reduction.
+"""
+
+from repro.experiments import format_fig11, run_fig11
+
+
+def test_fig11_linkload_sweep(benchmark, save_result):
+    series = benchmark.pedantic(run_fig11, iterations=1, rounds=1)
+    save_result("fig11_linkload_sweep", format_fig11(series))
+    for s in series:
+        # Load never increases as the link budget grows.
+        assert all(b <= a + 1e-6
+                   for a, b in zip(s.max_loads, s.max_loads[1:]))
+        # The paper's knee: little improvement left beyond 0.4.
+        assert s.knee_gain(0.4) < 0.12

@@ -1,0 +1,24 @@
+"""Figure 12 — DCLoad minus MaxNIDSLoad across four configurations.
+
+Paper reference: at MaxLinkLoad 0.1 with a 10x DC the datacenter is
+underutilized (strongly negative gap); at 0.4 or with a 2x DC the gap
+closes to ~zero (the DC is as stressed as the busiest interior node).
+"""
+
+from repro.experiments import format_fig12, run_fig12
+
+
+def test_fig12_dc_gap(benchmark, save_result):
+    rows = benchmark.pedantic(run_fig12, iterations=1, rounds=1)
+    save_result("fig12_dc_gap", format_fig12(rows))
+    for row in rows:
+        # The DC never exceeds the interior max by more than noise.
+        assert all(gap <= 1e-6 for gap in row.gaps.values())
+        # Underutilization is worst at (low budget, big DC).
+        starved = row.gaps[(0.1, 10.0)]
+        fed = row.gaps[(0.4, 10.0)]
+        assert fed >= starved - 1e-9
+    # At (0.4, 2x) the small DC saturates (gap ~ 0) on most topologies.
+    near_zero = sum(1 for row in rows
+                    if row.gaps[(0.4, 2.0)] > -0.05)
+    assert near_zero >= len(rows) // 2

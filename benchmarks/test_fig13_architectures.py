@@ -1,0 +1,26 @@
+"""Figure 13 — max compute load per NIDS architecture.
+
+Paper reference: Path-Replicate reduces max load up to 10x vs today's
+Ingress-only deployments and up to 3x vs on-path distribution [29],
+and stays competitive with spreading the same extra capacity evenly
+(Path-Augmented).
+"""
+
+import pytest
+
+from repro.core import ArchitectureKind
+from repro.experiments import format_fig13, run_fig13
+
+
+def test_fig13_architecture_comparison(benchmark, save_result):
+    rows = benchmark.pedantic(run_fig13, iterations=1, rounds=1)
+    save_result("fig13_architectures", format_fig13(rows))
+    gains_vs_ingress = []
+    for row in rows:
+        assert row.max_loads[ArchitectureKind.INGRESS] == \
+            pytest.approx(1.0)
+        assert (row.max_loads[ArchitectureKind.PATH_REPLICATE] <=
+                row.max_loads[ArchitectureKind.PATH_NO_REPLICATE] + 1e-9)
+        gains_vs_ingress.append(row.replication_gain_vs_ingress())
+    # "Up to 10x" vs Ingress: the best topology shows a large gain.
+    assert max(gains_vs_ingress) > 3.0

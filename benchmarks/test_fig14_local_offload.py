@@ -1,0 +1,19 @@
+"""Figure 14 — local one- and two-hop replication vs pure on-path.
+
+Paper reference: one-hop offload reduces max load by up to 5x across
+topologies; two hops add little beyond one — a replication-enhanced
+architecture helps even without adding a datacenter.
+"""
+
+from repro.experiments import format_fig14, run_fig14
+
+
+def test_fig14_local_offload(benchmark, save_result):
+    rows = benchmark.pedantic(run_fig14, iterations=1, rounds=1)
+    save_result("fig14_local_offload", format_fig14(rows))
+    for row in rows:
+        assert row.one_hop_gain() >= 1.0 - 1e-9
+        # "Two hops does not add significant value beyond one-hop."
+        assert row.two_hop_extra_gain() < 1.2
+    # At least one topology shows a clear one-hop win.
+    assert max(row.one_hop_gain() for row in rows) > 1.2

@@ -1,0 +1,23 @@
+"""Figure 16 — detection miss rate vs forward/reverse route overlap.
+
+Paper reference: Ingress-only misses >85% of traffic under strong
+asymmetry and stays high across the range; the Section 5 formulation
+with a datacenter (DC-0.4) drives the miss rate to ~zero.
+"""
+
+from repro.experiments import format_fig16
+
+
+def test_fig16_miss_rate(benchmark, save_result, asymmetry_points):
+    result = benchmark.pedantic(lambda: asymmetry_points,
+                                iterations=1, rounds=1)
+    save_result("fig16_missrate", format_fig16(result))
+    by = {(p.config, p.theta): p for p in result}
+    thetas = sorted({p.theta for p in result})
+    # DC-0.4 achieves (near-)zero misses everywhere.
+    assert all(by[("dc-0.4", t)].miss_rate < 0.02 for t in thetas)
+    # Ingress-only misses heavily under strong asymmetry.
+    assert by[("ingress", thetas[0])].miss_rate > 0.5
+    # Path-only misses more than DC wherever common nodes are scarce.
+    assert by[("path", thetas[0])].miss_rate >= \
+        by[("dc-0.4", thetas[0])].miss_rate - 1e-9

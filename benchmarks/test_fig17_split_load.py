@@ -1,0 +1,28 @@
+"""Figure 17 — max compute load vs forward/reverse route overlap.
+
+Paper reference: Ingress-only shows deceptively low load (it ignores
+most traffic); the DC architecture's load is highest at low-to-mid
+overlap where the link budget constrains offloading, then falls; the
+path-only architecture pays a high load to squeeze coverage out of the
+few common nodes.
+"""
+
+from repro.experiments import format_fig17
+
+
+def test_fig17_split_load(benchmark, save_result, asymmetry_points):
+    result = benchmark.pedantic(lambda: asymmetry_points,
+                                iterations=1, rounds=1)
+    save_result("fig17_split_load", format_fig17(result))
+    by = {(p.config, p.theta): p for p in result}
+    thetas = sorted({p.theta for p in result})
+    low, high = thetas[0], thetas[-1]
+    # Path-only pays the concentration penalty at low overlap.
+    assert by[("path", low)].max_load > by[("path", high)].max_load
+    # The DC architecture stays cheaper than path-only at low overlap.
+    assert by[("dc-0.4", low)].max_load < by[("path", low)].max_load
+    # Ingress load grows with overlap (it observes more reverse
+    # traffic), reaching its calibrated ceiling of ~1.
+    assert by[("ingress", high)].max_load <= 1.0 + 1e-6
+    assert by[("ingress", low)].max_load <= \
+        by[("ingress", high)].max_load + 1e-9

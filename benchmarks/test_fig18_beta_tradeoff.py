@@ -1,0 +1,28 @@
+"""Figure 18 — aggregation compute/communication tradeoff over beta.
+
+Paper reference: for many topologies some beta attains both normalized
+LoadCost and CommCost below ~40% of their maxima (curves bow toward
+the origin).
+"""
+
+from repro.experiments import format_fig18, run_fig18
+
+
+def test_fig18_beta_tradeoff(benchmark, save_result):
+    series = benchmark.pedantic(run_fig18, iterations=1, rounds=1)
+    save_result("fig18_beta_tradeoff", format_fig18(series))
+    good = 0
+    for s in series:
+        load, comm = s.best_point()
+        # The curve always beats the corners.
+        assert load < 1.0 + 1e-9
+        assert comm < 1.0 + 1e-9
+        if load < 0.7 and comm < 0.7:
+            good += 1
+        # Monotone tradeoff along the sweep (up to solver noise).
+        assert all(b >= a - 1e-6
+                   for a, b in zip(s.load_costs, s.load_costs[1:]))
+        assert all(b <= a * (1 + 1e-9) + 1e-6
+                   for a, b in zip(s.comm_costs, s.comm_costs[1:]))
+    # "For many topologies" both costs drop well below their maxima.
+    assert good >= len(series) // 2

@@ -1,0 +1,16 @@
+"""Figure 19 — max/average load ratio with vs without aggregation.
+
+Paper reference: aggregation reduces the load imbalance substantially
+— up to 2.7x — compared with ingress-constrained Scan detection.
+"""
+
+from repro.experiments import format_fig19, run_fig19
+
+
+def test_fig19_load_imbalance(benchmark, save_result):
+    rows = benchmark.pedantic(run_fig19, iterations=1, rounds=1)
+    save_result("fig19_imbalance", format_fig19(rows))
+    for row in rows:
+        assert row.improvement >= 1.0 - 1e-9
+    # Substantial reduction on the best topology.
+    assert max(row.improvement for row in rows) > 1.5

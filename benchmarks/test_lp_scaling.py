@@ -1,0 +1,33 @@
+"""LP build/solve microbenchmarks (repeated-timing companions to
+Table 1's one-shot measurements)."""
+
+import pytest
+
+from repro.core import MirrorPolicy, ReplicationProblem
+from repro.experiments.common import setup_topology
+
+
+@pytest.fixture(scope="module")
+def internet2_state():
+    return setup_topology("internet2", dc_capacity_factor=10.0).state
+
+
+def test_replication_model_build(benchmark, internet2_state):
+    def build():
+        problem = ReplicationProblem(
+            internet2_state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4)
+        return problem.build_model()
+
+    model = benchmark(build)
+    assert model.num_variables > 0
+
+
+def test_replication_solve(benchmark, internet2_state):
+    def solve():
+        return ReplicationProblem(
+            internet2_state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+
+    result = benchmark(solve)
+    assert result.load_cost < 1.0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Stateful detection under routing asymmetry (Sections 2, 5, 8.3).
+
+"Hot-potato" routing sends the forward and reverse flows of sessions
+over different paths, so no single on-path NIDS sees both sides and
+stateful analysis silently fails. This script:
+
+1. synthesizes an asymmetric routing configuration for Internet2 with
+   a target forward/reverse overlap of 0.3;
+2. shows the Ingress-only deployment missing most sessions;
+3. solves the Section 5 LP with a datacenter and MaxLinkLoad 0.4;
+4. compiles the solution to per-node shim configs, replays a packet
+   trace through them, and confirms the *measured* miss rate drops to
+   (near) zero — detection restored by replication.
+
+Run:  python examples/asymmetric_routing.py
+"""
+
+import numpy as np
+
+from repro import NetworkState, builtin_topology
+from repro.core import SplitTrafficProblem, ingress_split_result
+from repro.experiments.common import asymmetric_classes, setup_topology
+from repro.shim import build_split_configs
+from repro.simulation import Emulation, TraceGenerator
+from repro.simulation.tracegen import TraceSpec
+from repro.topology import AsymmetricRoutingModel
+
+THETA = 0.3  # target expected Jaccard overlap between fwd/rev paths
+
+
+def main() -> None:
+    setup = setup_topology("internet2")
+    model = AsymmetricRoutingModel(setup.topology, setup.routing)
+    rng = np.random.default_rng(42)
+    classes = asymmetric_classes(setup, model, THETA, rng)
+    realized = np.mean([1.0 if c.is_symmetric else 0.0
+                        for c in classes])
+    print(f"asymmetric routing over internet2, target overlap "
+          f"{THETA}, {len(classes)} bidirectional classes")
+
+    state = NetworkState.calibrated(setup.topology, classes,
+                                    dc_capacity_factor=10.0)
+
+    # --- today's deployment fails silently ---------------------------
+    ingress = ingress_split_result(state)
+    print(f"\nIngress-only:   predicted miss rate "
+          f"{ingress.miss_rate:.1%} (load {ingress.load_cost:.2f})")
+
+    # --- on-path distribution can only use common nodes --------------
+    on_path = SplitTrafficProblem(state, allow_offload=False).solve()
+    print(f"Path-only:      predicted miss rate "
+          f"{on_path.miss_rate:.1%} (load {on_path.load_cost:.2f})")
+
+    # --- the paper's fix: replicate split sessions to the DC ---------
+    replicated = SplitTrafficProblem(state, max_link_load=0.4).solve()
+    print(f"DC replication: predicted miss rate "
+          f"{replicated.miss_rate:.1%} (load "
+          f"{replicated.load_cost:.2f})")
+
+    # --- verify operationally with a packet-level emulation ----------
+    print("\nreplaying a trace through the compiled shim configs...")
+    configs = build_split_configs(state, replicated)
+    generator = TraceGenerator(
+        state.topology.nodes, classes,
+        spec=TraceSpec(total_sessions=3000), seed=7)
+    sessions = generator.generate(with_payloads=False)
+    emulation = Emulation(state, configs, generator.classifier)
+    report = emulation.run_stateful(sessions)
+    print(f"  {report.total_sessions} sessions replayed, "
+          f"{report.covered_sessions} fully observed at one location")
+    print(f"  measured miss rate: {report.miss_rate:.2%} "
+          f"(LP predicted {replicated.miss_rate:.2%})")
+    print(f"  replicated bytes: {report.replicated_bytes:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""The operator's calibration pipeline: profile -> classes -> optimize.
+
+The formulations need per-class resource footprints ``F_c^r``
+(Section 3, input 2). The paper gets them "via NIDS vendors'
+datasheets or ... offline benchmarks". This script runs that pipeline
+end-to-end:
+
+1. benchmark a Signature engine offline on sample traffic batches and
+   fit its cost model (work = a * sessions + b * bytes);
+2. build per-application traffic classes (HTTP/HTTPS/SMTP/DNS/IRC —
+   Section 3's class granularity) and derive each class's footprint
+   from the fitted model and its mean session size;
+3. solve the replication LP on the profiled classes and show how the
+   heavier protocols dominate the assignment.
+
+Run:  python examples/profiling_pipeline.py
+"""
+
+from repro import (
+    MirrorPolicy,
+    NetworkState,
+    ReplicationProblem,
+    builtin_topology,
+)
+from repro.nids import SignatureEngine, apply_cost_model, profile_engine
+from repro.simulation import Session, TraceGenerator
+from repro.simulation.tracegen import TraceSpec
+from repro.traffic import (
+    DEFAULT_APPLICATION_MIX,
+    classes_with_applications,
+    gravity_traffic_matrix,
+)
+
+
+def benchmark_batches(topology, classes, class_ports):
+    """Three benchmark batches with different session/byte mixes."""
+    batches = []
+    for sessions, payload in ((80, 60), (200, 250), (140, 40)):
+        spec = TraceSpec(total_sessions=sessions,
+                         payload_bytes=payload)
+        generator = TraceGenerator(topology.nodes, classes, spec=spec,
+                                   seed=payload,
+                                   class_ports=class_ports)
+        batches.append(generator.generate(with_payloads=True))
+    return batches
+
+
+def main() -> None:
+    topology = builtin_topology("internet2")
+    matrix = gravity_traffic_matrix(topology)
+    classes = classes_with_applications(topology, matrix)
+    print(f"{len(classes)} application-level classes "
+          f"({len(DEFAULT_APPLICATION_MIX)} apps x "
+          f"{len(classes) // len(DEFAULT_APPLICATION_MIX)} pairs)\n")
+
+    # --- 1. offline engine benchmark ---------------------------------
+    class_ports = {
+        cls.name: app.port
+        for cls in classes
+        for app in DEFAULT_APPLICATION_MIX
+        if cls.name.endswith("/" + app.name)
+    }
+    aggregate = classes[:len(DEFAULT_APPLICATION_MIX)]  # sample paths
+    model = profile_engine(
+        SignatureEngine,
+        benchmark_batches(topology, aggregate, class_ports))
+    print("fitted Signature engine cost model:")
+    print(f"  per-session: {model.per_session:.1f} work units")
+    print(f"  per-byte:    {model.per_byte:.3f} work units")
+    print(f"  fit residual: {model.residual:.2g}\n")
+
+    # --- 2. derive per-class footprints -------------------------------
+    profiled = apply_cost_model(classes, model, payload_fraction=0.9)
+    print("derived footprints F_c (per session):")
+    seen = set()
+    for cls in profiled:
+        app = cls.name.split("/")[1]
+        if app in seen:
+            continue
+        seen.add(app)
+        print(f"  {app:>6s}: {cls.footprint('cpu'):8.0f} "
+              f"(mean session {cls.session_bytes:,.0f} B)")
+
+    # --- 3. optimize on the profiled inputs ----------------------------
+    state = NetworkState.calibrated(topology, profiled,
+                                    dc_capacity_factor=10.0)
+    result = ReplicationProblem(
+        state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4).solve()
+    print(f"\nreplication LP on profiled classes: "
+          f"max load {result.load_cost:.3f} "
+          f"({result.stats.num_variables} variables, "
+          f"{result.stats.solve_seconds:.3f}s)")
+
+    # Which applications get offloaded to the cluster?
+    offloaded = {}
+    for cls in profiled:
+        fraction = result.replicated_fraction(cls.name)
+        app = cls.name.split("/")[1]
+        work = fraction * cls.footprint("cpu") * cls.num_sessions
+        offloaded[app] = offloaded.get(app, 0.0) + work
+    total = sum(offloaded.values()) or 1.0
+    print("\nwork offloaded to the datacenter, by application:")
+    for app, work in sorted(offloaded.items(), key=lambda kv: -kv[1]):
+        print(f"  {app:>6s}: {work / total:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Distributed scan detection via aggregation (Sections 2, 6, 7.3).
+
+Scan detection counts the distinct destinations each source contacts —
+under pure on-path distribution it is stuck at the ingress gateway.
+This script distributes it with the paper's source-level split:
+
+1. solves the Section 6 LP on Internet2 (trading report traffic
+   against load balance with the weight beta);
+2. compiles per-source hash ranges into shim configs;
+3. replays a trace with injected scanners; every on-path node counts
+   only its assigned sources with a local threshold of 0;
+4. the gateway aggregators apply the real threshold k and flag exactly
+   the same scanners a centralized detector would — with far better
+   load balance.
+
+Also demonstrates the Figure 8 example: why the source-level split
+beats flow-level (over-counting) and destination-level (report size).
+
+Run:  python examples/scan_aggregation.py
+"""
+
+from repro import builtin_topology, gravity_traffic, NetworkState
+from repro.core import AggregationProblem, ingress_result
+from repro.nids import (
+    ScanDetector,
+    SplitStrategy,
+    aggregate_reports,
+    report_cost_record_hops,
+)
+from repro.shim import build_aggregation_configs
+from repro.simulation import Emulation, TraceGenerator
+from repro.simulation.tracegen import TraceSpec
+
+THRESHOLD = 15  # flag sources contacting more than k destinations
+
+
+def figure8_demo() -> None:
+    print("Figure 8 demo: three ways to split scan counting")
+    flows = [(src, dst) for src in (1, 2) for dst in (11, 12, 13, 14)
+             for _ in range(2)]  # 2 flows per src-dst pair
+    hops = {"N2": 1, "N3": 2, "N4": 1, "N5": 2}
+
+    # Source-level split: N2/N4 own s1, N3/N5 own s2.
+    detectors = {n: ScanDetector() for n in hops}
+    for src, dst in flows:
+        path_nodes = ("N2", "N3") if dst in (11, 12) else ("N4", "N5")
+        node = path_nodes[0] if src == 1 else path_nodes[1]
+        detectors[node].observe_flow(src, dst)
+    reports = [d.source_count_report(n) for n, d in detectors.items()]
+    counts = aggregate_reports(SplitStrategy.SOURCE_LEVEL, reports)
+    record_hops, _ = report_cost_record_hops(reports, hops)
+    print(f"  source-level: counts {counts}, "
+          f"cost {record_hops:.0f} record-hops (paper: 6)")
+
+    # Destination-level split: each node owns one destination.
+    detectors = {n: ScanDetector() for n in hops}
+    owner = {11: "N2", 12: "N3", 13: "N4", 14: "N5"}
+    for src, dst in flows:
+        detectors[owner[dst]].observe_flow(src, dst)
+    reports = [d.source_count_report(n) for n, d in detectors.items()]
+    counts = aggregate_reports(SplitStrategy.SOURCE_LEVEL, reports)
+    record_hops, _ = report_cost_record_hops(reports, hops)
+    print(f"  dest-level:   counts {counts}, "
+          f"cost {record_hops:.0f} record-hops (paper: 12)")
+    print()
+
+
+def main() -> None:
+    figure8_demo()
+
+    topology = builtin_topology("internet2")
+    classes = gravity_traffic(topology)
+    state = NetworkState.calibrated(topology, classes)
+
+    # Without aggregation, Scan runs at each ingress: imbalanced.
+    baseline = ingress_result(state)
+    print(f"without aggregation: max/avg load "
+          f"{baseline.load_imbalance():.2f}")
+
+    # The Section 6 LP at a balanced beta.
+    problem = AggregationProblem(state)
+    beta = problem.suggested_beta()
+    result = AggregationProblem(state, beta=beta).solve()
+    print(f"with aggregation:    max/avg load "
+          f"{result.load_imbalance():.2f} "
+          f"(comm cost {result.comm_cost:,.0f} byte-hops)")
+
+    # Operational check: distributed counting == centralized counting.
+    configs = build_aggregation_configs(state, result)
+    spec = TraceSpec(total_sessions=4000, scanner_count=5,
+                     scanner_fanout=3 * THRESHOLD)
+    generator = TraceGenerator(topology.nodes, classes, spec=spec,
+                               seed=99)
+    sessions = generator.generate(with_payloads=False)
+    emulation = Emulation(state, configs, generator.classifier)
+    report = emulation.run_scan(sessions, threshold=THRESHOLD)
+
+    flagged = sorted(src for alerts in
+                     report.distributed_alerts.values()
+                     for src in alerts)
+    print(f"\nreplayed {len(sessions)} flows with 5 injected scanners")
+    print(f"  distributed detection flagged {len(flagged)} sources")
+    print(f"  semantically equivalent to centralized: "
+          f"{report.semantically_equivalent}")
+    print(f"  report traffic: {report.record_hops:,.0f} record-hops "
+          f"({report.byte_hops:,.0f} byte-hops)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro — reproduction of "New Opportunities for Load Balancing in
+Network-Wide Intrusion Detection Systems" (CoNEXT 2012).
+
+The package is organized as:
+
+- :mod:`repro.lpsolve` — LP modeling/solving substrate (CPLEX stand-in).
+- :mod:`repro.topology` — PoP-level topologies, routing, asymmetry.
+- :mod:`repro.traffic` — gravity-model traffic matrices and variability.
+- :mod:`repro.core` — the paper's three LP formulations and architecture
+  presets (the primary contribution).
+- :mod:`repro.shim` — hash-range shim layer (Section 7).
+- :mod:`repro.nids` — simulated NIDS engines and the report aggregator.
+- :mod:`repro.simulation` — trace generation and trace-driven emulation.
+- :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import (
+        builtin_topology, gravity_traffic, NetworkState,
+        ReplicationProblem, MirrorPolicy,
+    )
+
+    topo = builtin_topology("internet2")
+    classes = gravity_traffic(topo, total_sessions=8_000_000)
+    state = NetworkState.calibrated(topo, classes, dc_capacity_factor=10.0)
+    problem = ReplicationProblem(
+        state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4)
+    result = problem.solve()
+    print(result.load_cost)
+"""
+
+from repro.topology import (
+    Topology,
+    builtin_topology,
+    builtin_topology_names,
+    synthetic_isp_topology,
+)
+from repro.traffic import (
+    TrafficClass,
+    TrafficMatrix,
+    gravity_traffic,
+    gravity_traffic_matrix,
+    TrafficVariabilityModel,
+)
+from repro.core import (
+    AggregationProblem,
+    ArchitectureKind,
+    MirrorPolicy,
+    NetworkState,
+    ReplicationProblem,
+    SplitTrafficProblem,
+    evaluate_architecture,
+    place_datacenter,
+)
+from repro.shim import Shim, ShimConfig, compile_hash_ranges, session_hash
+from repro.nids import (
+    ScanDetector,
+    SignatureEngine,
+    StatefulSessionAnalyzer,
+    ScanAggregator,
+)
+from repro.simulation import (
+    Emulation,
+    Session,
+    TraceGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationProblem",
+    "ArchitectureKind",
+    "Emulation",
+    "MirrorPolicy",
+    "NetworkState",
+    "ReplicationProblem",
+    "ScanAggregator",
+    "ScanDetector",
+    "Session",
+    "Shim",
+    "ShimConfig",
+    "SignatureEngine",
+    "SplitTrafficProblem",
+    "StatefulSessionAnalyzer",
+    "Topology",
+    "TraceGenerator",
+    "TrafficClass",
+    "TrafficMatrix",
+    "TrafficVariabilityModel",
+    "builtin_topology",
+    "builtin_topology_names",
+    "compile_hash_ranges",
+    "evaluate_architecture",
+    "gravity_traffic",
+    "gravity_traffic_matrix",
+    "place_datacenter",
+    "session_hash",
+    "synthetic_isp_topology",
+    "__version__",
+]

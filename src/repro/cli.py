@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``topologies`` — list the built-in evaluation topologies.
+- ``solve`` — run one formulation on one topology and print the
+  assignment summary (the controller's one-shot operation).
+- ``compare`` — Figure 13-style architecture comparison for one
+  topology.
+- ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    AggregationProblem,
+    ArchitectureEvaluator,
+    ArchitectureKind,
+    CombinedProblem,
+    MirrorPolicy,
+    NIPSProblem,
+    ReplicationProblem,
+    SplitTrafficProblem,
+)
+from repro.experiments import (
+    format_dc_capacity,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_fig16,
+    format_fig17,
+    format_fig18,
+    format_fig19,
+    format_placement,
+    format_table,
+    format_table1,
+    run_dc_capacity_ablation,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16_17,
+    run_fig18,
+    run_fig19,
+    run_placement_ablation,
+    run_table1,
+    setup_topology,
+)
+from repro.topology import builtin_topology, builtin_topology_names
+
+_MIRROR_CHOICES = {
+    "none": MirrorPolicy.none,
+    "dc": MirrorPolicy.datacenter,
+    "one-hop": lambda: MirrorPolicy.neighbors(1),
+    "two-hop": lambda: MirrorPolicy.neighbors(2),
+    "dc+one-hop": lambda: MirrorPolicy.datacenter_plus_neighbors(1),
+}
+
+_EXPERIMENTS = {
+    "table1": lambda: format_table1(run_table1()),
+    "fig10": lambda: format_fig10(run_fig10()),
+    "fig11": lambda: format_fig11(run_fig11()),
+    "fig12": lambda: format_fig12(run_fig12()),
+    "fig13": lambda: format_fig13(run_fig13()),
+    "fig14": lambda: format_fig14(run_fig14()),
+    "fig15": lambda: format_fig15(run_fig15()),
+    "fig16": lambda: format_fig16(run_fig16_17()),
+    "fig17": lambda: format_fig17(run_fig16_17()),
+    "fig18": lambda: format_fig18(run_fig18()),
+    "fig19": lambda: format_fig19(run_fig19()),
+    "placement": lambda: format_placement(run_placement_ablation()),
+    "dc-capacity": lambda: format_dc_capacity(
+        run_dc_capacity_ablation()),
+    "slack": lambda: _fmt_slack(),
+    "link-cost": lambda: _fmt_link_cost(),
+    "nips": lambda: _fmt_nips(),
+    "combined": lambda: _fmt_combined(),
+    "strategies": lambda: _fmt_strategies(),
+}
+
+
+def _fmt_slack():
+    from repro.experiments import format_slack, run_slack_ablation
+
+    return format_slack(run_slack_ablation())
+
+
+def _fmt_link_cost():
+    from repro.experiments import (format_link_cost,
+                                   run_link_cost_ablation)
+
+    return format_link_cost(run_link_cost_ablation())
+
+
+def _fmt_nips():
+    from repro.experiments import format_nips, run_nips_ablation
+
+    return format_nips(run_nips_ablation())
+
+
+def _fmt_combined():
+    from repro.experiments import (format_combined,
+                                   run_combined_ablation)
+
+    return format_combined(run_combined_ablation())
+
+
+def _fmt_strategies():
+    from repro.experiments import (format_strategies,
+                                   run_strategy_ablation)
+
+    return format_strategies(run_strategy_ablation())
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network-wide NIDS load balancing (CoNEXT'12 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies",
+                   help="list built-in evaluation topologies")
+
+    solve = sub.add_parser("solve", help="run one formulation")
+    solve.add_argument("topology", choices=builtin_topology_names())
+    solve.add_argument("--formulation", default="replication",
+                       choices=["replication", "aggregation", "split",
+                                "nips", "combined"])
+    solve.add_argument("--mirror", default="dc",
+                       choices=sorted(_MIRROR_CHOICES))
+    solve.add_argument("--max-link-load", type=float, default=0.4)
+    solve.add_argument("--dc-capacity", type=float, default=10.0)
+    solve.add_argument("--beta", type=float, default=None,
+                       help="aggregation comm-cost weight "
+                            "(default: scale-matched)")
+    solve.add_argument("--top", type=int, default=10,
+                       help="show the N most loaded nodes")
+
+    compare = sub.add_parser(
+        "compare", help="compare architectures on one topology")
+    compare.add_argument("topology", choices=builtin_topology_names())
+    compare.add_argument("--max-link-load", type=float, default=0.4)
+    compare.add_argument("--dc-capacity", type=float, default=10.0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name",
+                            choices=sorted(_EXPERIMENTS) + ["all"])
+    return parser
+
+
+def _cmd_topologies() -> int:
+    rows = []
+    for name in builtin_topology_names():
+        topo = builtin_topology(name)
+        mean_degree = 2.0 * topo.num_links / topo.num_nodes
+        rows.append([name, topo.num_nodes, topo.num_links,
+                     f"{mean_degree:.2f}", topo.diameter(),
+                     f"{topo.mean_path_length():.2f}"])
+    print(format_table(
+        ["Topology", "PoPs", "Links", "Mean degree", "Diameter",
+         "Mean path"],
+        rows, title="Built-in evaluation topologies"))
+    return 0
+
+
+def _needs_dc(args) -> bool:
+    return (args.formulation in ("split", "combined") or
+            args.mirror in ("dc", "dc+one-hop"))
+
+
+def _cmd_solve(args) -> int:
+    dc_factor = args.dc_capacity if _needs_dc(args) else None
+    setup = setup_topology(args.topology,
+                           dc_capacity_factor=dc_factor)
+    state = setup.state
+    mirror = _MIRROR_CHOICES[args.mirror]()
+
+    if args.formulation == "replication":
+        result = ReplicationProblem(
+            state, mirror_policy=mirror,
+            max_link_load=args.max_link_load).solve()
+        extra = [f"replicated classes: "
+                 f"{sum(1 for c in state.classes if result.replicated_fraction(c.name) > 1e-6)}"]
+    elif args.formulation == "nips":
+        result = NIPSProblem(
+            state, mirror_policy=mirror,
+            max_link_load=args.max_link_load).solve()
+        extra = [f"mean detour: {result.mean_extra_hops:.2f} hops"]
+    elif args.formulation == "split":
+        result = SplitTrafficProblem(
+            state, max_link_load=args.max_link_load).solve()
+        extra = [f"miss rate: {result.miss_rate:.2%}"]
+    elif args.formulation == "aggregation":
+        problem = AggregationProblem(state)
+        beta = args.beta if args.beta is not None else \
+            problem.suggested_beta()
+        result = AggregationProblem(state, beta=beta).solve()
+        extra = [f"beta: {beta:.3g}",
+                 f"comm cost: {result.comm_cost:,.0f} byte-hops"]
+    else:  # combined
+        problem = CombinedProblem(state)
+        beta = args.beta if args.beta is not None else \
+            AggregationProblem(state).suggested_beta()
+        result = CombinedProblem(
+            state, beta=beta,
+            max_link_load=args.max_link_load).solve()
+        extra = [f"beta: {beta:.3g}",
+                 f"comm cost: {result.comm_cost:,.0f} byte-hops"]
+
+    print(f"{args.formulation} on {args.topology}: "
+          f"LoadCost = {result.load_cost:.4f}")
+    for line in extra:
+        print(f"  {line}")
+    print(f"  LP: {result.stats.num_variables} vars, "
+          f"{result.stats.num_constraints} constraints, "
+          f"solved in {result.stats.solve_seconds:.3f}s")
+    loads = sorted(result.node_loads["cpu"].items(),
+                   key=lambda kv: kv[1], reverse=True)[:args.top]
+    print(format_table(
+        ["Node", "Load"],
+        [[node, f"{load:.4f}"] for node, load in loads],
+        title=f"top {len(loads)} node loads"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    setup = setup_topology(args.topology)
+    evaluator = ArchitectureEvaluator(
+        setup.topology, setup.classes,
+        dc_capacity_factor=args.dc_capacity,
+        max_link_load=args.max_link_load)
+    rows = []
+    for kind in (ArchitectureKind.INGRESS,
+                 ArchitectureKind.PATH_NO_REPLICATE,
+                 ArchitectureKind.PATH_AUGMENTED,
+                 ArchitectureKind.ONE_HOP,
+                 ArchitectureKind.PATH_REPLICATE,
+                 ArchitectureKind.DC_PLUS_ONE_HOP):
+        result = evaluator.evaluate(kind)
+        rows.append([kind.value, f"{result.load_cost:.4f}",
+                     f"{result.dc_load():.4f}"])
+    print(format_table(
+        ["Architecture", "Max load", "DC load"], rows,
+        title=f"architecture comparison on {args.topology} "
+              f"(DC {args.dc_capacity:g}x, MaxLinkLoad "
+              f"{args.max_link_load:g})"))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name == "all":
+        for name in sorted(_EXPERIMENTS):
+            print(f"==== {name} ====")
+            print(_EXPERIMENTS[name]())
+            print()
+        return 0
+    print(_EXPERIMENTS[args.name]())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "topologies":
+        return _cmd_topologies()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

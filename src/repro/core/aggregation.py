@@ -1,0 +1,150 @@
+"""The aggregation LP (Section 6, Figure 9 of the paper).
+
+Analyses like Scan detection are topologically constrained under pure
+on-path distribution (only the ingress sees all of a host's traffic).
+Aggregation splits the task into sub-tasks — each on-path node counts a
+*per-source* share of the traffic — and ships intermediate reports to an
+aggregation point. The LP assigns the local-processing fractions
+``p_{c,j}`` to balance compute load against the report traffic:
+
+    minimize  LoadCost + beta * CommCost            (Eq (12))
+    CommCost = sum_c,j |T_c| p_{c,j} Rec_c D_{c,j}  (Eq (13))
+
+``D_{c,j}`` is the hop distance from node ``j`` to the class's
+aggregation point (the ingress gateway by default — it is best placed
+to decide whether to alert, Section 6). Report sizes are small, so no
+``MaxLinkLoad`` constraint is carried over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.inputs import NetworkState
+from repro.core.results import AggregationResult, LPStats
+from repro.lpsolve import LinExpr, Model, Variable, lin_sum
+
+AggregationPointFn = Callable[[object], str]
+
+
+def ingress_aggregation_point(cls) -> str:
+    """Default: reports go back to the class's ingress gateway."""
+    return cls.ingress
+
+
+class AggregationProblem:
+    """Builds and solves the Figure 9 LP.
+
+    Args:
+        state: calibrated inputs (no datacenter required).
+        beta: weight on the communication cost; sweep it to trade
+            report traffic against load balance (Figure 18).
+        aggregation_point: maps a class to the node its reports are
+            sent to (default: the ingress).
+    """
+
+    def __init__(self, state: NetworkState, beta: float = 1.0,
+                 aggregation_point: AggregationPointFn =
+                 ingress_aggregation_point):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.state = state
+        self.beta = beta
+        self.aggregation_point = aggregation_point
+        self._model: Optional[Model] = None
+        self._p: Dict[Tuple[str, str], Variable] = {}
+        self._load_exprs: Dict[Tuple[str, str], LinExpr] = {}
+
+    def suggested_beta(self) -> float:
+        """A beta making LoadCost and CommCost comparable in scale.
+
+        Uses ``1 / CommCost(ingress-only)`` — the report cost of doing
+        all counting at distance-0 would be 0, so instead we normalize
+        by the cost of a uniform split across each path, which is the
+        natural midpoint of the tradeoff curve.
+        """
+        total = 0.0
+        for cls in self.state.classes:
+            point = self.aggregation_point(cls)
+            distances = [self.state.routing.hop_count(node, point)
+                         for node in cls.path]
+            mean_distance = sum(distances) / len(distances)
+            total += cls.num_sessions * cls.record_bytes * mean_distance
+        return 1.0 / total if total > 0 else 1.0
+
+    def build_model(self) -> Model:
+        """Construct (and cache) the LP."""
+        state = self.state
+        model = Model(f"aggregation[{state.topology.name}]")
+
+        comm_terms: List[LinExpr] = []
+        load_terms: Dict[Tuple[str, str], List[LinExpr]] = {
+            (resource, node): []
+            for resource in state.resources for node in state.nids_nodes
+        }
+        for cls in state.classes:
+            point = self.aggregation_point(cls)
+            class_vars = []
+            for node in cls.path:
+                var = model.add_variable(
+                    f"p[{cls.name},{node}]", lb=0.0, ub=1.0)
+                self._p[(cls.name, node)] = var
+                class_vars.append(var)
+                distance = state.routing.hop_count(node, point)
+                comm_terms.append(var * (cls.num_sessions *
+                                         cls.record_bytes * distance))
+                for resource in state.resources:
+                    work = cls.footprint(resource) * cls.num_sessions
+                    if work == 0.0:
+                        continue
+                    cap = state.capacity(resource, node)
+                    load_terms[(resource, node)].append(
+                        var * (work / cap))
+            # Coverage (Eq (14)).
+            model.add_constraint(lin_sum(class_vars) == 1.0,
+                                 name=f"cover[{cls.name}]")
+
+        load_cost = model.add_variable("LoadCost", lb=0.0)
+        for (resource, node), terms in load_terms.items():
+            expr = lin_sum(terms)
+            self._load_exprs[(resource, node)] = expr
+            model.add_constraint(load_cost >= expr,
+                                 name=f"loadcost[{resource},{node}]")
+
+        self._comm_expr = lin_sum(comm_terms)
+        model.minimize(load_cost + self.beta * self._comm_expr)
+        self._model = model
+        self._load_cost_var = load_cost
+        return model
+
+    def solve(self) -> AggregationResult:
+        """Solve and unpack loads, fractions, and the comm cost."""
+        model = self._model or self.build_model()
+        solution = model.solve()
+
+        node_loads = {
+            resource: {
+                node: solution.value(self._load_exprs[(resource, node)])
+                for node in self.state.nids_nodes
+            }
+            for resource in self.state.resources
+        }
+        process: Dict[str, Dict[str, float]] = {}
+        for (cls_name, node), var in self._p.items():
+            process.setdefault(cls_name, {})[node] = solution.value(var)
+
+        load_cost = solution.value(self._load_cost_var)
+        comm_cost = solution.value(self._comm_expr)
+        return AggregationResult(
+            load_cost=load_cost,
+            comm_cost=comm_cost,
+            beta=self.beta,
+            objective=load_cost + self.beta * comm_cost,
+            node_loads=node_loads,
+            process_fractions=process,
+            dc_node=self.state.dc_node,
+            stats=LPStats(
+                num_variables=model.num_variables,
+                num_constraints=model.num_constraints,
+                solve_seconds=solution.solve_seconds,
+                iterations=solution.iterations))

@@ -1,0 +1,187 @@
+"""Unified replication + aggregation (Section 9, "Combining aggregation
+and replication" — the paper's stated future work).
+
+The idea: replication can reduce the *communication cost* of
+aggregation. Under plain aggregation, each on-path node that counts a
+share of a class ships its intermediate report ``D_{c,j}`` hops to the
+aggregation point. If instead a node replicates its counting sub-task
+to the datacenter, the DC performs the counting and ships *one* report
+from the DC to the aggregation point — useful when the DC sits closer
+(in byte-hops of reports) than the scattered on-path nodes, or when
+on-path nodes are compute-bound.
+
+Formulation (extends Figure 9):
+
+    variables  p[c,j]  (j on P_c)     local counting fraction
+               o[c,j]  (j on P_c)     counting sub-task replicated
+                                      from j to the DC
+    coverage   sum_j p[c,j] + o[c,j] == 1
+    LoadCost   as usual; the DC accrues the o work
+    CommCost   sum |T_c| ( p[c,j] Rec_c D(j,agg)
+                         + o[c,j] Rec_c D(DC,agg) )
+    link load  replicating the sub-task means mirroring the traffic
+               slice to the DC: bounded by MaxLinkLoad as in Section 4
+
+    minimize   LoadCost + beta * CommCost
+
+The paper's caveat — replication splits per-session while aggregation
+splits per-source — is handled operationally by the shim's per-source
+hash mode: the traffic slice replicated to the DC is a *source* range,
+so DC counting remains correct and no effort is duplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.aggregation import ingress_aggregation_point
+from repro.core.inputs import NetworkState
+from repro.core.results import AggregationResult, LPStats
+from repro.lpsolve import LinExpr, Model, Variable, lin_sum
+from repro.topology.topology import Link
+
+
+class CombinedProblem:
+    """Aggregation with optional replication of counting sub-tasks.
+
+    Args:
+        state: calibrated inputs **with** a datacenter node.
+        beta: communication-cost weight (as in Figure 9).
+        max_link_load: bound on the replicated traffic's link load.
+        aggregation_point: class -> node receiving the final reports.
+    """
+
+    def __init__(self, state: NetworkState, beta: float = 1.0,
+                 max_link_load: float = 0.4,
+                 aggregation_point: Callable =
+                 ingress_aggregation_point):
+        if state.dc_node is None:
+            raise ValueError("CombinedProblem needs a datacenter; "
+                             "build the state with dc_capacity_factor")
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        if not 0.0 <= max_link_load <= 1.0:
+            raise ValueError("max_link_load must be in [0, 1]")
+        self.state = state
+        self.beta = beta
+        self.max_link_load = max_link_load
+        self.aggregation_point = aggregation_point
+        self._model: Optional[Model] = None
+        self._p: Dict[Tuple[str, str], Variable] = {}
+        self._o: Dict[Tuple[str, str], Variable] = {}
+        self._load_exprs: Dict[Tuple[str, str], LinExpr] = {}
+        self._link_exprs: Dict[Link, LinExpr] = {}
+
+    def build_model(self) -> Model:
+        """Construct (and cache) the combined LP."""
+        state = self.state
+        dc = state.dc_node
+        model = Model(f"combined[{state.topology.name}]")
+
+        comm_terms: List[LinExpr] = []
+        load_terms: Dict[Tuple[str, str], List[LinExpr]] = {
+            (resource, node): []
+            for resource in state.resources for node in state.nids_nodes
+        }
+        link_terms: Dict[Link, List[LinExpr]] = {
+            link: [] for link in state.topology.links}
+
+        for cls in state.classes:
+            point = self.aggregation_point(cls)
+            dc_distance = state.routing.hop_count(dc, point)
+            class_vars: List[Variable] = []
+            for node in cls.path:
+                p_var = model.add_variable(
+                    f"p[{cls.name},{node}]", lb=0.0, ub=1.0)
+                self._p[(cls.name, node)] = p_var
+                class_vars.append(p_var)
+                distance = state.routing.hop_count(node, point)
+                comm_terms.append(p_var * (cls.num_sessions *
+                                           cls.record_bytes * distance))
+
+                o_var = model.add_variable(
+                    f"o[{cls.name},{node}]", lb=0.0, ub=1.0)
+                self._o[(cls.name, node)] = o_var
+                class_vars.append(o_var)
+                comm_terms.append(o_var * (cls.num_sessions *
+                                           cls.record_bytes *
+                                           dc_distance))
+                # Mirrored traffic slice for the sub-task.
+                replicated_bytes = cls.num_sessions * cls.session_bytes
+                for link in state.routing.path_links(node, dc):
+                    coeff = replicated_bytes / state.link_capacity[link]
+                    link_terms[link].append(o_var * coeff)
+
+                for resource in state.resources:
+                    work = cls.footprint(resource) * cls.num_sessions
+                    if work == 0.0:
+                        continue
+                    cap_local = state.capacity(resource, node)
+                    load_terms[(resource, node)].append(
+                        p_var * (work / cap_local))
+                    cap_dc = state.capacity(resource, dc)
+                    load_terms[(resource, dc)].append(
+                        o_var * (work / cap_dc))
+            model.add_constraint(lin_sum(class_vars) == 1.0,
+                                 name=f"cover[{cls.name}]")
+
+        load_cost = model.add_variable("LoadCost", lb=0.0)
+        for (resource, node), terms in load_terms.items():
+            expr = lin_sum(terms)
+            self._load_exprs[(resource, node)] = expr
+            model.add_constraint(load_cost >= expr,
+                                 name=f"loadcost[{resource},{node}]")
+
+        for link, terms in link_terms.items():
+            bg = state.bg_load(link)
+            expr = lin_sum(terms) + bg
+            self._link_exprs[link] = expr
+            if terms:
+                bound = max(self.max_link_load, bg)
+                model.add_constraint(
+                    expr <= bound, name=f"linkload[{link[0]},{link[1]}]")
+
+        self._comm_expr = lin_sum(comm_terms)
+        model.minimize(load_cost + self.beta * self._comm_expr)
+        self._model = model
+        self._load_cost_var = load_cost
+        return model
+
+    def solve(self) -> AggregationResult:
+        """Solve; offloaded fractions appear under the DC's node key
+        in ``process_fractions`` (the DC does the counting)."""
+        model = self._model or self.build_model()
+        solution = model.solve()
+
+        node_loads = {
+            resource: {
+                node: solution.value(self._load_exprs[(resource, node)])
+                for node in self.state.nids_nodes
+            }
+            for resource in self.state.resources
+        }
+        process: Dict[str, Dict[str, float]] = {}
+        for (cls_name, node), var in self._p.items():
+            process.setdefault(cls_name, {})[node] = solution.value(var)
+        dc = self.state.dc_node
+        for (cls_name, node), var in self._o.items():
+            value = solution.value(var)
+            if value > 1e-9:
+                fractions = process.setdefault(cls_name, {})
+                fractions[dc] = fractions.get(dc, 0.0) + value
+
+        load_cost = solution.value(self._load_cost_var)
+        comm_cost = solution.value(self._comm_expr)
+        return AggregationResult(
+            load_cost=load_cost,
+            comm_cost=comm_cost,
+            beta=self.beta,
+            objective=load_cost + self.beta * comm_cost,
+            node_loads=node_loads,
+            process_fractions=process,
+            dc_node=dc,
+            stats=LPStats(
+                num_variables=model.num_variables,
+                num_constraints=model.num_constraints,
+                solve_seconds=solution.solve_seconds,
+                iterations=solution.iterations))

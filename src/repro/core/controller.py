@@ -1,0 +1,164 @@
+"""The network-wide NIDS controller (Figure 6).
+
+The paper envisions "a logically centralized management module that
+configures the NIDS elements": it periodically collects traffic and
+routing feeds, runs the optimization, converts the solution into
+per-node hash-range configurations, and pushes them out — re-running
+every few minutes or on routing/traffic triggers, after which
+"the configuration is completely automated".
+
+:class:`NIDSController` is that module. It owns the current
+configuration, re-optimizes on demand (:meth:`refresh`), compiles shim
+configs, validates them, and hands back an
+:class:`~repro.core.transitions.OverlapTransition` so the rollout is
+coverage-safe. Traffic triggers are supported via a configurable
+drift threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.inputs import NetworkState
+from repro.core.mirrors import MirrorPolicy
+from repro.core.replication import ReplicationProblem
+from repro.core.results import ReplicationResult
+from repro.core.transitions import OverlapTransition
+from repro.core.validation import validate_replication
+from repro.shim.config import ShimConfig, build_replication_configs
+from repro.traffic.classes import TrafficClass
+
+
+@dataclass
+class Rollout:
+    """One completed optimization cycle.
+
+    Attributes:
+        result: the LP solution driving the new configuration.
+        configs: compiled per-node shim configurations.
+        transition: coverage-safe old->new rollout coordinator
+            (``None`` for the very first configuration — there is
+            nothing to overlap with).
+    """
+
+    result: ReplicationResult
+    configs: Dict[str, ShimConfig]
+    transition: Optional[OverlapTransition]
+
+
+class NIDSController:
+    """Centralized assignment of NIDS responsibilities (Figure 6).
+
+    Args:
+        state: calibrated network state (provisioning stays fixed
+            across refreshes; traffic varies).
+        mirror_policy: the deployment's replication shape.
+        max_link_load: administrator's link budget policy knob.
+        drift_threshold: relative traffic-volume change that counts as
+            "significant" for :meth:`needs_refresh` (the paper's
+            trigger on traffic changes).
+    """
+
+    def __init__(self, state: NetworkState,
+                 mirror_policy: Optional[MirrorPolicy] = None,
+                 max_link_load: float = 0.4,
+                 drift_threshold: float = 0.2):
+        if drift_threshold < 0:
+            raise ValueError("drift_threshold must be non-negative")
+        self.state = state
+        self.mirror_policy = mirror_policy or MirrorPolicy.datacenter()
+        self.max_link_load = max_link_load
+        self.drift_threshold = drift_threshold
+        self._current_configs: Optional[Dict[str, ShimConfig]] = None
+        self._current_result: Optional[ReplicationResult] = None
+        self._current_classes: List[TrafficClass] = list(state.classes)
+        self.refresh_count = 0
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def current_result(self) -> Optional[ReplicationResult]:
+        """The LP result behind the active configuration."""
+        return self._current_result
+
+    @property
+    def current_configs(self) -> Optional[Dict[str, ShimConfig]]:
+        """The per-node configurations currently considered active."""
+        return self._current_configs
+
+    # -- triggers ----------------------------------------------------------
+
+    def traffic_drift(self, classes: Sequence[TrafficClass]) -> float:
+        """Relative volume change vs the traffic last optimized for.
+
+        Computed as the traffic-weighted mean relative per-class
+        change; classes appearing or disappearing count in full.
+        """
+        old = {cls.name: cls.num_sessions
+               for cls in self._current_classes}
+        new = {cls.name: cls.num_sessions for cls in classes}
+        names = set(old) | set(new)
+        numerator = 0.0
+        denominator = 0.0
+        for name in names:
+            before = old.get(name, 0.0)
+            after = new.get(name, 0.0)
+            numerator += abs(after - before)
+            denominator += max(before, after)
+        return numerator / denominator if denominator else 0.0
+
+    def needs_refresh(self, classes: Sequence[TrafficClass]) -> bool:
+        """True when traffic drifted past the threshold (or no
+        configuration has been computed yet)."""
+        if self._current_configs is None:
+            return True
+        return self.traffic_drift(classes) > self.drift_threshold
+
+    # -- the optimization cycle ---------------------------------------------
+
+    def refresh(self, classes: Optional[Sequence[TrafficClass]] = None
+                ) -> Rollout:
+        """Run one optimization cycle and prepare the rollout.
+
+        Args:
+            classes: the latest traffic feed; ``None`` re-optimizes
+                for the current traffic (e.g., after a policy change).
+
+        Returns:
+            A :class:`Rollout`. The caller drives the transition
+            (``begin`` / ``acknowledge``) as shims confirm; the
+            controller considers the new configs current immediately,
+            matching the paper's automated operation.
+
+        Raises:
+            RuntimeError: if the freshly computed result fails
+                independent validation (never expected; a guard
+                against optimizer/compilation regressions).
+        """
+        if classes is not None:
+            state = self.state.with_traffic(classes)
+            self._current_classes = list(classes)
+        else:
+            state = self.state.with_traffic(self._current_classes)
+
+        result = ReplicationProblem(
+            state, mirror_policy=self.mirror_policy,
+            max_link_load=self.max_link_load).solve()
+        problems = validate_replication(state, result)
+        if problems:
+            raise RuntimeError(
+                "optimizer produced an invalid assignment: "
+                + "; ".join(problems[:3]))
+        configs = build_replication_configs(state, result)
+
+        transition = None
+        if self._current_configs is not None:
+            transition = OverlapTransition(self._current_configs,
+                                           configs)
+            transition.begin()
+        self._current_configs = configs
+        self._current_result = result
+        self.refresh_count += 1
+        return Rollout(result=result, configs=configs,
+                       transition=transition)

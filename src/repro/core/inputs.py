@@ -1,0 +1,272 @@
+"""Problem inputs: the network-wide state the controller optimizes over.
+
+:class:`NetworkState` bundles everything Figure 6's management module
+collects — topology, routing, traffic classes, per-node resource
+capacities ``Cap_j^r``, link capacities and background link loads
+``BG_l`` — plus the Section 8.2 calibration used throughout the
+evaluation:
+
+- every link's capacity is 3x the byte volume of the most congested
+  link, so ``max_l BG_l == 1/3`` (the paper's ~0.3 typical utilization);
+- every NIDS node's capacity equals the maximum per-node requirement of
+  an Ingress-only deployment, so Ingress-only has max compute load 1.0
+  by construction;
+- an optional datacenter node with ``alpha`` times that capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.topology.routing import RoutingTable
+from repro.topology.topology import Link, Topology, canonical_link
+from repro.traffic.classes import TrafficClass
+
+DC_NODE_NAME = "DC"
+
+
+def ingress_requirements(classes: Sequence[TrafficClass],
+                         resources: Sequence[str]
+                         ) -> Dict[str, Dict[str, float]]:
+    """Per-node resource demand of today's Ingress-only deployment.
+
+    Every class is fully processed at its ingress gateway (Figure 1),
+    so node ``j`` needs ``sum_{c: ingress(c)=j} F_c^r |T_c|`` of each
+    resource ``r``.
+    """
+    demand: Dict[str, Dict[str, float]] = {r: {} for r in resources}
+    for cls in classes:
+        for resource in resources:
+            per_node = demand[resource]
+            per_node[cls.ingress] = (per_node.get(cls.ingress, 0.0) +
+                                     cls.footprint(resource) *
+                                     cls.num_sessions)
+    return demand
+
+
+def link_background_bytes(classes: Sequence[TrafficClass]
+                          ) -> Dict[Link, float]:
+    """Bytes each link carries before any replication.
+
+    Symmetric classes place their full session bytes on every link of
+    their path; asymmetric classes split half to the forward path and
+    half to the reverse path.
+    """
+    volumes: Dict[Link, float] = {}
+    for cls in classes:
+        if cls.is_symmetric:
+            for link in Topology.path_links(cls.path):
+                volumes[link] = volumes.get(link, 0.0) + cls.total_bytes
+        else:
+            for path, share in ((cls.path, 0.5), (cls.rev_nodes, 0.5)):
+                for link in Topology.path_links(path):
+                    volumes[link] = (volumes.get(link, 0.0) +
+                                     share * cls.total_bytes)
+    return volumes
+
+
+class NetworkState:
+    """Everything the optimization formulations need, in one object.
+
+    Prefer the :meth:`calibrated` constructor, which applies the
+    paper's Section 8.2 conventions. The raw constructor is available
+    for tests and custom scenarios.
+
+    Args:
+        topology: the network (including any datacenter node).
+        routing: symmetric routes over ``topology``.
+        classes: traffic classes with resolved paths.
+        node_capacity: ``Cap_j^r`` as ``{resource: {node: capacity}}``.
+        link_capacity: ``LinkCap_l`` in bytes per epoch.
+        bg_bytes: pre-replication bytes per link.
+        dc_node: name of the datacenter node, if any.
+    """
+
+    def __init__(self, topology: Topology, routing: RoutingTable,
+                 classes: Sequence[TrafficClass],
+                 node_capacity: Dict[str, Dict[str, float]],
+                 link_capacity: Dict[Link, float],
+                 bg_bytes: Dict[Link, float],
+                 dc_node: Optional[str] = None):
+        self.topology = topology
+        self.routing = routing
+        self.classes: List[TrafficClass] = list(classes)
+        self.node_capacity = {r: dict(caps)
+                              for r, caps in node_capacity.items()}
+        self.link_capacity = dict(link_capacity)
+        self.bg_bytes = dict(bg_bytes)
+        self.dc_node = dc_node
+        self._validate()
+
+    def _validate(self) -> None:
+        nodes = set(self.topology.nodes)
+        for cls in self.classes:
+            unknown = set(cls.path) - nodes
+            if cls.rev_path is not None:
+                unknown |= set(cls.rev_path) - nodes
+            if unknown:
+                raise ValueError(
+                    f"class {cls.name!r} references unknown nodes "
+                    f"{sorted(unknown)}")
+        for resource, caps in self.node_capacity.items():
+            missing = nodes - set(caps)
+            if missing:
+                raise ValueError(
+                    f"resource {resource!r} missing capacities for "
+                    f"{sorted(missing)}")
+            for node, cap in caps.items():
+                if cap <= 0:
+                    raise ValueError(
+                        f"non-positive capacity for {node!r}/{resource!r}")
+        for link in self.topology.links:
+            if self.link_capacity.get(link, 0.0) <= 0:
+                raise ValueError(f"link {link} has no capacity")
+        if self.dc_node is not None and self.dc_node not in nodes:
+            raise ValueError(f"datacenter {self.dc_node!r} not in topology")
+
+    # -- calibrated construction -----------------------------------------
+
+    @classmethod
+    def calibrated(cls, topology: Topology,
+                   classes: Sequence[TrafficClass],
+                   resources: Sequence[str] = ("cpu",),
+                   dc_capacity_factor: Optional[float] = None,
+                   dc_anchor: Optional[str] = None,
+                   link_headroom: float = 3.0) -> "NetworkState":
+        """Build state with the paper's Section 8.2 calibration.
+
+        Args:
+            topology: base topology *without* a datacenter node.
+            classes: traffic classes routed over ``topology``.
+            resources: resource names to provision.
+            dc_capacity_factor: when set, attach a datacenter node with
+                this multiple (alpha) of the per-node capacity.
+            dc_anchor: PoP the datacenter attaches to. Defaults to the
+                paper's best strategy — the PoP observing the most
+                traffic (including transit).
+            link_headroom: link capacity as a multiple of the busiest
+                link's background bytes (3.0 gives max BG = 1/3).
+        """
+        if link_headroom <= 1.0:
+            raise ValueError("link_headroom must exceed 1.0")
+
+        demand = ingress_requirements(classes, resources)
+        base_capacity = {
+            resource: max(per_node.values()) if per_node else 1.0
+            for resource, per_node in demand.items()
+        }
+
+        dc_node = None
+        if dc_capacity_factor is not None:
+            if dc_capacity_factor <= 0:
+                raise ValueError("dc_capacity_factor must be positive")
+            if dc_anchor is None:
+                from repro.core.placement import place_datacenter
+
+                dc_anchor = place_datacenter(topology, classes,
+                                             strategy="observed")
+            topology = topology.with_datacenter(dc_anchor, DC_NODE_NAME)
+            dc_node = DC_NODE_NAME
+        routing = RoutingTable(topology)
+
+        node_capacity: Dict[str, Dict[str, float]] = {}
+        for resource in resources:
+            caps = {node: base_capacity[resource]
+                    for node in topology.nodes}
+            if dc_node is not None:
+                caps[dc_node] = (base_capacity[resource] *
+                                 dc_capacity_factor)
+            node_capacity[resource] = caps
+
+        bg = link_background_bytes(classes)
+        busiest = max(bg.values()) if bg else 1.0
+        link_capacity = {link: link_headroom * busiest
+                         for link in topology.links}
+        return cls(topology, routing, classes, node_capacity,
+                   link_capacity, bg, dc_node=dc_node)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def resources(self) -> List[str]:
+        """Resource names with provisioned capacities."""
+        return sorted(self.node_capacity)
+
+    @property
+    def nids_nodes(self) -> List[str]:
+        """All NIDS nodes (PoPs plus any datacenter)."""
+        return self.topology.nodes
+
+    def capacity(self, resource: str, node: str) -> float:
+        """``Cap_j^r``."""
+        return self.node_capacity[resource][node]
+
+    def bg_load(self, link: Link) -> float:
+        """``BG_l`` — normalized pre-replication load on a link."""
+        link = canonical_link(*link)
+        return self.bg_bytes.get(link, 0.0) / self.link_capacity[link]
+
+    def max_bg_load(self) -> float:
+        """``max_l BG_l`` (1/3 under default calibration)."""
+        return max((self.bg_load(link) for link in self.topology.links),
+                   default=0.0)
+
+    def ingress_load(self, resource: str = "cpu") -> Dict[str, float]:
+        """Normalized per-node load of the Ingress-only deployment."""
+        demand = ingress_requirements(self.classes, [resource])[resource]
+        return {node: demand.get(node, 0.0) / self.capacity(resource, node)
+                for node in self.nids_nodes}
+
+    # -- derived states ------------------------------------------------------
+
+    def with_traffic(self, classes: Sequence[TrafficClass]
+                     ) -> "NetworkState":
+        """Same provisioning, different traffic.
+
+        Used for the variability study (Figure 15): capacities were
+        provisioned for the mean matrix and stay fixed; background link
+        bytes are recomputed for the new traffic.
+        """
+        return NetworkState(
+            self.topology, self.routing, classes,
+            self.node_capacity, self.link_capacity,
+            link_background_bytes(classes), dc_node=self.dc_node)
+
+    def with_augmented_capacity(self, extra_factor: float,
+                                resources: Optional[Iterable[str]] = None
+                                ) -> "NetworkState":
+        """The "Path, Augmented" provisioning (Figure 13).
+
+        Spreads ``extra_factor`` times the baseline per-node capacity
+        evenly across all non-datacenter NIDS nodes (each gets an extra
+        ``extra_factor / |N|`` share).
+        """
+        if extra_factor < 0:
+            raise ValueError("extra_factor must be non-negative")
+        targets = [n for n in self.nids_nodes if n != self.dc_node]
+        node_capacity = {}
+        for resource, caps in self.node_capacity.items():
+            if resources is not None and resource not in resources:
+                node_capacity[resource] = dict(caps)
+                continue
+            baseline = max(caps[n] for n in targets)
+            extra = extra_factor * baseline / len(targets)
+            node_capacity[resource] = {
+                node: cap + (extra if node in targets else 0.0)
+                for node, cap in caps.items()
+            }
+        return NetworkState(
+            self.topology, self.routing, self.classes, node_capacity,
+            self.link_capacity, self.bg_bytes, dc_node=self.dc_node)
+
+    def class_by_name(self, name: str) -> TrafficClass:
+        """Look up a class by its unique name."""
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class named {name!r}")
+
+    def __repr__(self) -> str:
+        return (f"NetworkState({self.topology.name!r}, "
+                f"classes={len(self.classes)}, "
+                f"resources={self.resources}, dc={self.dc_node!r})")

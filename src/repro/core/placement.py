@@ -1,0 +1,99 @@
+"""Datacenter placement strategies (Section 8.2, "Choice of
+datacenter location").
+
+The paper compares four natural strategies and finds "placing the
+datacenter at the PoP that observes the most traffic works best across
+all topologies"; that strategy (``"observed"``) is therefore the
+default everywhere else in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.topology.routing import RoutingTable
+from repro.topology.topology import Topology
+from repro.traffic.classes import TrafficClass
+
+PLACEMENT_STRATEGIES = ("origin", "observed", "betweenness", "medoid")
+
+
+def _originated_traffic(topology: Topology,
+                        classes: Sequence[TrafficClass]
+                        ) -> Dict[str, float]:
+    """Sessions originating at each PoP."""
+    totals = {node: 0.0 for node in topology.nodes}
+    for cls in classes:
+        totals[cls.source] += cls.num_sessions
+    return totals
+
+
+def _observed_traffic(topology: Topology,
+                      classes: Sequence[TrafficClass]
+                      ) -> Dict[str, float]:
+    """Sessions each PoP observes, including transit traffic."""
+    totals = {node: 0.0 for node in topology.nodes}
+    for cls in classes:
+        seen = set(cls.path) | set(cls.rev_nodes)
+        for node in seen:
+            totals[node] += cls.num_sessions
+    return totals
+
+
+def _path_membership(topology: Topology,
+                     classes: Sequence[TrafficClass]) -> Dict[str, float]:
+    """How many end-to-end paths each PoP lies on."""
+    totals = {node: 0.0 for node in topology.nodes}
+    for cls in classes:
+        for node in set(cls.path):
+            totals[node] += 1.0
+    return totals
+
+
+def _negative_mean_distance(topology: Topology) -> Dict[str, float]:
+    """Medoid score: negated mean hop distance to every other PoP."""
+    scores = {}
+    for node in topology.nodes:
+        others = [n for n in topology.nodes if n != node]
+        mean = (sum(topology.hop_distance(node, other) for other in others)
+                / len(others)) if others else 0.0
+        scores[node] = -mean
+    return scores
+
+
+def place_datacenter(topology: Topology,
+                     classes: Sequence[TrafficClass],
+                     strategy: str = "observed",
+                     routing: RoutingTable = None) -> str:
+    """Pick the PoP a datacenter cluster should attach to.
+
+    Args:
+        topology: base network (no datacenter yet).
+        classes: the traffic the network carries.
+        strategy: one of ``PLACEMENT_STRATEGIES``:
+            ``"origin"`` — PoP originating the most traffic;
+            ``"observed"`` — PoP observing the most traffic, transit
+            included (the paper's winner and our default);
+            ``"betweenness"`` — PoP on the most end-to-end paths;
+            ``"medoid"`` — PoP with smallest mean distance to others.
+        routing: unused for the current strategies; accepted so
+            callers with a table in hand can pass it uniformly.
+
+    Returns:
+        The chosen anchor PoP (ties broken lexicographically).
+    """
+    if strategy == "origin":
+        scores = _originated_traffic(topology, classes)
+    elif strategy == "observed":
+        scores = _observed_traffic(topology, classes)
+    elif strategy == "betweenness":
+        scores = _path_membership(topology, classes)
+    elif strategy == "medoid":
+        scores = _negative_mean_distance(topology)
+    else:
+        raise ValueError(
+            f"unknown placement strategy {strategy!r}; expected one of "
+            f"{PLACEMENT_STRATEGIES}")
+    best_score = max(scores.values())
+    return min(node for node, score in scores.items()
+               if score == best_score)

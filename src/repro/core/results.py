@@ -1,0 +1,129 @@
+"""Result objects returned by the optimization problems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+Link = Tuple[str, str]
+
+
+@dataclass
+class LPStats:
+    """Size and runtime of one LP solve (Table 1's measurements)."""
+
+    num_variables: int
+    num_constraints: int
+    solve_seconds: float
+    iterations: int
+
+
+@dataclass
+class AssignmentResult:
+    """Common base for the three formulations' results.
+
+    Attributes:
+        load_cost: optimal ``LoadCost`` (max normalized node load).
+        node_loads: per-resource per-node normalized loads.
+        process_fractions: ``p_{c,j}`` keyed by class name then node.
+        stats: LP size/runtime metadata.
+        dc_node: datacenter node name, if the state had one.
+    """
+
+    load_cost: float
+    node_loads: Dict[str, Dict[str, float]]
+    process_fractions: Dict[str, Dict[str, float]]
+    stats: LPStats
+    dc_node: Optional[str] = None
+
+    def max_load(self, resource: str = "cpu",
+                 exclude_dc: bool = False) -> float:
+        """Maximum node load for one resource.
+
+        Args:
+            resource: resource name.
+            exclude_dc: drop the datacenter node (the paper's
+                "MaxNIDSLoad" in Figure 12 and the per-node plots in
+                Figure 10 treat the DC separately).
+        """
+        loads = self.node_loads[resource]
+        values = [load for node, load in loads.items()
+                  if not (exclude_dc and node == self.dc_node)]
+        return max(values) if values else 0.0
+
+    def dc_load(self, resource: str = "cpu") -> float:
+        """Load on the datacenter node (0.0 when there is none)."""
+        if self.dc_node is None:
+            return 0.0
+        return self.node_loads[resource][self.dc_node]
+
+    def load_imbalance(self, resource: str = "cpu") -> float:
+        """Max/average load ratio (Figure 19's imbalance metric).
+
+        Averages over nodes with nonzero capacity involvement; the
+        datacenter is included when present, matching the aggregation
+        experiments which have no datacenter at all.
+        """
+        loads = list(self.node_loads[resource].values())
+        mean = sum(loads) / len(loads)
+        if mean == 0.0:
+            return 1.0
+        return max(loads) / mean
+
+
+@dataclass
+class ReplicationResult(AssignmentResult):
+    """Solution of the Section 4 replication formulation.
+
+    Additional attributes:
+        offload_fractions: ``o_{c,j,j'}`` keyed by class name then the
+            (from, to) node pair.
+        link_loads: resulting ``LinkLoad_l`` per link (background plus
+            replication).
+        max_link_load: the ``MaxLinkLoad`` bound the problem used.
+    """
+
+    offload_fractions: Dict[str, Dict[Tuple[str, str], float]] = field(
+        default_factory=dict)
+    link_loads: Dict[Link, float] = field(default_factory=dict)
+    max_link_load: float = 1.0
+
+    def replicated_fraction(self, class_name: str) -> float:
+        """Total fraction of a class handled off-path via replication."""
+        return sum(self.offload_fractions.get(class_name, {}).values())
+
+
+@dataclass
+class SplitTrafficResult(AssignmentResult):
+    """Solution of the Section 5 split-traffic formulation.
+
+    Additional attributes:
+        miss_rate: traffic-weighted fraction lacking both-side coverage
+            (Eq (11)).
+        coverage: effective per-class coverage ``cov_c`` (Eq (10)).
+        fwd_offloads / rev_offloads: per-direction offload fractions
+            ``o^fwd_{c,j}`` / ``o^rev_{c,j}`` keyed by class then node.
+        gamma: the miss-rate weight used in the objective.
+    """
+
+    miss_rate: float = 0.0
+    coverage: Dict[str, float] = field(default_factory=dict)
+    fwd_offloads: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    rev_offloads: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    link_loads: Dict[Link, float] = field(default_factory=dict)
+    gamma: float = 0.0
+
+
+@dataclass
+class AggregationResult(AssignmentResult):
+    """Solution of the Section 6 aggregation formulation.
+
+    Additional attributes:
+        comm_cost: total report traffic in byte-hops (Eq (13)).
+        beta: the communication-cost weight used in the objective.
+        objective: optimal ``LoadCost + beta * CommCost``.
+    """
+
+    comm_cost: float = 0.0
+    beta: float = 0.0
+    objective: float = 0.0

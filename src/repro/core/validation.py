@@ -1,0 +1,159 @@
+"""Independent validation of optimization results.
+
+Recomputes every paper constraint from a result's decision fractions —
+with no reference to the LP machinery — and reports human-readable
+violations. Used by the test suite to check the solver end-to-end and
+available to users as a sanity gate before pushing configurations to
+shims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.inputs import NetworkState
+from repro.core.results import (
+    AggregationResult,
+    ReplicationResult,
+    SplitTrafficResult,
+)
+
+_TOL = 1e-6
+
+
+def _check_fraction_bounds(fractions: Dict[str, Dict], label: str,
+                           problems: List[str]) -> None:
+    for class_name, per_key in fractions.items():
+        for key, value in per_key.items():
+            if value < -_TOL or value > 1.0 + _TOL:
+                problems.append(
+                    f"{label}[{class_name}][{key}] = {value} out of "
+                    f"[0, 1]")
+
+
+def validate_replication(state: NetworkState, result: ReplicationResult
+                         ) -> List[str]:
+    """Check a Section 4 result against Eqs (2)-(7).
+
+    Returns:
+        A list of violation descriptions; empty when the result is a
+        feasible assignment for ``state``.
+    """
+    problems: List[str] = []
+    _check_fraction_bounds(result.process_fractions, "p", problems)
+    offload_by_class = {
+        name: sum(values.values())
+        for name, values in result.offload_fractions.items()
+    }
+
+    # Eq (2): full coverage.
+    for cls in state.classes:
+        local = sum(result.process_fractions.get(cls.name, {}).values())
+        total = local + offload_by_class.get(cls.name, 0.0)
+        if abs(total - 1.0) > 1e-5:
+            problems.append(
+                f"class {cls.name!r} coverage {total:.6f} != 1")
+
+    # Eq (3): recompute node loads from the fractions.
+    loads: Dict[str, Dict[str, float]] = {
+        r: {n: 0.0 for n in state.nids_nodes} for r in state.resources}
+    for cls in state.classes:
+        for resource in state.resources:
+            work = cls.footprint(resource) * cls.num_sessions
+            for node, fraction in result.process_fractions.get(
+                    cls.name, {}).items():
+                loads[resource][node] += (work * fraction /
+                                          state.capacity(resource, node))
+            for (_, mirror), fraction in result.offload_fractions.get(
+                    cls.name, {}).items():
+                loads[resource][mirror] += (
+                    work * fraction / state.capacity(resource, mirror))
+    for resource in state.resources:
+        for node in state.nids_nodes:
+            reported = result.node_loads[resource][node]
+            if abs(loads[resource][node] - reported) > 1e-5:
+                problems.append(
+                    f"load[{resource}][{node}] recomputed "
+                    f"{loads[resource][node]:.6f} != reported "
+                    f"{reported:.6f}")
+            if loads[resource][node] > result.load_cost + 1e-5:
+                problems.append(
+                    f"load[{resource}][{node}] exceeds LoadCost")
+
+    # Eqs (4), (5): link loads under the bound.
+    link_bytes: Dict[tuple, float] = {}
+    class_by_name = {cls.name: cls for cls in state.classes}
+    for cls_name, offloads in result.offload_fractions.items():
+        cls = class_by_name[cls_name]
+        for (node, mirror), fraction in offloads.items():
+            for link in state.routing.path_links(node, mirror):
+                link_bytes[link] = (link_bytes.get(link, 0.0) +
+                                    fraction * cls.total_bytes)
+    for link, extra in link_bytes.items():
+        load = state.bg_load(link) + extra / state.link_capacity[link]
+        bound = max(result.max_link_load, state.bg_load(link))
+        if load > bound + 1e-5:
+            problems.append(
+                f"link {link} load {load:.6f} exceeds bound "
+                f"{bound:.6f}")
+    return problems
+
+
+def validate_aggregation(state: NetworkState,
+                         result: AggregationResult) -> List[str]:
+    """Check a Section 6 result: coverage (Eq 14) and CommCost (Eq 13).
+
+    Classes counted at a node outside their path (the combined
+    formulation's DC counting) contribute ``D(node, aggregation
+    point)`` like any other location.
+    """
+    problems: List[str] = []
+    _check_fraction_bounds(result.process_fractions, "p", problems)
+    for cls in state.classes:
+        total = sum(result.process_fractions.get(cls.name, {}).values())
+        if abs(total - 1.0) > 1e-5:
+            problems.append(
+                f"class {cls.name!r} coverage {total:.6f} != 1")
+    comm = 0.0
+    for cls in state.classes:
+        for node, fraction in result.process_fractions.get(
+                cls.name, {}).items():
+            distance = state.routing.hop_count(node, cls.ingress)
+            comm += cls.num_sessions * fraction * cls.record_bytes * \
+                distance
+    if abs(comm - result.comm_cost) > max(1e-3, 1e-6 * abs(comm)):
+        problems.append(
+            f"CommCost recomputed {comm:.3f} != reported "
+            f"{result.comm_cost:.3f}")
+    return problems
+
+
+def validate_split(state: NetworkState,
+                   result: SplitTrafficResult) -> List[str]:
+    """Check a Section 5 result: Eqs (8)-(11)."""
+    problems: List[str] = []
+    _check_fraction_bounds(result.process_fractions, "p", problems)
+    _check_fraction_bounds(result.fwd_offloads, "ofwd", problems)
+    _check_fraction_bounds(result.rev_offloads, "orev", problems)
+
+    total_sessions = sum(cls.num_sessions for cls in state.classes)
+    missed = 0.0
+    for cls in state.classes:
+        local = sum(result.process_fractions.get(cls.name, {}).values())
+        cov_fwd = local + sum(
+            result.fwd_offloads.get(cls.name, {}).values())
+        cov_rev = local + sum(
+            result.rev_offloads.get(cls.name, {}).values())
+        effective = min(cov_fwd, cov_rev, 1.0)
+        reported = result.coverage.get(cls.name, 0.0)
+        if reported > effective + 1e-5:
+            problems.append(
+                f"class {cls.name!r} coverage {reported:.6f} exceeds "
+                f"min(fwd, rev, 1) = {effective:.6f}")
+        missed += (1.0 - effective) * cls.num_sessions
+    recomputed = missed / total_sessions if total_sessions else 0.0
+    if result.miss_rate > recomputed + 1e-5:
+        problems.append(
+            f"MissRate reported {result.miss_rate:.6f} above "
+            f"recomputed bound {recomputed:.6f}")
+    return problems

@@ -1,0 +1,87 @@
+"""Figure 18 — aggregation's compute/communication tradeoff over beta.
+
+Sweeps the communication-cost weight beta in the Section 6 objective
+and plots, per topology, normalized ``CommCost`` against normalized
+``LoadCost`` (each normalized by its maximum observed value over the
+sweep). The paper's shape: the curves bow toward the origin — for many
+topologies some beta attains both costs below ~40% of their maxima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import AggregationProblem
+from repro.experiments.common import (
+    evaluation_topologies,
+    format_table,
+    setup_topology,
+)
+
+
+@dataclass
+class Fig18Series:
+    """One topology's tradeoff curve."""
+
+    topology: str
+    betas: List[float]
+    load_costs: List[float]
+    comm_costs: List[float]
+
+    @property
+    def normalized_points(self) -> List[Tuple[float, float]]:
+        """(normalized load, normalized comm) per beta."""
+        max_load = max(self.load_costs) or 1.0
+        max_comm = max(self.comm_costs) or 1.0
+        return [(l / max_load, c / max_comm)
+                for l, c in zip(self.load_costs, self.comm_costs)]
+
+    def best_beta(self) -> float:
+        """Beta whose normalized point is closest to the origin (the
+        paper's per-topology pick for Figure 19)."""
+        distances = [l * l + c * c for l, c in self.normalized_points]
+        return self.betas[int(np.argmin(distances))]
+
+    def best_point(self) -> Tuple[float, float]:
+        points = self.normalized_points
+        distances = [l * l + c * c for l, c in points]
+        return points[int(np.argmin(distances))]
+
+
+def beta_sweep_values(base_beta: float,
+                      num_points: int = 9) -> List[float]:
+    """Log-spaced multipliers around the scale-matching beta."""
+    multipliers = np.logspace(-3, 3, num_points)
+    return [float(base_beta * m) for m in multipliers]
+
+
+def run_fig18(topologies: Optional[Sequence[str]] = None,
+              num_points: int = 9) -> List[Fig18Series]:
+    """Sweep beta per topology and record both cost terms."""
+    series = []
+    for name in topologies or evaluation_topologies():
+        setup = setup_topology(name)
+        base = AggregationProblem(setup.state).suggested_beta()
+        betas = beta_sweep_values(base, num_points)
+        loads, comms = [], []
+        for beta in betas:
+            result = AggregationProblem(setup.state, beta=beta).solve()
+            loads.append(result.load_cost)
+            comms.append(result.comm_cost)
+        series.append(Fig18Series(name, betas, loads, comms))
+    return series
+
+
+def format_fig18(series: Sequence[Fig18Series]) -> str:
+    rows = []
+    for s in series:
+        best_load, best_comm = s.best_point()
+        rows.append([s.topology, f"{s.best_beta():.3g}",
+                     f"{best_load:.3f}", f"{best_comm:.3f}"])
+    return format_table(
+        ["Topology", "best beta", "norm load @best", "norm comm @best"],
+        rows,
+        title="Figure 18: aggregation tradeoff (point nearest origin)")

@@ -1,0 +1,79 @@
+"""Figure 19 — load imbalance with vs without aggregation.
+
+Without aggregation, Scan detection is topologically constrained to
+each path's ingress (Section 2), so load concentrates at gateways and
+the max/average ratio is large. With aggregation at each topology's
+best beta (the Figure 18 point nearest the origin), the ratio drops —
+by up to ~2.7x in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.aggregation import AggregationProblem
+from repro.core.architectures import ingress_result
+from repro.experiments.common import (
+    evaluation_topologies,
+    format_table,
+    setup_topology,
+)
+from repro.experiments.fig18_beta import beta_sweep_values, Fig18Series
+
+
+@dataclass
+class Fig19Row:
+    """One topology's imbalance comparison."""
+
+    topology: str
+    imbalance_no_aggregation: float
+    imbalance_with_aggregation: float
+    best_beta: float
+
+    @property
+    def improvement(self) -> float:
+        if self.imbalance_with_aggregation == 0:
+            return float("inf")
+        return (self.imbalance_no_aggregation /
+                self.imbalance_with_aggregation)
+
+
+def run_fig19(topologies: Optional[Sequence[str]] = None,
+              num_beta_points: int = 9) -> List[Fig19Row]:
+    """Compute max/avg load ratios with and without aggregation."""
+    rows = []
+    for name in topologies or evaluation_topologies():
+        setup = setup_topology(name)
+        # Without aggregation: Scan must run entirely at each ingress.
+        baseline = ingress_result(setup.state)
+
+        base_beta = AggregationProblem(setup.state).suggested_beta()
+        betas = beta_sweep_values(base_beta, num_beta_points)
+        loads, comms, results = [], [], []
+        for beta in betas:
+            result = AggregationProblem(setup.state, beta=beta).solve()
+            loads.append(result.load_cost)
+            comms.append(result.comm_cost)
+            results.append(result)
+        series = Fig18Series(name, betas, loads, comms)
+        best_index = betas.index(series.best_beta())
+        best = results[best_index]
+
+        rows.append(Fig19Row(
+            topology=name,
+            imbalance_no_aggregation=baseline.load_imbalance(),
+            imbalance_with_aggregation=best.load_imbalance(),
+            best_beta=series.best_beta()))
+    return rows
+
+
+def format_fig19(rows: Sequence[Fig19Row]) -> str:
+    body = [[r.topology,
+             f"{r.imbalance_no_aggregation:.2f}",
+             f"{r.imbalance_with_aggregation:.2f}",
+             f"{r.improvement:.2f}x"] for r in rows]
+    return format_table(
+        ["Topology", "max/avg no-aggregation", "max/avg aggregation",
+         "improvement"],
+        body, title="Figure 19: load imbalance with/without aggregation")

@@ -1,0 +1,51 @@
+"""Linear-programming substrate used by all optimization formulations.
+
+The paper solves its formulations with an off-the-shelf solver (CPLEX).
+This package provides the equivalent substrate for the reproduction: a
+small modeling layer (variables, linear expressions, constraints, a
+model object) that compiles to sparse matrices and is solved with the
+HiGHS solver shipped inside :func:`scipy.optimize.linprog`.
+
+Typical usage::
+
+    from repro.lpsolve import Model
+
+    m = Model("example")
+    x = m.add_variable("x", lb=0.0, ub=1.0)
+    y = m.add_variable("y", lb=0.0)
+    m.add_constraint(x + 2 * y >= 1, name="cover")
+    m.minimize(3 * x + y)
+    sol = m.solve()
+    assert sol.is_optimal
+    print(sol.value(x), sol.objective_value)
+"""
+
+from repro.lpsolve.errors import (
+    InfeasibleError,
+    LPError,
+    ModelError,
+    UnboundedError,
+)
+from repro.lpsolve.expr import LinExpr, lin_sum
+from repro.lpsolve.variable import Variable
+from repro.lpsolve.constraint import Constraint, ConstraintSense
+from repro.lpsolve.model import Model
+from repro.lpsolve.solution import Solution, SolveStatus
+from repro.lpsolve.writer import lp_string, write_lp
+
+__all__ = [
+    "Constraint",
+    "ConstraintSense",
+    "InfeasibleError",
+    "LPError",
+    "LinExpr",
+    "Model",
+    "ModelError",
+    "Solution",
+    "SolveStatus",
+    "UnboundedError",
+    "Variable",
+    "lin_sum",
+    "lp_string",
+    "write_lp",
+]

@@ -1,0 +1,22 @@
+"""Exception hierarchy for the LP substrate."""
+
+
+class LPError(Exception):
+    """Base class for all errors raised by :mod:`repro.lpsolve`."""
+
+
+class ModelError(LPError):
+    """A model was built or used incorrectly.
+
+    Examples include adding a variable that belongs to a different
+    model, solving a model with no objective, or mixing variables from
+    two models in one expression.
+    """
+
+
+class InfeasibleError(LPError):
+    """The model has no feasible solution."""
+
+
+class UnboundedError(LPError):
+    """The objective can be improved without bound."""

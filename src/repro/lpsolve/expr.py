@@ -1,0 +1,155 @@
+"""Linear expressions over LP variables.
+
+A :class:`LinExpr` is an immutable-by-convention affine expression
+``sum(coeff_i * var_i) + constant``. Expressions support the natural
+arithmetic operators and comparison operators build constraints::
+
+    expr = 2 * x + y - 3
+    con = expr <= 10
+
+Coefficients are stored in a plain dict keyed by :class:`Variable`
+(variables hash by identity), which keeps expression arithmetic cheap
+for the moderately sized formulations in this project.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Dict, Iterable, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lpsolve.constraint import Constraint
+    from repro.lpsolve.variable import Variable
+
+Operand = Union["LinExpr", "Variable", float, int]
+
+
+def _as_expr(value: Operand) -> "LinExpr":
+    """Coerce a variable or number into a :class:`LinExpr`."""
+    from repro.lpsolve.variable import Variable
+
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return LinExpr({value: 1.0}, 0.0)
+    if isinstance(value, numbers.Real):
+        return LinExpr({}, float(value))
+    raise TypeError(f"cannot use {value!r} in a linear expression")
+
+
+class LinExpr:
+    """An affine expression ``sum(coeffs[v] * v) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Dict["Variable", float] = None,
+                 constant: float = 0.0):
+        self.coeffs: Dict["Variable", float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # -- introspection -------------------------------------------------
+
+    def variables(self) -> Iterable["Variable"]:
+        """The variables with a (possibly zero) stored coefficient."""
+        return self.coeffs.keys()
+
+    def coefficient(self, var: "Variable") -> float:
+        """Coefficient of ``var`` in this expression (0.0 if absent)."""
+        return self.coeffs.get(var, 0.0)
+
+    def is_constant(self) -> bool:
+        """True when no variable has a nonzero coefficient."""
+        return all(c == 0.0 for c in self.coeffs.values())
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: Operand) -> "LinExpr":
+        other = _as_expr(other)
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0.0) + coeff
+        return LinExpr(coeffs, self.constant + other.constant)
+
+    def __radd__(self, other: Operand) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: Operand) -> "LinExpr":
+        return self.__add__(_as_expr(other).__neg__())
+
+    def __rsub__(self, other: Operand) -> "LinExpr":
+        return _as_expr(other).__sub__(self)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self.coeffs.items()},
+                       -self.constant)
+
+    def __mul__(self, factor: float) -> "LinExpr":
+        if not isinstance(factor, numbers.Real):
+            raise TypeError("LP expressions only support scaling by a "
+                            f"number, got {factor!r}")
+        factor = float(factor)
+        return LinExpr({v: c * factor for v, c in self.coeffs.items()},
+                       self.constant * factor)
+
+    def __rmul__(self, factor: float) -> "LinExpr":
+        return self.__mul__(factor)
+
+    def __truediv__(self, divisor: float) -> "LinExpr":
+        if not isinstance(divisor, numbers.Real):
+            raise TypeError("LP expressions only support division by a "
+                            f"number, got {divisor!r}")
+        if divisor == 0:
+            raise ZeroDivisionError("division of LP expression by zero")
+        return self.__mul__(1.0 / float(divisor))
+
+    # -- constraint builders --------------------------------------------
+
+    def __le__(self, other: Operand) -> "Constraint":
+        from repro.lpsolve.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - _as_expr(other), ConstraintSense.LE)
+
+    def __ge__(self, other: Operand) -> "Constraint":
+        from repro.lpsolve.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - _as_expr(other), ConstraintSense.GE)
+
+    def __eq__(self, other: Operand):  # type: ignore[override]
+        from repro.lpsolve.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - _as_expr(other), ConstraintSense.EQ)
+
+    # Constraints are built through __eq__, so expressions must hash by
+    # identity to stay usable as dict keys.
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        terms = [f"{coeff:+g}*{var.name}"
+                 for var, coeff in self.coeffs.items() if coeff != 0.0]
+        if self.constant or not terms:
+            terms.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(terms) + ")"
+
+
+def lin_sum(operands: Iterable[Operand]) -> LinExpr:
+    """Sum an iterable of variables/expressions/numbers efficiently.
+
+    Unlike repeated ``+`` (which copies the accumulated dict each step),
+    this accumulates into one dict, so summing ``n`` terms is ``O(n)``.
+    """
+    from repro.lpsolve.variable import Variable
+
+    coeffs: Dict["Variable", float] = {}
+    constant = 0.0
+    for operand in operands:
+        if isinstance(operand, Variable):
+            coeffs[operand] = coeffs.get(operand, 0.0) + 1.0
+        elif isinstance(operand, LinExpr):
+            for var, coeff in operand.coeffs.items():
+                coeffs[var] = coeffs.get(var, 0.0) + coeff
+            constant += operand.constant
+        elif isinstance(operand, numbers.Real):
+            constant += float(operand)
+        else:
+            raise TypeError(f"cannot sum {operand!r} into an expression")
+    return LinExpr(coeffs, constant)

@@ -1,0 +1,278 @@
+"""The LP model: variable/constraint registry, compilation, solving.
+
+Compilation builds SciPy sparse matrices (``A_ub``, ``A_eq``) from the
+registered constraints and hands them to ``scipy.optimize.linprog`` with
+the HiGHS backend — the reproduction's stand-in for the paper's CPLEX.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.lpsolve.constraint import Constraint, ConstraintSense
+from repro.lpsolve.errors import (
+    InfeasibleError,
+    LPError,
+    ModelError,
+    UnboundedError,
+)
+from repro.lpsolve.expr import LinExpr, Operand, _as_expr
+from repro.lpsolve.solution import Solution, SolveStatus
+from repro.lpsolve.variable import Variable
+
+# linprog status codes (see scipy docs).
+_LINPROG_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,  # numerical difficulties
+}
+
+
+class Model:
+    """A linear program under construction.
+
+    The model owns its variables and constraints. Typical lifecycle::
+
+        m = Model("replication")
+        x = m.add_variable("x", lb=0, ub=1)
+        m.add_constraint(x >= 0.5)
+        m.minimize(x)
+        sol = m.solve()
+    """
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._variables: List[Variable] = []
+        self._constraints: List[Constraint] = []
+        self._objective: Optional[LinExpr] = None
+        self._sense = 1.0  # +1 minimize, -1 maximize
+        self._names_seen: Dict[str, int] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Number of registered variables (columns)."""
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of registered constraints (rows)."""
+        return len(self._constraints)
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        """All registered variables in creation order."""
+        return tuple(self._variables)
+
+    @property
+    def constraints(self) -> Sequence[Constraint]:
+        """All registered constraints in insertion order."""
+        return tuple(self._constraints)
+
+    def add_variable(self, name: str, lb: float = 0.0,
+                     ub: Optional[float] = None) -> Variable:
+        """Create and register a continuous variable.
+
+        Args:
+            name: human-readable label; deduplicated if reused.
+            lb: lower bound (default 0, matching the paper's fractions).
+            ub: upper bound, or ``None`` for unbounded above.
+        """
+        count = self._names_seen.get(name)
+        if count is not None:
+            self._names_seen[name] = count + 1
+            name = f"{name}#{count + 1}"
+        else:
+            self._names_seen[name] = 0
+        var = Variable(self, len(self._variables), name, lb=lb, ub=ub)
+        self._variables.append(var)
+        return var
+
+    def add_variables(self, names: Iterable[str], lb: float = 0.0,
+                      ub: Optional[float] = None) -> List[Variable]:
+        """Vector form of :meth:`add_variable`."""
+        return [self.add_variable(n, lb=lb, ub=ub) for n in names]
+
+    def add_constraint(self, constraint: Constraint,
+                       name: Optional[str] = None) -> Constraint:
+        """Register a constraint built via expression comparisons."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constraint expects a Constraint (build one with "
+                "<=, >= or == on expressions); a plain bool usually "
+                "means a comparison between two numbers")
+        self._check_ownership(constraint.expr)
+        if constraint.expr.is_constant():
+            # A constraint with no variables is either a tautology (we
+            # drop it silently) or an immediate contradiction (better
+            # reported at build time than as solver infeasibility).
+            if constraint.violation({}) > 1e-9:
+                raise ModelError(
+                    f"constant constraint {constraint!r} is "
+                    "trivially infeasible")
+            return constraint
+        if name is not None:
+            constraint.name = name
+        elif constraint.name is None:
+            constraint.name = f"c{len(self._constraints)}"
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint],
+                        prefix: str = "c") -> List[Constraint]:
+        """Register several constraints, naming them ``prefix[i]``."""
+        added = []
+        for i, con in enumerate(constraints):
+            added.append(self.add_constraint(con, name=f"{prefix}[{i}]"))
+        return added
+
+    def minimize(self, objective: Operand) -> None:
+        """Set a minimization objective."""
+        self._objective = _as_expr(objective)
+        self._check_ownership(self._objective)
+        self._sense = 1.0
+
+    def maximize(self, objective: Operand) -> None:
+        """Set a maximization objective."""
+        self._objective = _as_expr(objective)
+        self._check_ownership(self._objective)
+        self._sense = -1.0
+
+    def _check_ownership(self, expr: LinExpr) -> None:
+        for var in expr.coeffs:
+            if var.model is not self:
+                raise ModelError(
+                    f"variable {var.name!r} belongs to model "
+                    f"{var.model.name!r}, not {self.name!r}")
+
+    # -- compilation and solving ------------------------------------------
+
+    def _compile(self):
+        """Build (c, A_ub, b_ub, A_eq, b_eq, bounds) for linprog."""
+        n = len(self._variables)
+        c = np.zeros(n)
+        for var, coeff in self._objective.coeffs.items():
+            c[var.index] += coeff
+        c *= self._sense
+
+        ub_rows, ub_cols, ub_data, b_ub = [], [], [], []
+        eq_rows, eq_cols, eq_data, b_eq = [], [], [], []
+        self._ub_row_constraints = []  # (constraint, sign) per row
+        self._eq_row_constraints = []
+        for con in self._constraints:
+            if con.sense is ConstraintSense.EQ:
+                row = len(b_eq)
+                for var, coeff in con.expr.coeffs.items():
+                    if coeff != 0.0:
+                        eq_rows.append(row)
+                        eq_cols.append(var.index)
+                        eq_data.append(coeff)
+                b_eq.append(con.rhs)
+                self._eq_row_constraints.append(con)
+            else:
+                # GE rows are negated into <= form.
+                sign = 1.0 if con.sense is ConstraintSense.LE else -1.0
+                row = len(b_ub)
+                for var, coeff in con.expr.coeffs.items():
+                    if coeff != 0.0:
+                        ub_rows.append(row)
+                        ub_cols.append(var.index)
+                        ub_data.append(sign * coeff)
+                b_ub.append(sign * con.rhs)
+                self._ub_row_constraints.append((con, sign))
+
+        a_ub = a_eq = None
+        if b_ub:
+            a_ub = sparse.csr_matrix(
+                (ub_data, (ub_rows, ub_cols)), shape=(len(b_ub), n))
+        if b_eq:
+            a_eq = sparse.csr_matrix(
+                (eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), n))
+        bounds = [(v.lb, v.ub) for v in self._variables]
+        return c, a_ub, np.asarray(b_ub), a_eq, np.asarray(b_eq), bounds
+
+    def _extract_duals(self, result) -> Dict[str, float]:
+        """Shadow prices per named constraint from HiGHS marginals.
+
+        Marginals are reported for the compiled (minimize, <=) form;
+        signs are mapped back to each constraint's original sense and
+        the model's min/max sense so that ``dual`` is always
+        d(objective)/d(rhs).
+        """
+        duals: Dict[str, float] = {}
+        ineq = getattr(result, "ineqlin", None)
+        if ineq is not None and getattr(ineq, "marginals", None) is not None:
+            for (con, sign), marginal in zip(self._ub_row_constraints,
+                                             ineq.marginals):
+                duals[con.name] = float(marginal) * sign * self._sense
+        eq = getattr(result, "eqlin", None)
+        if eq is not None and getattr(eq, "marginals", None) is not None:
+            for con, marginal in zip(self._eq_row_constraints,
+                                     eq.marginals):
+                duals[con.name] = float(marginal) * self._sense
+        return duals
+
+    def solve(self, check: bool = True) -> Solution:
+        """Solve the model with HiGHS.
+
+        Args:
+            check: when True (default), raise :class:`InfeasibleError`
+                or :class:`UnboundedError` instead of returning a
+                failed solution.
+
+        Returns:
+            A :class:`Solution`; inspect :attr:`Solution.status` when
+            ``check=False``.
+        """
+        if self._objective is None:
+            raise ModelError(f"model {self.name!r} has no objective")
+        if not self._variables:
+            raise ModelError(f"model {self.name!r} has no variables")
+
+        c, a_ub, b_ub, a_eq, b_eq, bounds = self._compile()
+        start = time.perf_counter()
+        result = linprog(
+            c,
+            A_ub=a_ub, b_ub=b_ub if a_ub is not None else None,
+            A_eq=a_eq, b_eq=b_eq if a_eq is not None else None,
+            bounds=bounds, method="highs")
+        elapsed = time.perf_counter() - start
+
+        status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
+        duals = {}
+        if status is SolveStatus.OPTIMAL:
+            objective = float(result.fun) * self._sense
+            values = np.asarray(result.x, dtype=float)
+            duals = self._extract_duals(result)
+        else:
+            objective = float("nan")
+            values = np.full(len(self._variables), np.nan)
+
+        solution = Solution(
+            status=status, values=values, objective_value=objective,
+            solve_seconds=elapsed,
+            iterations=int(getattr(result, "nit", 0) or 0),
+            variables=self._variables, duals=duals)
+
+        if check and status is not SolveStatus.OPTIMAL:
+            message = getattr(result, "message", "")
+            if status is SolveStatus.INFEASIBLE:
+                raise InfeasibleError(
+                    f"model {self.name!r} is infeasible: {message}")
+            if status is SolveStatus.UNBOUNDED:
+                raise UnboundedError(
+                    f"model {self.name!r} is unbounded: {message}")
+            raise LPError(f"model {self.name!r} failed to solve: {message}")
+        return solution
+
+    def __repr__(self) -> str:
+        return (f"Model({self.name!r}, vars={self.num_variables}, "
+                f"constraints={self.num_constraints})")

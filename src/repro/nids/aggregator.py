@@ -1,0 +1,157 @@
+"""Report aggregation for distributed Scan detection (Sections 6, 7.3).
+
+Each on-path node runs a :class:`~repro.nids.scan.ScanDetector` on its
+assigned share of the traffic and ships an intermediate report to the
+aggregation point. The aggregator combines the reports per the chosen
+split strategy and applies the alert threshold ``k`` *only here* —
+individual NIDS report everything (local threshold 0), because a
+per-node count below ``k`` may still aggregate above it (Section 7.3).
+
+The three strategies of Figure 8 differ in correctness and cost:
+
+- ``FLOW_LEVEL`` — sessions split arbitrarily; adding per-source
+  counters would over-count a destination reached via flows at
+  different nodes, so nodes must report full (src, dst) tuples and the
+  aggregator unions them. Correct, but the largest reports.
+- ``DESTINATION_LEVEL`` — each node owns a destination partition; sets
+  are disjoint so counts add. Correct; report rows ~ #sources per node.
+- ``SOURCE_LEVEL`` — each node owns a source partition; each source's
+  destinations are counted entirely at one node per path, so per-source
+  counts add across *paths*. Correct and the cheapest — the paper's
+  choice.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.nids.reports import (
+    DestinationSetReport,
+    FlowTupleReport,
+    SourceCountReport,
+)
+
+
+class SplitStrategy(enum.Enum):
+    """Figure 8's three ways of splitting Scan detection."""
+
+    FLOW_LEVEL = "flow"
+    DESTINATION_LEVEL = "destination"
+    SOURCE_LEVEL = "source"
+
+
+def aggregate_reports(strategy: SplitStrategy,
+                      reports: Sequence) -> Dict[int, int]:
+    """Combine intermediate reports into per-source distinct-destination
+    counts, per the strategy's semantics.
+
+    Args:
+        strategy: which split produced the reports.
+        reports: report records matching the strategy
+            (:class:`FlowTupleReport`, :class:`DestinationSetReport`,
+            or :class:`SourceCountReport`).
+
+    Returns:
+        Mapping source -> distinct destination count.
+    """
+    if strategy is SplitStrategy.FLOW_LEVEL:
+        union: Set[Tuple[int, int]] = set()
+        for report in reports:
+            if not isinstance(report, FlowTupleReport):
+                raise TypeError("flow-level aggregation needs "
+                                "FlowTupleReport records")
+            union |= report.tuples
+        counts: Dict[int, Set[int]] = {}
+        for src, dst in union:
+            counts.setdefault(src, set()).add(dst)
+        return {src: len(dsts) for src, dsts in counts.items()}
+
+    if strategy is SplitStrategy.DESTINATION_LEVEL:
+        totals: Dict[int, int] = {}
+        for report in reports:
+            if not isinstance(report, DestinationSetReport):
+                raise TypeError("destination-level aggregation needs "
+                                "DestinationSetReport records")
+            for src, dsts in report.destinations.items():
+                totals[src] = totals.get(src, 0) + len(dsts)
+        return totals
+
+    if strategy is SplitStrategy.SOURCE_LEVEL:
+        totals = {}
+        for report in reports:
+            if not isinstance(report, SourceCountReport):
+                raise TypeError("source-level aggregation needs "
+                                "SourceCountReport records")
+            for src, count in report.counts.items():
+                totals[src] = totals.get(src, 0) + count
+        return totals
+
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def report_cost_record_hops(reports: Sequence,
+                            hop_distance: Dict[str, int]
+                            ) -> Tuple[float, float]:
+    """Communication cost of shipping reports to the aggregator.
+
+    Args:
+        reports: the intermediate reports.
+        hop_distance: hops from each reporting node to the aggregation
+            point.
+
+    Returns:
+        ``(record_hops, byte_hops)`` — the paper's Figure 8 example
+        counts record-hops ("12 units" / "6 units"); Section 3 defines
+        the general byte-hop footprint.
+    """
+    record_hops = 0.0
+    byte_hops = 0.0
+    for report in reports:
+        hops = hop_distance[report.node]
+        record_hops += report.record_count * hops
+        byte_hops += report.record_bytes * hops
+    return record_hops, byte_hops
+
+
+class ScanAggregator:
+    """The aggregation point for one gateway's Scan detection.
+
+    Args:
+        threshold: the real alert threshold ``k`` — sources contacting
+            more than ``k`` distinct destinations are flagged.
+        strategy: split strategy the reporting nodes use.
+    """
+
+    def __init__(self, threshold: int,
+                 strategy: SplitStrategy = SplitStrategy.SOURCE_LEVEL):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.strategy = strategy
+        self._reports: List = []
+
+    def submit(self, report) -> None:
+        """Receive one node's intermediate report."""
+        self._reports.append(report)
+
+    def submit_all(self, reports: Iterable) -> None:
+        for report in reports:
+            self.submit(report)
+
+    @property
+    def num_reports(self) -> int:
+        return len(self._reports)
+
+    def combined_counts(self) -> Dict[int, int]:
+        """Aggregate per-source distinct-destination counts."""
+        return aggregate_reports(self.strategy, self._reports)
+
+    def alerts(self) -> List[int]:
+        """Sources exceeding the threshold (the final analysis result,
+        semantically equivalent to a centralized scan detector)."""
+        return sorted(src for src, count in self.combined_counts().items()
+                      if count > self.threshold)
+
+    def reset(self) -> None:
+        self._reports = []

@@ -1,0 +1,128 @@
+"""Wire encoding for intermediate reports (Section 6, footnote 6).
+
+The communication cost depends on "how these reports are encoded,
+e.g., key-value pairs for a source-split". This module provides the
+concrete binary encodings behind the nominal record sizes in
+:mod:`repro.nids.reports`: fixed-width big-endian records with a small
+header, so reports can actually be shipped between shim and aggregator
+and the byte-hop accounting can be checked against real encoded sizes.
+
+Layout (all integers big-endian):
+
+    header:  magic ``b"NR"`` | type (1 byte) | node-name length (2) |
+             record count (4) | node name (utf-8)
+    source-count record:      src (8) | count (8)          -> 16 B
+    flow-tuple record:        src (8) | dst (8)            -> 16 B
+    destination-set record:   src (8) | set size (4) | dsts (8 each)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.nids.reports import (
+    DestinationSetReport,
+    FlowTupleReport,
+    SourceCountReport,
+)
+
+_MAGIC = b"NR"
+_HEADER = struct.Struct(">2sBHI")
+_PAIR = struct.Struct(">QQ")
+_SET_HEAD = struct.Struct(">QI")
+_ADDR = struct.Struct(">Q")
+
+_TYPE_SOURCE_COUNT = 1
+_TYPE_FLOW_TUPLE = 2
+_TYPE_DESTINATION_SET = 3
+
+Report = Union[SourceCountReport, FlowTupleReport, DestinationSetReport]
+
+
+class ReportDecodeError(ValueError):
+    """The byte string is not a valid encoded report."""
+
+
+def encode_report(report: Report) -> bytes:
+    """Serialize a report to its wire format."""
+    name = report.node.encode("utf-8")
+    if isinstance(report, SourceCountReport):
+        body = b"".join(_PAIR.pack(src, count)
+                        for src, count in sorted(report.counts.items()))
+        header = _HEADER.pack(_MAGIC, _TYPE_SOURCE_COUNT, len(name),
+                              len(report.counts))
+    elif isinstance(report, FlowTupleReport):
+        body = b"".join(_PAIR.pack(src, dst)
+                        for src, dst in sorted(report.tuples))
+        header = _HEADER.pack(_MAGIC, _TYPE_FLOW_TUPLE, len(name),
+                              len(report.tuples))
+    elif isinstance(report, DestinationSetReport):
+        chunks = []
+        for src, dsts in sorted(report.destinations.items()):
+            chunks.append(_SET_HEAD.pack(src, len(dsts)))
+            chunks.extend(_ADDR.pack(dst) for dst in sorted(dsts))
+        body = b"".join(chunks)
+        header = _HEADER.pack(_MAGIC, _TYPE_DESTINATION_SET, len(name),
+                              len(report.destinations))
+    else:
+        raise TypeError(f"cannot encode {type(report).__name__}")
+    return header + name + body
+
+
+def decode_report(data: bytes) -> Report:
+    """Parse a wire-format report back into its record object."""
+    if len(data) < _HEADER.size:
+        raise ReportDecodeError("truncated header")
+    magic, rtype, name_len, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ReportDecodeError(f"bad magic {magic!r}")
+    offset = _HEADER.size
+    if len(data) < offset + name_len:
+        raise ReportDecodeError("truncated node name")
+    node = data[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+
+    if rtype == _TYPE_SOURCE_COUNT:
+        counts = {}
+        for _ in range(count):
+            if len(data) < offset + _PAIR.size:
+                raise ReportDecodeError("truncated source-count record")
+            src, value = _PAIR.unpack_from(data, offset)
+            offset += _PAIR.size
+            counts[src] = value
+        return SourceCountReport(node=node, counts=counts)
+
+    if rtype == _TYPE_FLOW_TUPLE:
+        tuples = set()
+        for _ in range(count):
+            if len(data) < offset + _PAIR.size:
+                raise ReportDecodeError("truncated flow-tuple record")
+            src, dst = _PAIR.unpack_from(data, offset)
+            offset += _PAIR.size
+            tuples.add((src, dst))
+        return FlowTupleReport(node=node, tuples=frozenset(tuples))
+
+    if rtype == _TYPE_DESTINATION_SET:
+        destinations = {}
+        for _ in range(count):
+            if len(data) < offset + _SET_HEAD.size:
+                raise ReportDecodeError("truncated set header")
+            src, size = _SET_HEAD.unpack_from(data, offset)
+            offset += _SET_HEAD.size
+            dsts = set()
+            for _ in range(size):
+                if len(data) < offset + _ADDR.size:
+                    raise ReportDecodeError("truncated destination")
+                (dst,) = _ADDR.unpack_from(data, offset)
+                offset += _ADDR.size
+                dsts.add(dst)
+            destinations[src] = frozenset(dsts)
+        return DestinationSetReport(node=node, destinations=destinations)
+
+    raise ReportDecodeError(f"unknown report type {rtype}")
+
+
+def encoded_size(report: Report) -> int:
+    """Exact wire size in bytes (header + name + records)."""
+    return len(encode_report(report))

@@ -1,0 +1,70 @@
+"""Flood/DoS detection via per-destination aggregation.
+
+Section 6: "The high-level approach described here can also be
+extended to other types of analysis amenable to such aggregation
+(e.g., DoS or flood detection)." Flood detection is the mirror image
+of Scan detection — count the distinct *sources* contacting each
+*destination* — so the natural work split is per-destination
+(the shim's ``HashMode.DESTINATION``), and intermediate per-destination
+counts add across nodes exactly like per-source scan counts do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.nids.engine import NIDSEngine
+from repro.nids.reports import SourceCountReport
+
+
+class FloodDetector(NIDSEngine):
+    """Distinct-source counter per destination (DDoS flagging).
+
+    Args:
+        threshold: destinations contacted by more than this many
+            distinct sources are flagged locally; as with Scan
+            detection, distributed deployments set this to 0 and apply
+            the real threshold at the aggregator (Section 7.3).
+    """
+
+    def __init__(self, threshold: int = 0,
+                 per_session_cost: float = 10.0,
+                 per_byte_cost: float = 0.0):
+        super().__init__(per_session_cost, per_byte_cost)
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self._sources: Dict[int, Set[int]] = {}
+
+    def observe_flow(self, src_ip: int, dst_ip: int,
+                     flow_key=None) -> None:
+        """Record one flow toward ``dst_ip``."""
+        key = flow_key if flow_key is not None else (src_ip, dst_ip)
+        self._charge(key, 0.0)
+        self._sources.setdefault(dst_ip, set()).add(src_ip)
+
+    def source_count(self, dst_ip: int) -> int:
+        """Distinct sources seen contacting a destination."""
+        return len(self._sources.get(dst_ip, ()))
+
+    def flagged_destinations(self) -> List[int]:
+        """Destinations whose local count exceeds the threshold."""
+        return sorted(dst for dst, sources in self._sources.items()
+                      if len(sources) > self.threshold)
+
+    def destination_count_report(self, node: str) -> SourceCountReport:
+        """Per-destination distinct-source counts.
+
+        Correct to sum across nodes only under a per-destination split
+        (each destination owned by one node per path) — the exact dual
+        of the scan detector's source-level report. Reuses the
+        key-value record shape (and hence record-size accounting).
+        """
+        return SourceCountReport(
+            node=node,
+            counts={dst: len(sources)
+                    for dst, sources in self._sources.items()})
+
+    def reset(self) -> None:
+        super().reset()
+        self._sources = {}

@@ -1,0 +1,120 @@
+"""Offline resource-footprint estimation (Section 3, input 2).
+
+The optimizations need per-class per-session footprints ``F_c^r``. The
+paper: "these values ... can be obtained either via NIDS vendors'
+datasheets or estimated using offline benchmarks [Dreger et al.,
+SIGMETRICS'08]", and "our approach can provide significant benefits
+even with approximate estimates".
+
+This module is that offline benchmark: run an engine over a sample
+trace, record (sessions, bytes, work) observations, and fit the
+two-coefficient cost model ``work = a * sessions + b * bytes`` by least
+squares. :func:`apply_cost_model` then derives each class's
+``F_c = a + b * Size_c`` so profiled numbers flow straight into the
+formulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.packets import Session
+from repro.traffic.classes import TrafficClass
+
+Observation = Tuple[float, float, float]  # (sessions, bytes, work)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Fitted engine cost: work = per_session * S + per_byte * B."""
+
+    per_session: float
+    per_byte: float
+    residual: float = 0.0  # RMS fit error, for sanity checks
+
+    def footprint(self, session_bytes: float) -> float:
+        """Expected work units for one session of a given size."""
+        return self.per_session + self.per_byte * session_bytes
+
+    def predict(self, sessions: float, total_bytes: float) -> float:
+        return self.per_session * sessions + self.per_byte * total_bytes
+
+
+def fit_cost_model(observations: Sequence[Observation]) -> CostModel:
+    """Least-squares fit of the two-coefficient cost model.
+
+    Args:
+        observations: (session count, payload bytes, measured work)
+            triples from benchmark batches; at least two linearly
+            independent batches are needed.
+    """
+    if len(observations) < 2:
+        raise ValueError("need at least two benchmark observations")
+    matrix = np.array([[s, b] for s, b, _ in observations], dtype=float)
+    target = np.array([w for _, _, w in observations], dtype=float)
+    if np.linalg.matrix_rank(matrix) < 2:
+        raise ValueError(
+            "benchmark batches are degenerate (vary the mix of session "
+            "count and bytes across batches)")
+    coeffs, _, _, _ = np.linalg.lstsq(matrix, target, rcond=None)
+    residual = float(np.sqrt(np.mean(
+        (matrix @ coeffs - target) ** 2)))
+    per_session = max(0.0, float(coeffs[0]))
+    per_byte = max(0.0, float(coeffs[1]))
+    return CostModel(per_session, per_byte, residual)
+
+
+def profile_engine(engine_factory: Callable[[], object],
+                   batches: Sequence[Sequence[Session]],
+                   inspect=None) -> CostModel:
+    """Benchmark an engine over session batches and fit its cost model.
+
+    Args:
+        engine_factory: builds a fresh engine per batch (so state does
+            not leak across observations).
+        batches: lists of :class:`Session` objects to replay.
+        inspect: callable ``(engine, session, packet)`` feeding one
+            packet to the engine; defaults to SignatureEngine-style
+            ``engine.inspect(session.five_tuple, packet.payload)``.
+    """
+    if inspect is None:
+        def inspect(engine, session, packet):
+            engine.inspect(session.five_tuple, packet.payload)
+
+    observations: List[Observation] = []
+    for batch in batches:
+        engine = engine_factory()
+        total_bytes = 0.0
+        for session in batch:
+            for packet in session.packets:
+                inspect(engine, session, packet)
+                total_bytes += len(packet.payload)
+        observations.append((float(len(batch)), total_bytes,
+                             engine.stats.work_units))
+    return fit_cost_model(observations)
+
+
+def apply_cost_model(classes: Sequence[TrafficClass], model: CostModel,
+                     resource: str = "cpu",
+                     payload_fraction: float = 1.0
+                     ) -> List[TrafficClass]:
+    """Derive per-class footprints from a fitted cost model.
+
+    Args:
+        classes: classes whose ``F_c^{resource}`` should be replaced.
+        model: the profiled cost model.
+        payload_fraction: fraction of ``session_bytes`` that is
+            payload the engine actually inspects (headers excluded).
+    """
+    if not 0.0 <= payload_fraction <= 1.0:
+        raise ValueError("payload_fraction must be in [0, 1]")
+    updated = []
+    for cls in classes:
+        footprints = dict(cls.footprints)
+        footprints[resource] = model.footprint(
+            cls.session_bytes * payload_fraction)
+        updated.append(replace(cls, footprints=footprints))
+    return updated

@@ -1,0 +1,70 @@
+"""Intermediate report records exchanged between NIDS and aggregators.
+
+Three record shapes correspond to the three split granularities of
+Figure 8. Their ``record_count``/``record_bytes`` drive the
+communication-cost accounting (byte-hops, Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+# Nominal encoded sizes (bytes) per record row.
+SOURCE_COUNT_RECORD_BYTES = 16.0      # (src, count) key-value pair
+FLOW_TUPLE_RECORD_BYTES = 16.0        # (src, dst) pair
+DESTINATION_SET_ENTRY_BYTES = 8.0     # one destination in a set
+DESTINATION_SET_KEY_BYTES = 8.0       # the per-source key
+
+
+@dataclass(frozen=True)
+class SourceCountReport:
+    """Source-level split: one (src, #distinct destinations) row per
+    source. Safe to sum across nodes when sources are partitioned."""
+
+    node: str
+    counts: Dict[int, int]
+
+    @property
+    def record_count(self) -> int:
+        return len(self.counts)
+
+    @property
+    def record_bytes(self) -> float:
+        return self.record_count * SOURCE_COUNT_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class FlowTupleReport:
+    """Flow-level split: the full set of (src, dst) tuples, so the
+    aggregator can union away duplicate pairs across nodes."""
+
+    node: str
+    tuples: FrozenSet[Tuple[int, int]]
+
+    @property
+    def record_count(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def record_bytes(self) -> float:
+        return self.record_count * FLOW_TUPLE_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class DestinationSetReport:
+    """Destination-level split: per-source destination sets (each node
+    owns a destination partition, so sets are disjoint across nodes and
+    counts may be summed)."""
+
+    node: str
+    destinations: Dict[int, FrozenSet[int]]
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(dsts) for dsts in self.destinations.values())
+
+    @property
+    def record_bytes(self) -> float:
+        return (len(self.destinations) * DESTINATION_SET_KEY_BYTES +
+                self.record_count * DESTINATION_SET_ENTRY_BYTES)

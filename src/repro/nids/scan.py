@@ -1,0 +1,99 @@
+"""Scan detection: per-source distinct-destination counting.
+
+The paper's ``Scan`` module "counts the number of distinct destination
+IP addresses to which a given source has initiated a connection in the
+previous measurement epoch" (Section 6). Centralized, it must run where
+*all* of a host's traffic is visible (the ingress gateway); aggregated,
+each node counts its assigned share of sources and reports
+intermediate results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.nids.engine import NIDSEngine
+from repro.nids.reports import (
+    DestinationSetReport,
+    FlowTupleReport,
+    SourceCountReport,
+)
+
+
+class ScanDetector(NIDSEngine):
+    """Distinct-destination counter with a configurable local threshold.
+
+    Args:
+        threshold: sources contacting more than this many distinct
+            destinations are flagged *locally*. Under aggregation the
+            paper configures each individual NIDS with threshold 0 and
+            applies the real threshold ``k`` only at the aggregator
+            (Section 7.3), because a per-node count may be under ``k``
+            while the aggregate exceeds it.
+        per_session_cost / per_byte_cost: work-unit cost model; scan
+            detection is flow-level, so the per-byte cost defaults to 0.
+    """
+
+    def __init__(self, threshold: int = 0,
+                 per_session_cost: float = 10.0,
+                 per_byte_cost: float = 0.0):
+        super().__init__(per_session_cost, per_byte_cost)
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self._destinations: Dict[int, Set[int]] = {}
+        self._flows: Set[tuple] = set()
+
+    def observe_flow(self, src_ip: int, dst_ip: int,
+                     flow_key=None) -> None:
+        """Record one observed flow (or connection attempt).
+
+        Args:
+            src_ip: source address (the scanned-for entity).
+            dst_ip: destination address.
+            flow_key: optional distinct-flow identifier; repeated calls
+                with the same key charge no extra session cost.
+        """
+        key = flow_key if flow_key is not None else (src_ip, dst_ip)
+        self._charge(key, 0.0)
+        self._destinations.setdefault(src_ip, set()).add(dst_ip)
+        self._flows.add((src_ip, dst_ip))
+
+    def destination_count(self, src_ip: int) -> int:
+        """Distinct destinations contacted by a source so far."""
+        return len(self._destinations.get(src_ip, ()))
+
+    def flagged_sources(self) -> List[int]:
+        """Sources whose local count exceeds the local threshold."""
+        return sorted(src for src, dsts in self._destinations.items()
+                      if len(dsts) > self.threshold)
+
+    # -- intermediate reports (the three Figure 8 granularities) --------
+
+    def source_count_report(self, node: str) -> SourceCountReport:
+        """Per-source distinct-destination counts (source-level split).
+
+        Correct to add across nodes only when sources were partitioned
+        across nodes — the source-level split guarantees that.
+        """
+        return SourceCountReport(
+            node=node,
+            counts={src: len(dsts)
+                    for src, dsts in self._destinations.items()})
+
+    def destination_set_report(self, node: str) -> DestinationSetReport:
+        """Full per-source destination sets (needed by a flow-level
+        split to avoid double counting; larger records)."""
+        return DestinationSetReport(
+            node=node,
+            destinations={src: frozenset(dsts)
+                          for src, dsts in self._destinations.items()})
+
+    def flow_tuple_report(self, node: str) -> FlowTupleReport:
+        """Raw (src, dst) tuples (flow-level split's safe report)."""
+        return FlowTupleReport(node=node, tuples=frozenset(self._flows))
+
+    def reset(self) -> None:
+        super().reset()
+        self._destinations = {}
+        self._flows = set()

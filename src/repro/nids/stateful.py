@@ -1,0 +1,67 @@
+"""Stateful session analysis needing both traffic directions.
+
+Section 5's motivating analysis: e.g., matching a request with its
+response, or stepping-stone correlation. The analysis is only
+*effective* for a session when the analyzing location observes both the
+forward and the reverse flow; a session where only one side was seen is
+a detection miss (the quantity Figure 16 plots).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.nids.engine import NIDSEngine
+
+
+class StatefulSessionAnalyzer(NIDSEngine):
+    """Tracks which directions of each session this location has seen.
+
+    Feed it every packet delivered to the local NIDS process (including
+    replicated-in packets); afterwards query coverage.
+    """
+
+    def __init__(self, per_session_cost: float = 50.0,
+                 per_byte_cost: float = 0.5):
+        super().__init__(per_session_cost, per_byte_cost)
+        self._directions: Dict[object, Set[str]] = {}
+
+    def observe(self, session_key, direction: str,
+                payload_bytes: float = 0.0) -> None:
+        """Record one packet of ``session_key`` in ``direction``.
+
+        Args:
+            session_key: any hashable session identifier; both
+                directions must present the same key (use the canonical
+                5-tuple).
+            direction: ``"fwd"`` or ``"rev"``.
+        """
+        if direction not in ("fwd", "rev"):
+            raise ValueError(f"bad direction {direction!r}")
+        self._charge(session_key, payload_bytes)
+        self._directions.setdefault(session_key, set()).add(direction)
+
+    def is_covered(self, session_key) -> bool:
+        """True when both directions of the session were observed."""
+        return self._directions.get(session_key) == {"fwd", "rev"}
+
+    @property
+    def sessions_covered(self) -> int:
+        """Sessions with both directions observed here."""
+        return sum(1 for dirs in self._directions.values()
+                   if dirs == {"fwd", "rev"})
+
+    @property
+    def sessions_partial(self) -> int:
+        """Sessions where only one direction was observed."""
+        return sum(1 for dirs in self._directions.values()
+                   if len(dirs) == 1)
+
+    def covered_sessions(self) -> Set[object]:
+        """The set of fully covered session keys."""
+        return {key for key, dirs in self._directions.items()
+                if dirs == {"fwd", "rev"}}
+
+    def reset(self) -> None:
+        super().reset()
+        self._directions = {}

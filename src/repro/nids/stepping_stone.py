@@ -1,0 +1,137 @@
+"""Stepping-stone detection (Figure 4's second motivating analysis).
+
+An attacker relays through an intermediate host: an inbound connection
+into the stone and a correlated outbound connection to the victim.
+Detection (Zhang & Paxson, USENIX Security'00) correlates flow pairs —
+which requires *both* flows to be observed at one location. When the
+two stages traverse non-intersecting paths (Figure 4), replication to
+a common location is the only way to run this analysis; this module
+provides the detector the replicated traffic feeds.
+
+The correlation here is the classic timing heuristic simplified to
+flow records: an inbound flow into host ``h`` and an outbound flow
+from ``h`` are a stepping-stone candidate when their active intervals
+overlap and their durations are similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.nids.engine import NIDSEngine
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One observed flow with timing."""
+
+    src_ip: int
+    dst_ip: int
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError("flow ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "FlowRecord") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class StoneCandidate:
+    """A correlated inbound/outbound pair through one host."""
+
+    stone_ip: int
+    inbound: FlowRecord
+    outbound: FlowRecord
+
+
+class SteppingStoneDetector(NIDSEngine):
+    """Correlates inbound and outbound flows per potential stone.
+
+    Args:
+        duration_tolerance: relative duration mismatch allowed between
+            the two stages (relayed sessions have similar lifetimes).
+        min_duration: ignore very short flows (interactive relay
+            sessions are long-lived; this suppresses noise).
+    """
+
+    def __init__(self, duration_tolerance: float = 0.25,
+                 min_duration: float = 1.0,
+                 per_session_cost: float = 20.0):
+        super().__init__(per_session_cost, per_byte_cost=0.0)
+        if not 0.0 <= duration_tolerance <= 1.0:
+            raise ValueError("duration_tolerance must be in [0, 1]")
+        if min_duration < 0:
+            raise ValueError("min_duration must be non-negative")
+        self.duration_tolerance = duration_tolerance
+        self.min_duration = min_duration
+        self._inbound: Dict[int, List[FlowRecord]] = {}
+        self._outbound: Dict[int, List[FlowRecord]] = {}
+
+    def observe_flow(self, record: FlowRecord) -> None:
+        """Index one flow by both of its endpoints."""
+        self._charge((record.src_ip, record.dst_ip, record.start), 0.0)
+        self._inbound.setdefault(record.dst_ip, []).append(record)
+        self._outbound.setdefault(record.src_ip, []).append(record)
+
+    def _correlated(self, inbound: FlowRecord,
+                    outbound: FlowRecord) -> bool:
+        if inbound.duration < self.min_duration or \
+                outbound.duration < self.min_duration:
+            return False
+        if not inbound.overlaps(outbound):
+            return False
+        longer = max(inbound.duration, outbound.duration)
+        if longer == 0:
+            return False
+        mismatch = abs(inbound.duration - outbound.duration) / longer
+        return mismatch <= self.duration_tolerance
+
+    def candidates(self) -> List[StoneCandidate]:
+        """All correlated inbound/outbound pairs observed here.
+
+        Only hosts for which this location saw *both* stages can ever
+        appear — the Figure 4 point: without replication to a common
+        node, disjoint-path stages produce no candidates anywhere.
+        """
+        found = []
+        for stone_ip, inbound_flows in self._inbound.items():
+            outbound_flows = self._outbound.get(stone_ip, [])
+            for inbound in inbound_flows:
+                for outbound in outbound_flows:
+                    if outbound.dst_ip == inbound.src_ip:
+                        continue  # a reply, not a relay
+                    if self._correlated(inbound, outbound):
+                        found.append(StoneCandidate(
+                            stone_ip, inbound, outbound))
+        return found
+
+    def flagged_stones(self) -> List[int]:
+        """Hosts with at least one correlated relay pair."""
+        return sorted({c.stone_ip for c in self.candidates()})
+
+    def reset(self) -> None:
+        super().reset()
+        self._inbound = {}
+        self._outbound = {}
+
+
+def merge_detectors(detectors) -> SteppingStoneDetector:
+    """Combine flow observations from several locations.
+
+    Used to model replication: the union of what the mirror received
+    from multiple nodes behaves like one detector that saw everything.
+    """
+    merged = SteppingStoneDetector()
+    for detector in detectors:
+        for flows in detector._inbound.values():
+            for record in flows:
+                merged.observe_flow(record)
+    return merged

@@ -1,0 +1,47 @@
+"""The backwards-compatible shim layer (Section 7 of the paper).
+
+The real system interposes a Click-based shim between the network and
+an unmodified NIDS process. Per packet it computes a lightweight hash
+of the canonicalized IP 5-tuple, looks up the packet's class, and — per
+the hash-range configuration compiled from the LP solution — processes
+the packet locally, replicates it to a mirror node, or ignores it.
+This package reproduces that logic exactly (hash canonicalization for
+bidirectional consistency included); the Click data path is replaced by
+in-process Python objects driven by the trace simulator.
+"""
+
+from repro.shim.hashing import (
+    FiveTuple,
+    bob_hash,
+    canonical_five_tuple,
+    field_hash,
+    session_hash,
+)
+from repro.shim.ranges import HashRange, compile_hash_ranges
+from repro.shim.config import (
+    ShimAction,
+    ShimConfig,
+    ShimRule,
+    build_aggregation_configs,
+    build_replication_configs,
+    build_split_configs,
+)
+from repro.shim.shim import Shim, ShimDecision
+
+__all__ = [
+    "FiveTuple",
+    "HashRange",
+    "Shim",
+    "ShimAction",
+    "ShimConfig",
+    "ShimDecision",
+    "ShimRule",
+    "bob_hash",
+    "build_aggregation_configs",
+    "build_replication_configs",
+    "build_split_configs",
+    "canonical_five_tuple",
+    "compile_hash_ranges",
+    "field_hash",
+    "session_hash",
+]

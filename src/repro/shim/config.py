@@ -1,0 +1,209 @@
+"""Per-node shim configurations compiled from LP solutions.
+
+The management engine (Section 7.1) turns each formulation's fractional
+decisions into hash-range rules and ships every node the rules that
+concern it. Three builders cover the three formulations:
+
+- :func:`build_replication_configs` — Section 4: per-class session-hash
+  ranges for local processing and for replication to mirrors.
+- :func:`build_split_configs` — Section 5: ranges laid out so that
+  forward and reverse directions act consistently (bidirectional
+  semantics): the locally-processed prefix of the hash space is shared,
+  and each direction's offload ranges extend it, so a session is fully
+  covered exactly when its hash is below ``min(cov_fwd, cov_rev)`` —
+  realizing Eq (10) operationally.
+- :func:`build_aggregation_configs` — Section 6: per-*source* hash
+  ranges (the source-level split of Figure 8), plus which node
+  aggregates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.inputs import NetworkState
+from repro.core.results import (
+    AggregationResult,
+    ReplicationResult,
+    SplitTrafficResult,
+)
+from repro.shim.ranges import HashRange, compile_hash_ranges
+
+
+class ShimAction(enum.Enum):
+    """What a shim does with a matching packet."""
+
+    PROCESS = "process"
+    REPLICATE = "replicate"
+
+
+class HashMode(enum.Enum):
+    """Which field the range membership is computed over."""
+
+    SESSION = "session"   # canonical bidirectional 5-tuple hash
+    SOURCE = "source"     # per-source split (aggregation)
+    DESTINATION = "destination"
+
+
+@dataclass(frozen=True)
+class ShimRule:
+    """One hash-range rule installed at one node.
+
+    Attributes:
+        class_name: traffic class the rule applies to.
+        hash_range: the owned slice of hash space.
+        action: process locally or replicate.
+        target: mirror node for replication rules.
+        direction: ``"both"``, ``"fwd"`` or ``"rev"`` — split-traffic
+            rules act on one direction only.
+        hash_mode: field the hash is computed over.
+    """
+
+    class_name: str
+    hash_range: HashRange
+    action: ShimAction
+    target: Optional[str] = None
+    direction: str = "both"
+    hash_mode: HashMode = HashMode.SESSION
+
+    def matches(self, hash_value: float, direction: str) -> bool:
+        """True when a packet with this hash/direction hits the rule."""
+        if self.direction != "both" and direction != self.direction:
+            return False
+        return self.hash_range.contains(hash_value)
+
+
+@dataclass
+class ShimConfig:
+    """All rules installed at one node, grouped by class."""
+
+    node: str
+    rules: Dict[str, List[ShimRule]]
+
+    def rules_for(self, class_name: str) -> List[ShimRule]:
+        return self.rules.get(class_name, [])
+
+    def decide(self, class_name: str, hash_value: float,
+               direction: str = "fwd") -> Optional[ShimRule]:
+        """First rule matching a packet, or None (ignore)."""
+        for rule in self.rules_for(class_name):
+            if rule.matches(hash_value, direction):
+                return rule
+        return None
+
+    @property
+    def num_rules(self) -> int:
+        return sum(len(rules) for rules in self.rules.values())
+
+
+def _empty_configs(state: NetworkState) -> Dict[str, ShimConfig]:
+    return {node: ShimConfig(node=node, rules={})
+            for node in state.nids_nodes}
+
+
+def build_replication_configs(state: NetworkState,
+                              result: ReplicationResult
+                              ) -> Dict[str, ShimConfig]:
+    """Compile Section 4 decisions into per-node shim configs.
+
+    For each class, lays out the ``p_{c,j}`` ranges first and the
+    ``o_{c,j,j'}`` ranges after them (Section 7.1's two loops), then
+    installs each range at the node that must act on it.
+    """
+    configs = _empty_configs(state)
+    for cls in state.classes:
+        entries: List[Tuple[tuple, float]] = []
+        process = result.process_fractions.get(cls.name, {})
+        for node in sorted(process):
+            entries.append((("process", node), process[node]))
+        offload = result.offload_fractions.get(cls.name, {})
+        for node, mirror in sorted(offload):
+            entries.append((("replicate", node, mirror),
+                            offload[(node, mirror)]))
+        for rng in compile_hash_ranges(entries):
+            if rng.key[0] == "process":
+                _, node = rng.key
+                rule = ShimRule(cls.name, rng, ShimAction.PROCESS)
+            else:
+                _, node, mirror = rng.key
+                rule = ShimRule(cls.name, rng, ShimAction.REPLICATE,
+                                target=mirror)
+            configs[node].rules.setdefault(cls.name, []).append(rule)
+        # The replication target must also process what it receives:
+        # give mirrors PROCESS rules over the ranges replicated to them.
+        for rng in compile_hash_ranges(entries):
+            if rng.key[0] == "replicate":
+                _, _, mirror = rng.key
+                configs[mirror].rules.setdefault(cls.name, []).append(
+                    ShimRule(cls.name, rng, ShimAction.PROCESS))
+    return configs
+
+
+def build_split_configs(state: NetworkState,
+                        result: SplitTrafficResult
+                        ) -> Dict[str, ShimConfig]:
+    """Compile Section 5 decisions with bidirectional semantics.
+
+    Layout per class: ``p`` ranges occupy ``[0, sum_p)`` and apply to
+    both directions; each direction's offload ranges extend from
+    ``sum_p`` independently. A session hash below
+    ``min(cov_fwd, cov_rev)`` therefore has both its directions
+    analyzed at a single location (a common node or the datacenter).
+    """
+    dc = state.dc_node
+    configs = _empty_configs(state)
+    for cls in state.classes:
+        process = result.process_fractions.get(cls.name, {})
+        shared: List[Tuple[tuple, float]] = []
+        for node in sorted(process):
+            shared.append((("process", node), process[node]))
+        shared_ranges = compile_hash_ranges(
+            shared, require_full_coverage=False)
+        local_total = sum(max(0.0, f) for _, f in shared)
+
+        for rng in shared_ranges:
+            _, node = rng.key
+            configs[node].rules.setdefault(cls.name, []).append(
+                ShimRule(cls.name, rng, ShimAction.PROCESS,
+                         direction="both"))
+
+        for direction, offloads in (("fwd", result.fwd_offloads),
+                                    ("rev", result.rev_offloads)):
+            fractions = offloads.get(cls.name, {})
+            cursor = local_total
+            for node in sorted(fractions):
+                fraction = max(0.0, fractions[node])
+                if fraction <= 1e-9:
+                    continue
+                rng = HashRange(("replicate", node),
+                                cursor, min(1.0, cursor + fraction))
+                cursor += fraction
+                configs[node].rules.setdefault(cls.name, []).append(
+                    ShimRule(cls.name, rng, ShimAction.REPLICATE,
+                             target=dc, direction=direction))
+                if dc is not None:
+                    configs[dc].rules.setdefault(cls.name, []).append(
+                        ShimRule(cls.name, rng, ShimAction.PROCESS,
+                                 direction=direction))
+    return configs
+
+
+def build_aggregation_configs(state: NetworkState,
+                              result: AggregationResult,
+                              hash_mode: HashMode = HashMode.SOURCE
+                              ) -> Dict[str, ShimConfig]:
+    """Compile Section 6 decisions: per-source (or per-destination)
+    counting ranges for each on-path node."""
+    configs = _empty_configs(state)
+    for cls in state.classes:
+        process = result.process_fractions.get(cls.name, {})
+        entries = [(("process", node), process[node])
+                   for node in sorted(process)]
+        for rng in compile_hash_ranges(entries):
+            _, node = rng.key
+            configs[node].rules.setdefault(cls.name, []).append(
+                ShimRule(cls.name, rng, ShimAction.PROCESS,
+                         hash_mode=hash_mode))
+    return configs

@@ -1,0 +1,121 @@
+"""Lightweight bidirectional 5-tuple hashing (Section 7.2).
+
+As a packet arrives, the shim computes a lightweight hash (the paper
+cites Bob Jenkins' hash [5]) over the IP 5-tuple. The hash must be
+*bidirectional*: both directions of a session must land in the same
+hash bucket so the session is consistently pinned or offloaded to one
+node. Following [37], the 5-tuple is first put into a canonical form
+with the smaller endpoint first.
+
+For aggregation (Section 7.2, last paragraph), the hash is computed
+over the split field instead — the source address for a per-source
+split, the destination for a per-destination split.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class FiveTuple(NamedTuple):
+    """An IP 5-tuple; addresses and ports are plain ints here."""
+
+    proto: int
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+
+    def reversed(self) -> "FiveTuple":
+        """The same session seen in the opposite direction."""
+        return FiveTuple(self.proto, self.dst_ip, self.dst_port,
+                         self.src_ip, self.src_port)
+
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rot(value: int, bits: int) -> int:
+    value &= _MASK32
+    return ((value << bits) | (value >> (32 - bits))) & _MASK32
+
+
+def _mix(a: int, b: int, c: int):
+    """One mixing round of Bob Jenkins' lookup3."""
+    a = (a - c) & _MASK32; a ^= _rot(c, 4);  c = (c + b) & _MASK32
+    b = (b - a) & _MASK32; b ^= _rot(a, 6);  a = (a + c) & _MASK32
+    c = (c - b) & _MASK32; c ^= _rot(b, 8);  b = (b + a) & _MASK32
+    a = (a - c) & _MASK32; a ^= _rot(c, 16); c = (c + b) & _MASK32
+    b = (b - a) & _MASK32; b ^= _rot(a, 19); a = (a + c) & _MASK32
+    c = (c - b) & _MASK32; c ^= _rot(b, 4);  b = (b + a) & _MASK32
+    return a, b, c
+
+
+def _final(a: int, b: int, c: int) -> int:
+    """Final avalanche of lookup3."""
+    c ^= b; c = (c - _rot(b, 14)) & _MASK32
+    a ^= c; a = (a - _rot(c, 11)) & _MASK32
+    b ^= a; b = (b - _rot(a, 25)) & _MASK32
+    c ^= b; c = (c - _rot(b, 16)) & _MASK32
+    a ^= c; a = (a - _rot(c, 4)) & _MASK32
+    b ^= a; b = (b - _rot(a, 14)) & _MASK32
+    c ^= b; c = (c - _rot(b, 24)) & _MASK32
+    return c
+
+
+def bob_hash(*words: int, seed: int = 0) -> int:
+    """Bob Jenkins' lookup3-style hash over 32-bit words.
+
+    Args:
+        words: arbitrary integers (folded to 32 bits).
+        seed: optional seed for independent hash functions.
+
+    Returns:
+        A 32-bit hash value.
+    """
+    a = b = c = (0xDEADBEEF + (len(words) << 2) + seed) & _MASK32
+    data = [w & _MASK32 for w in words]
+    while len(data) > 3:
+        a = (a + data.pop(0)) & _MASK32
+        b = (b + data.pop(0)) & _MASK32
+        c = (c + data.pop(0)) & _MASK32
+        a, b, c = _mix(a, b, c)
+    if data:
+        a = (a + data[0]) & _MASK32
+    if len(data) > 1:
+        b = (b + data[1]) & _MASK32
+    if len(data) > 2:
+        c = (c + data[2]) & _MASK32
+    return _final(a, b, c)
+
+
+def canonical_five_tuple(tup: FiveTuple) -> FiveTuple:
+    """Canonicalize so both directions hash identically.
+
+    The endpoint with the smaller (ip, port) pair becomes the source,
+    per the NIDS-cluster convention [37].
+    """
+    if (tup.src_ip, tup.src_port) <= (tup.dst_ip, tup.dst_port):
+        return tup
+    return tup.reversed()
+
+
+def session_hash(tup: FiveTuple, seed: int = 0) -> float:
+    """Bidirectional session hash mapped into [0, 1).
+
+    Both directions of a 5-tuple produce the same value, so hash-range
+    membership consistently pins a whole session.
+    """
+    canon = canonical_five_tuple(tup)
+    word = bob_hash(canon.proto, canon.src_ip, canon.src_port,
+                    canon.dst_ip, canon.dst_port, seed=seed)
+    return word / 2.0 ** 32
+
+
+def field_hash(value: int, seed: int = 0) -> float:
+    """Hash of a single split field (e.g., source IP) into [0, 1).
+
+    Used for aggregation-mode splitting where responsibility is
+    per-source (or per-destination), not per-session.
+    """
+    return bob_hash(value, seed=seed) / 2.0 ** 32

@@ -1,0 +1,90 @@
+"""Hash-range compilation (Section 7.1).
+
+The management engine converts the LP's fractional decisions into
+non-overlapping hash ranges: for each class it loops over the ``p_{c,j}``
+values, mapping each to a hash range and extending the range as it
+moves to the next node, then loops similarly over the ``o_{c,j,j'}``.
+The order of iteration is irrelevant for correctness (the paper notes
+only *some* fixed order is required); we sort keys for determinism.
+Because the formulations make the fractions sum to 1 per class, the
+union of the ranges covers [0, 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class HashRange:
+    """A half-open hash interval [start, end) owned by one action key."""
+
+    key: Hashable
+    start: float
+    end: float
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+    def contains(self, value: float) -> bool:
+        """Membership test for a hash value in [0, 1)."""
+        return self.start <= value < self.end
+
+
+def compile_hash_ranges(fractions: Sequence[Tuple[Hashable, float]],
+                        require_full_coverage: bool = True
+                        ) -> List[HashRange]:
+    """Map ordered (key, fraction) pairs to contiguous hash ranges.
+
+    Args:
+        fractions: pairs in the order the ranges should be laid out;
+            zero-fraction entries produce no range.
+        require_full_coverage: when True, the fractions must sum to 1
+            (within tolerance) and the final range is snapped to end
+            exactly at 1.0 so no hash value is unowned. When False
+            (partial coverage, e.g., an infeasible split-traffic class)
+            the tail of [0, 1) is simply left unassigned.
+
+    Returns:
+        Non-overlapping :class:`HashRange` objects covering [0, total).
+
+    Raises:
+        ValueError: on negative fractions, or totals above 1 + tol, or
+            (with ``require_full_coverage``) totals below 1 - tol.
+    """
+    total = 0.0
+    for key, fraction in fractions:
+        if fraction < -_EPSILON:
+            raise ValueError(f"negative fraction for key {key!r}")
+        total += max(0.0, fraction)
+    if total > 1.0 + 1e-6:
+        raise ValueError(f"fractions sum to {total}, above 1")
+    if require_full_coverage and total < 1.0 - 1e-6:
+        raise ValueError(
+            f"fractions sum to {total}, below 1 while full coverage "
+            "was required")
+
+    ranges: List[HashRange] = []
+    cursor = 0.0
+    for key, fraction in fractions:
+        fraction = max(0.0, fraction)
+        if fraction <= _EPSILON:
+            continue
+        ranges.append(HashRange(key, cursor, cursor + fraction))
+        cursor += fraction
+    if require_full_coverage and ranges:
+        last = ranges[-1]
+        ranges[-1] = HashRange(last.key, last.start, 1.0)
+    return ranges
+
+
+def lookup(ranges: Sequence[HashRange], value: float) -> Hashable:
+    """Owner key of ``value``, or ``None`` if it falls in a gap."""
+    for rng in ranges:
+        if rng.contains(value):
+            return rng.key
+    return None

@@ -1,0 +1,116 @@
+"""The runtime shim instance that sits in front of each NIDS node.
+
+Mirrors the behavior of the paper's 255-line Click module: per packet,
+compute the lightweight bidirectional hash, look up the packet's class,
+and act per the installed hash-range rules — deliver to the local NIDS
+process, replicate into the tunnel toward a mirror node, or drop
+(another node is responsible). Counters track the overhead-relevant
+quantities (packets/bytes seen, processed, replicated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.shim.config import HashMode, ShimAction, ShimConfig, ShimRule
+from repro.shim.hashing import FiveTuple, field_hash, session_hash
+
+Classifier = Callable[[FiveTuple], Optional[str]]
+
+
+@dataclass(frozen=True)
+class ShimDecision:
+    """Outcome of the shim for one packet."""
+
+    action: Optional[ShimAction]   # None == ignore
+    target: Optional[str] = None   # mirror node for REPLICATE
+    rule: Optional[ShimRule] = None
+
+    @property
+    def is_process(self) -> bool:
+        return self.action is ShimAction.PROCESS
+
+    @property
+    def is_replicate(self) -> bool:
+        return self.action is ShimAction.REPLICATE
+
+    @property
+    def is_ignore(self) -> bool:
+        return self.action is None
+
+
+@dataclass
+class ShimCounters:
+    """Lightweight per-shim statistics."""
+
+    packets_seen: int = 0
+    packets_processed: int = 0
+    packets_replicated: int = 0
+    packets_ignored: int = 0
+    bytes_replicated: float = 0.0
+
+
+class Shim:
+    """One shim instance, bound to a node and its installed config.
+
+    Args:
+        config: the node's compiled :class:`ShimConfig`.
+        classifier: maps a packet's 5-tuple to its traffic class name
+            (the paper's port/prefix lookup); returning ``None`` means
+            the packet belongs to no monitored class.
+        hash_seed: seed for the hash function (all shims in a network
+            must share it so their ranges refer to the same hash).
+    """
+
+    def __init__(self, config: ShimConfig, classifier: Classifier,
+                 hash_seed: int = 0):
+        self.config = config
+        self.classifier = classifier
+        self.hash_seed = hash_seed
+        self.counters = ShimCounters()
+
+    @property
+    def node(self) -> str:
+        return self.config.node
+
+    def _hash_for(self, tup: FiveTuple, mode: HashMode) -> float:
+        if mode is HashMode.SESSION:
+            return session_hash(tup, seed=self.hash_seed)
+        if mode is HashMode.SOURCE:
+            return field_hash(tup.src_ip, seed=self.hash_seed)
+        return field_hash(tup.dst_ip, seed=self.hash_seed)
+
+    def handle(self, tup: FiveTuple, direction: str = "fwd",
+               size_bytes: float = 0.0) -> ShimDecision:
+        """Decide what to do with one packet.
+
+        Args:
+            tup: the packet's 5-tuple *as seen on the wire* (reverse
+                packets arrive with source/destination swapped; the
+                canonical hash makes both directions agree). For
+                SOURCE/DESTINATION hash modes the caller must present
+                the tuple in the session's forward orientation, since
+                "the source" is a session-level notion.
+            direction: ``"fwd"`` or ``"rev"`` relative to the session.
+            size_bytes: packet size, for replication byte accounting.
+        """
+        self.counters.packets_seen += 1
+        class_name = self.classifier(tup)
+        if class_name is None:
+            self.counters.packets_ignored += 1
+            return ShimDecision(action=None)
+
+        rules = self.config.rules_for(class_name)
+        for rule in rules:
+            value = self._hash_for(tup, rule.hash_mode)
+            if rule.matches(value, direction):
+                if rule.action is ShimAction.PROCESS:
+                    self.counters.packets_processed += 1
+                    return ShimDecision(ShimAction.PROCESS, rule=rule)
+                self.counters.packets_replicated += 1
+                self.counters.bytes_replicated += size_bytes
+                return ShimDecision(ShimAction.REPLICATE,
+                                    target=rule.target, rule=rule)
+        self.counters.packets_ignored += 1
+        return ShimDecision(action=None)

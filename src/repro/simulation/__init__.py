@@ -1,0 +1,52 @@
+"""Trace-driven emulation substrate.
+
+The paper's "live" evaluation generates traffic from seed traces with
+Scapy, injects it into an Emulab testbed, and measures per-node Snort
+CPU instructions. The reproduction's equivalent: a synthetic
+session/packet :class:`TraceGenerator`, and an :class:`Emulation` that
+replays packets past every on-path shim, forwards replicated packets to
+mirrors, feeds the simulated NIDS engines, and collects per-node work
+units, detection outcomes, and replication byte counts.
+"""
+
+from repro.simulation.packets import Packet, Session, pop_prefix_ip
+from repro.simulation.tracegen import (
+    PrefixClassifier,
+    TraceGenerator,
+)
+from repro.simulation.emulation import (
+    Emulation,
+    EmulationReport,
+    ScanEmulationReport,
+    StatefulEmulationReport,
+)
+from repro.simulation.supernode import (
+    ScheduledPacket,
+    Supernode,
+    validate_in_session_order,
+)
+from repro.simulation.metrics import (
+    peak_to_mean,
+    predicted_work_shares,
+    share_divergence,
+    work_shares,
+)
+
+__all__ = [
+    "Emulation",
+    "EmulationReport",
+    "Packet",
+    "PrefixClassifier",
+    "ScanEmulationReport",
+    "ScheduledPacket",
+    "Session",
+    "StatefulEmulationReport",
+    "Supernode",
+    "TraceGenerator",
+    "peak_to_mean",
+    "pop_prefix_ip",
+    "predicted_work_shares",
+    "share_divergence",
+    "validate_in_session_order",
+    "work_shares",
+]

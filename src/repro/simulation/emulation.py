@@ -1,0 +1,347 @@
+"""The trace-driven network emulator.
+
+Replays a generated trace through per-node shims configured from an LP
+solution and feeds the simulated NIDS engines, reproducing the paper's
+Emulab methodology (Section 8.1) in-process:
+
+- :meth:`Emulation.run_signature` — Signature detection under the
+  replication architecture (Figure 10's per-node CPU usage).
+- :meth:`Emulation.run_stateful` — stateful both-directions analysis
+  under routing asymmetry (measures the *operational* miss rate the
+  Section 5 LP predicts).
+- :meth:`Emulation.run_scan` — distributed Scan detection with report
+  aggregation, checked for semantic equivalence against a centralized
+  scan detector (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.inputs import NetworkState
+from repro.nids.aggregator import (
+    ScanAggregator,
+    SplitStrategy,
+    report_cost_record_hops,
+)
+from repro.nids.scan import ScanDetector
+from repro.nids.signature import SignatureEngine
+from repro.nids.stateful import StatefulSessionAnalyzer
+from repro.shim.config import ShimConfig
+from repro.shim.shim import Classifier, Shim
+from repro.simulation.packets import Session
+from repro.topology.topology import Link
+
+
+@dataclass
+class EmulationReport:
+    """Outcome of a signature-detection emulation run."""
+
+    work_units: Dict[str, float]
+    sessions_processed: Dict[str, int]
+    alerts: int
+    replicated_bytes: float
+    link_replicated_bytes: Dict[Link, float]
+    packets_total: int
+
+    def max_work(self, exclude: Sequence[str] = ()) -> float:
+        """Largest per-node work, optionally excluding nodes (e.g.,
+        the datacenter, as Figure 10's text does)."""
+        values = [w for node, w in self.work_units.items()
+                  if node not in exclude]
+        return max(values) if values else 0.0
+
+
+@dataclass
+class StatefulEmulationReport:
+    """Outcome of a stateful (both-directions) emulation run."""
+
+    covered_sessions: int
+    total_sessions: int
+    work_units: Dict[str, float]
+    replicated_bytes: float
+
+    @property
+    def miss_rate(self) -> float:
+        """Measured fraction of sessions no node fully observed."""
+        if self.total_sessions == 0:
+            return 0.0
+        return 1.0 - self.covered_sessions / self.total_sessions
+
+
+@dataclass
+class ScanEmulationReport:
+    """Outcome of a distributed-scan emulation run."""
+
+    distributed_alerts: Dict[str, Tuple[int, ...]]
+    centralized_alerts: Dict[str, Tuple[int, ...]]
+    record_hops: float
+    byte_hops: float
+    work_units: Dict[str, float]
+
+    @property
+    def semantically_equivalent(self) -> bool:
+        """True when aggregation flagged exactly the centralized set."""
+        return self.distributed_alerts == self.centralized_alerts
+
+
+class Emulation:
+    """Drives shims + engines over a session trace.
+
+    Args:
+        state: the calibrated network (for routing and link lookup).
+        configs: per-node shim configurations compiled from an LP
+            result (see :mod:`repro.shim.config`).
+        classifier: packet-to-class mapping shared by all shims.
+        hash_seed: network-wide hash seed.
+    """
+
+    def __init__(self, state: NetworkState,
+                 configs: Dict[str, ShimConfig],
+                 classifier: Classifier, hash_seed: int = 0):
+        self.state = state
+        self.classifier = classifier
+        self.shims: Dict[str, Shim] = {
+            node: Shim(configs[node], classifier, hash_seed)
+            for node in state.nids_nodes
+        }
+
+    # -- signature / replication -----------------------------------------
+
+    def run_signature(self, sessions: Sequence[Session],
+                      engine_factory: Optional[Callable[[],
+                                               SignatureEngine]] = None
+                      ) -> EmulationReport:
+        """Replay the trace through Signature engines.
+
+        Every packet visits each node on its direction's path; the
+        node's shim decides process/replicate/ignore. Replicated
+        packets are delivered to the mirror's engine and their bytes
+        charged to every link on the node-to-mirror route.
+        """
+        factory = engine_factory or SignatureEngine
+        engines: Dict[str, SignatureEngine] = {
+            node: factory() for node in self.state.nids_nodes}
+        link_bytes: Dict[Link, float] = {}
+        replicated = 0.0
+        packets = 0
+        for session in sessions:
+            key = session.five_tuple
+            for packet in session.packets:
+                packets += 1
+                for node in session.observers(packet.direction):
+                    decision = self.shims[node].handle(
+                        session.five_tuple, packet.direction,
+                        packet.size_bytes)
+                    if decision.is_process:
+                        engines[node].inspect(key, packet.payload)
+                    elif decision.is_replicate:
+                        engines[decision.target].inspect(
+                            key, packet.payload)
+                        replicated += packet.size_bytes
+                        for link in self.state.routing.path_links(
+                                node, decision.target):
+                            link_bytes[link] = (link_bytes.get(link, 0.0)
+                                                + packet.size_bytes)
+        return EmulationReport(
+            work_units={n: e.stats.work_units
+                        for n, e in engines.items()},
+            sessions_processed={n: e.stats.sessions_seen
+                                for n, e in engines.items()},
+            alerts=sum(e.stats.alerts for e in engines.values()),
+            replicated_bytes=replicated,
+            link_replicated_bytes=link_bytes,
+            packets_total=packets)
+
+    # -- stateful / split traffic ------------------------------------------
+
+    def run_stateful(self, sessions: Sequence[Session]
+                     ) -> StatefulEmulationReport:
+        """Replay an (asymmetric) trace through stateful analyzers.
+
+        A session counts as covered when at least one location —
+        on-path node or replication target — observed both directions.
+        """
+        analyzers: Dict[str, StatefulSessionAnalyzer] = {
+            node: StatefulSessionAnalyzer()
+            for node in self.state.nids_nodes}
+        replicated = 0.0
+        for session in sessions:
+            key = session.five_tuple
+            for packet in session.packets:
+                for node in session.observers(packet.direction):
+                    decision = self.shims[node].handle(
+                        session.five_tuple, packet.direction,
+                        packet.size_bytes)
+                    if decision.is_process:
+                        analyzers[node].observe(
+                            key, packet.direction, packet.size_bytes)
+                    elif decision.is_replicate:
+                        analyzers[decision.target].observe(
+                            key, packet.direction, packet.size_bytes)
+                        replicated += packet.size_bytes
+        covered: Set = set()
+        for analyzer in analyzers.values():
+            covered |= analyzer.covered_sessions()
+        return StatefulEmulationReport(
+            covered_sessions=len(covered),
+            total_sessions=len(sessions),
+            work_units={n: a.stats.work_units
+                        for n, a in analyzers.items()},
+            replicated_bytes=replicated)
+
+    # -- scan / aggregation ----------------------------------------------
+
+    def run_scan(self, sessions: Sequence[Session], threshold: int,
+                 class_gateway: Optional[Dict[str, str]] = None
+                 ) -> ScanEmulationReport:
+        """Distributed Scan detection with per-source splitting.
+
+        Each on-path node counts the sources its hash range assigns it
+        (local threshold 0), reports per-source counts to the class's
+        gateway, and each gateway's aggregator applies the real
+        threshold ``k``. A centralized detector per gateway provides
+        the semantic-equivalence baseline.
+
+        Args:
+            sessions: the trace (each session is one flow).
+            threshold: the aggregator's alert threshold ``k``.
+            class_gateway: class name -> aggregation node; defaults to
+                each class's ingress.
+        """
+        if class_gateway is None:
+            class_gateway = {cls.name: cls.ingress
+                             for cls in self.state.classes}
+        detectors: Dict[Tuple[str, str], ScanDetector] = {}
+        central: Dict[str, ScanDetector] = {}
+        for session in sessions:
+            gateway = class_gateway.get(session.class_name)
+            if gateway is None:
+                continue
+            central.setdefault(
+                gateway, ScanDetector(threshold=threshold)).observe_flow(
+                session.src_ip, session.dst_ip,
+                flow_key=session.five_tuple)
+            for node in session.fwd_path:
+                decision = self.shims[node].handle(
+                    session.five_tuple, "fwd", 0.0)
+                if decision.is_process:
+                    detectors.setdefault(
+                        (node, gateway), ScanDetector()).observe_flow(
+                            session.src_ip, session.dst_ip,
+                            flow_key=session.five_tuple)
+
+        record_hops = 0.0
+        byte_hops = 0.0
+        distributed: Dict[str, Tuple[int, ...]] = {}
+        for gateway in sorted(central):
+            aggregator = ScanAggregator(
+                threshold, SplitStrategy.SOURCE_LEVEL)
+            reports = [det.source_count_report(node)
+                       for (node, gw), det in sorted(detectors.items())
+                       if gw == gateway]
+            aggregator.submit_all(reports)
+            distances = {r.node: self.state.routing.hop_count(
+                r.node, gateway) for r in reports}
+            hops, bytes_ = report_cost_record_hops(reports, distances)
+            record_hops += hops
+            byte_hops += bytes_
+            distributed[gateway] = tuple(aggregator.alerts())
+
+        centralized = {
+            gateway: tuple(detector.flagged_sources())
+            for gateway, detector in central.items()
+        }
+        work: Dict[str, float] = {n: 0.0 for n in self.state.nids_nodes}
+        for (node, _), det in detectors.items():
+            work[node] += det.stats.work_units
+        return ScanEmulationReport(
+            distributed_alerts=distributed,
+            centralized_alerts=centralized,
+            record_hops=record_hops,
+            byte_hops=byte_hops,
+            work_units=work)
+
+    def run_flood(self, sessions: Sequence[Session], threshold: int,
+                  class_gateway: Optional[Dict[str, str]] = None
+                  ) -> ScanEmulationReport:
+        """Distributed flood/DoS detection with per-destination
+        splitting (the Section 6 extension).
+
+        Mirrors :meth:`run_scan` with the roles of source and
+        destination swapped: nodes count distinct sources per assigned
+        destination (shim rules compiled with
+        ``HashMode.DESTINATION``), the gateway aggregator sums the
+        per-destination counts, and a centralized detector provides
+        the equivalence baseline.
+        """
+        from repro.nids.flood import FloodDetector
+
+        if class_gateway is None:
+            class_gateway = {cls.name: cls.ingress
+                             for cls in self.state.classes}
+        detectors: Dict[Tuple[str, str], FloodDetector] = {}
+        central: Dict[str, FloodDetector] = {}
+        for session in sessions:
+            gateway = class_gateway.get(session.class_name)
+            if gateway is None:
+                continue
+            central.setdefault(
+                gateway, FloodDetector(threshold=threshold)
+            ).observe_flow(session.src_ip, session.dst_ip,
+                           flow_key=session.five_tuple)
+            for node in session.fwd_path:
+                decision = self.shims[node].handle(
+                    session.five_tuple, "fwd", 0.0)
+                if decision.is_process:
+                    detectors.setdefault(
+                        (node, gateway), FloodDetector()).observe_flow(
+                            session.src_ip, session.dst_ip,
+                            flow_key=session.five_tuple)
+
+        record_hops = 0.0
+        byte_hops = 0.0
+        distributed: Dict[str, Tuple[int, ...]] = {}
+        for gateway in sorted(central):
+            aggregator = ScanAggregator(
+                threshold, SplitStrategy.SOURCE_LEVEL)
+            reports = [det.destination_count_report(node)
+                       for (node, gw), det in sorted(detectors.items())
+                       if gw == gateway]
+            aggregator.submit_all(reports)
+            distances = {r.node: self.state.routing.hop_count(
+                r.node, gateway) for r in reports}
+            hops, bytes_ = report_cost_record_hops(reports, distances)
+            record_hops += hops
+            byte_hops += bytes_
+            distributed[gateway] = tuple(aggregator.alerts())
+
+        centralized = {
+            gateway: tuple(detector.flagged_destinations())
+            for gateway, detector in central.items()
+        }
+        work: Dict[str, float] = {n: 0.0 for n in self.state.nids_nodes}
+        for (node, _), det in detectors.items():
+            work[node] += det.stats.work_units
+        return ScanEmulationReport(
+            distributed_alerts=distributed,
+            centralized_alerts=centralized,
+            record_hops=record_hops,
+            byte_hops=byte_hops,
+            work_units=work)
+
+    def run_scan_epochs(self, epochs: Sequence[Sequence[Session]],
+                        threshold: int,
+                        class_gateway: Optional[Dict[str, str]] = None
+                        ) -> List[ScanEmulationReport]:
+        """Scan detection over successive measurement epochs.
+
+        The Scan module counts destinations contacted "in the previous
+        measurement epoch" (Section 6); counters reset between epochs,
+        so a slow scanner that spreads its probes across epochs stays
+        under the per-epoch threshold while a burst is flagged. Each
+        epoch produces its own aggregated reports and alerts.
+        """
+        return [self.run_scan(batch, threshold, class_gateway)
+                for batch in epochs]

@@ -1,0 +1,101 @@
+"""Packet and session models for the trace-driven emulation.
+
+Addressing scheme: PoP number ``i`` owns the synthetic /16 prefix
+``10.i.0.0/16``; hosts are low bits. This lets the shim classify a
+packet to its traffic class from addresses alone, as the real shim does
+from prefixes and ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.shim.hashing import FiveTuple
+
+_BASE_IP = 10 << 24  # 10.0.0.0
+
+
+def pop_prefix_ip(pop_index: int, host: int = 1) -> int:
+    """An address inside PoP ``pop_index``'s /16 prefix."""
+    if not 0 <= pop_index < 256:
+        raise ValueError("pop_index must fit in one octet")
+    if not 0 <= host < 2 ** 16:
+        raise ValueError("host must fit in 16 bits")
+    return _BASE_IP | (pop_index << 16) | host
+
+
+def pop_index_of_ip(ip: int) -> int:
+    """Inverse of :func:`pop_prefix_ip` (the PoP octet)."""
+    return (ip >> 16) & 0xFF
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet of a session.
+
+    ``direction`` is relative to the session's initiator ("fwd" =
+    initiator to responder). ``tuple_fwd`` is the session's forward-
+    oriented 5-tuple; the bidirectional canonical hash makes the
+    orientation immaterial for session hashing.
+    """
+
+    tuple_fwd: FiveTuple
+    direction: str
+    size_bytes: int
+    payload: bytes = b""
+
+    def wire_tuple(self) -> FiveTuple:
+        """The 5-tuple as it appears on the wire for this direction."""
+        if self.direction == "fwd":
+            return self.tuple_fwd
+        return self.tuple_fwd.reversed()
+
+
+@dataclass
+class Session:
+    """One end-to-end session of some traffic class.
+
+    Attributes:
+        five_tuple: forward-oriented 5-tuple.
+        class_name: owning traffic class.
+        fwd_path: nodes observing forward packets.
+        rev_path: nodes observing reverse packets (defaults to the
+            reversed forward path — symmetric routing).
+        packets: the session's packets in order.
+    """
+
+    five_tuple: FiveTuple
+    class_name: str
+    fwd_path: Tuple[str, ...]
+    rev_path: Optional[Tuple[str, ...]] = None
+    packets: List[Packet] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.rev_path is None:
+            self.rev_path = tuple(reversed(self.fwd_path))
+
+    @property
+    def src_ip(self) -> int:
+        return self.five_tuple.src_ip
+
+    @property
+    def dst_ip(self) -> int:
+        return self.five_tuple.dst_ip
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.packets)
+
+    def observers(self, direction: str) -> Tuple[str, ...]:
+        """Nodes that see this session's packets in one direction."""
+        return self.fwd_path if direction == "fwd" else self.rev_path
+
+    def add_packet(self, direction: str, size_bytes: int,
+                   payload: bytes = b"") -> Packet:
+        """Append one packet; returns it."""
+        if direction not in ("fwd", "rev"):
+            raise ValueError(f"bad direction {direction!r}")
+        packet = Packet(self.five_tuple, direction, size_bytes, payload)
+        self.packets.append(packet)
+        return packet

@@ -1,0 +1,251 @@
+"""Synthetic trace generation (the reproduction's Scapy+seed-traces).
+
+Given a set of traffic classes, the generator emits sessions whose
+volumes are proportional to the classes' ``|T_c|`` (downsampled to a
+tractable session budget), with synthetic per-PoP addressing, a small
+number of packets per session, optional payloads seeded with signature
+strings (so the Signature engine has something to find), and optional
+injected scanners (sources contacting many distinct destinations across
+paths, for the Scan/aggregation experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nids.signature import DEFAULT_SIGNATURES
+from repro.shim.hashing import FiveTuple
+from repro.simulation.packets import (
+    Packet,
+    Session,
+    pop_index_of_ip,
+    pop_prefix_ip,
+)
+from repro.traffic.classes import TrafficClass
+
+
+class PrefixClassifier:
+    """Maps a 5-tuple to its traffic class via PoP /16 prefixes and,
+    when several classes share a prefix pair (per-application classes,
+    Section 3 footnote 1), the destination port.
+
+    The emulation always presents the forward-oriented tuple (the real
+    shim resolves direction from connection state), so no
+    canonicalization is needed here.
+
+    Args:
+        pop_order: PoP names; their indices define the /16 prefixes.
+        classes: traffic classes to register.
+        class_ports: class name -> destination port, required for
+            (and only consulted on) prefix pairs shared by multiple
+            classes.
+    """
+
+    def __init__(self, pop_order: Sequence[str],
+                 classes: Sequence[TrafficClass],
+                 class_ports: Optional[Dict[str, int]] = None):
+        self._pop_of_index = {i: pop for i, pop in enumerate(pop_order)}
+        self._index_of_pop = {pop: i for i, pop in enumerate(pop_order)}
+        self._class_of_pair: Dict[Tuple[str, str], str] = {}
+        self._class_of_port: Dict[Tuple[str, str, int], str] = {}
+        class_ports = class_ports or {}
+        for cls in classes:
+            key = (cls.source, cls.target)
+            if key not in self._class_of_pair:
+                self._class_of_pair[key] = cls.name
+                continue
+            # Shared pair: both the incumbent and newcomer must be
+            # distinguishable by port.
+            incumbent = self._class_of_pair[key]
+            for name in (incumbent, cls.name):
+                if name not in class_ports:
+                    raise ValueError(
+                        f"two classes share the prefix pair {key}; "
+                        f"provide class_ports for {name!r}")
+            self._class_of_port[key + (class_ports[incumbent],)] = \
+                incumbent
+            port_key = key + (class_ports[cls.name],)
+            if port_key in self._class_of_port and \
+                    self._class_of_port[port_key] != cls.name:
+                raise ValueError(
+                    f"classes {self._class_of_port[port_key]!r} and "
+                    f"{cls.name!r} collide on {port_key}")
+            self._class_of_port[port_key] = cls.name
+
+    def pop_index(self, pop: str) -> int:
+        return self._index_of_pop[pop]
+
+    def __call__(self, tup: FiveTuple) -> Optional[str]:
+        src_pop = self._pop_of_index.get(pop_index_of_ip(tup.src_ip))
+        dst_pop = self._pop_of_index.get(pop_index_of_ip(tup.dst_ip))
+        if src_pop is None or dst_pop is None:
+            return None
+        by_port = self._class_of_port.get(
+            (src_pop, dst_pop, tup.dst_port))
+        if by_port is not None:
+            return by_port
+        return self._class_of_pair.get((src_pop, dst_pop))
+
+
+@dataclass
+class TraceSpec:
+    """Knobs for trace generation.
+
+    ``payload_sigma`` > 0 draws each session's payload size from a
+    lognormal around ``payload_bytes`` (heavy-tailed, like real flow
+    size distributions) instead of a fixed size.
+    """
+
+    total_sessions: int = 5_000
+    packets_per_session: Tuple[int, int] = (2, 2)  # (fwd, rev)
+    payload_bytes: int = 120
+    payload_sigma: float = 0.0
+    signature_session_fraction: float = 0.02
+    scanner_count: int = 0
+    scanner_fanout: int = 40
+
+    def __post_init__(self):
+        if self.total_sessions < 0:
+            raise ValueError("total_sessions must be non-negative")
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if self.payload_sigma < 0:
+            raise ValueError("payload_sigma must be non-negative")
+
+
+class TraceGenerator:
+    """Generates synthetic session traces over a topology's classes.
+
+    Args:
+        pop_order: all PoP names in a fixed order — their indices
+            define the /16 prefixes (must match across generator,
+            classifier, and emulation).
+        classes: traffic classes (paths resolved); per-class session
+            counts are ``|T_c|`` downsampled to ``spec.total_sessions``.
+        spec: generation knobs.
+        seed: RNG seed; generation is deterministic.
+    """
+
+    def __init__(self, pop_order: Sequence[str],
+                 classes: Sequence[TrafficClass],
+                 spec: Optional[TraceSpec] = None, seed: int = 7,
+                 class_ports: Optional[Dict[str, int]] = None):
+        self.pop_order = list(pop_order)
+        self.classes = list(classes)
+        self.spec = spec or TraceSpec()
+        self.seed = seed
+        self.class_ports = dict(class_ports or {})
+        self.classifier = PrefixClassifier(self.pop_order, self.classes,
+                                           self.class_ports)
+
+    def _session_quota(self) -> Dict[str, int]:
+        """Downsample class volumes to the session budget.
+
+        Largest-remainder apportionment keeps the realized mix close to
+        the target proportions even for small budgets.
+        """
+        total_volume = sum(cls.num_sessions for cls in self.classes)
+        if total_volume <= 0:
+            return {cls.name: 0 for cls in self.classes}
+        raw = {cls.name: self.spec.total_sessions * cls.num_sessions /
+               total_volume for cls in self.classes}
+        quotas = {name: int(value) for name, value in raw.items()}
+        shortfall = self.spec.total_sessions - sum(quotas.values())
+        remainders = sorted(raw, key=lambda n: raw[n] - quotas[n],
+                            reverse=True)
+        for name in remainders[:shortfall]:
+            quotas[name] += 1
+        return quotas
+
+    def _session_payload_bytes(self, rng: np.random.Generator) -> int:
+        """Per-session payload size (fixed, or lognormal-tailed)."""
+        if self.spec.payload_sigma <= 0:
+            return self.spec.payload_bytes
+        sigma = self.spec.payload_sigma
+        mu = np.log(self.spec.payload_bytes) - sigma * sigma / 2.0
+        return max(8, int(rng.lognormal(mu, sigma)))
+
+    def _payload(self, rng: np.random.Generator, size: int,
+                 embed_signature: bool) -> bytes:
+        body = rng.integers(0, 256, size=size,
+                            dtype=np.uint8).tobytes()
+        if not embed_signature:
+            return body
+        pattern = DEFAULT_SIGNATURES[
+            int(rng.integers(len(DEFAULT_SIGNATURES)))]
+        if len(pattern) >= size:
+            return pattern[:size]
+        offset = int(rng.integers(max(1, size - len(pattern))))
+        return body[:offset] + pattern + body[offset + len(pattern):]
+
+    def _make_session(self, cls: TrafficClass, host_pair: Tuple[int, int],
+                      rng: np.random.Generator,
+                      with_payloads: bool) -> Session:
+        src_index = self.classifier.pop_index(cls.source)
+        dst_index = self.classifier.pop_index(cls.target)
+        dst_port = self.class_ports.get(cls.name)
+        if dst_port is None:
+            dst_port = int(rng.choice([80, 443, 22, 25, 6667]))
+        tup = FiveTuple(
+            proto=6,
+            src_ip=pop_prefix_ip(src_index, host_pair[0]),
+            src_port=int(rng.integers(1024, 65535)),
+            dst_ip=pop_prefix_ip(dst_index, host_pair[1]),
+            dst_port=dst_port)
+        session = Session(five_tuple=tup, class_name=cls.name,
+                          fwd_path=cls.path,
+                          rev_path=cls.rev_path)
+        malicious = (with_payloads and
+                     rng.random() < self.spec.signature_session_fraction)
+        size = self._session_payload_bytes(rng)
+        fwd_count, rev_count = self.spec.packets_per_session
+        for i in range(fwd_count):
+            payload = (self._payload(rng, size, malicious and i == 0)
+                       if with_payloads else b"")
+            session.add_packet("fwd", size + 40, payload)
+        for _ in range(rev_count):
+            payload = (self._payload(rng, size, False)
+                       if with_payloads else b"")
+            session.add_packet("rev", size + 40, payload)
+        return session
+
+    def generate(self, with_payloads: bool = True) -> List[Session]:
+        """Generate the trace: normal sessions plus injected scanners."""
+        rng = np.random.default_rng(self.seed)
+        sessions: List[Session] = []
+        quotas = self._session_quota()
+        for cls in self.classes:
+            quota = quotas.get(cls.name, 0)
+            for _ in range(quota):
+                host_pair = (int(rng.integers(1, 2 ** 12)),
+                             int(rng.integers(1, 2 ** 12)))
+                sessions.append(self._make_session(
+                    cls, host_pair, rng, with_payloads))
+        sessions.extend(self._scanner_sessions(rng, with_payloads))
+        return sessions
+
+    def _scanner_sessions(self, rng: np.random.Generator,
+                          with_payloads: bool) -> List[Session]:
+        """Scanners: one fixed source host contacting many distinct
+        destination hosts, spread over that source's classes."""
+        sessions: List[Session] = []
+        if self.spec.scanner_count <= 0:
+            return sessions
+        by_source: Dict[str, List[TrafficClass]] = {}
+        for cls in self.classes:
+            by_source.setdefault(cls.source, []).append(cls)
+        source_pops = sorted(by_source)
+        for scanner_id in range(self.spec.scanner_count):
+            pop = source_pops[scanner_id % len(source_pops)]
+            scanner_host = 2 ** 15 + scanner_id  # outside normal range
+            targets = by_source[pop]
+            for i in range(self.spec.scanner_fanout):
+                cls = targets[i % len(targets)]
+                victim_host = 2 ** 14 + i  # distinct destinations
+                sessions.append(self._make_session(
+                    cls, (scanner_host, victim_host), rng,
+                    with_payloads))
+        return sessions

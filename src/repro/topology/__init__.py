@@ -1,0 +1,41 @@
+"""PoP-level network topologies, routing, and routing-asymmetry tools.
+
+The paper evaluates on eight topologies: Internet2/Abilene (11 PoPs),
+Geant (22), a multi-site Enterprise (23), and five Rocketfuel-inferred
+ISP backbones — TiNet/AS3257 (41), Telstra/AS1221 (44), Sprint/AS1239
+(52), Level3/AS3356 (63) and NTT/AS2914 (70). Abilene is reproduced
+exactly; the others are built by a deterministic synthetic generator
+matching the published PoP counts (see DESIGN.md, substitutions).
+"""
+
+from repro.topology.topology import Link, Topology
+from repro.topology.library import (
+    PAPER_TOPOLOGIES,
+    builtin_topology,
+    builtin_topology_names,
+)
+from repro.topology.generators import (
+    synthetic_enterprise_topology,
+    synthetic_isp_topology,
+)
+from repro.topology.routing import RoutingTable, shortest_path_routing
+from repro.topology.asymmetry import (
+    AsymmetricRoute,
+    AsymmetricRoutingModel,
+    jaccard_overlap,
+)
+
+__all__ = [
+    "AsymmetricRoute",
+    "AsymmetricRoutingModel",
+    "Link",
+    "PAPER_TOPOLOGIES",
+    "RoutingTable",
+    "Topology",
+    "builtin_topology",
+    "builtin_topology_names",
+    "jaccard_overlap",
+    "shortest_path_routing",
+    "synthetic_enterprise_topology",
+    "synthetic_isp_topology",
+]

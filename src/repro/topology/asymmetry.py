@@ -1,0 +1,168 @@
+"""Routing-asymmetry synthesis (Section 8.3 of the paper).
+
+The paper emulates asymmetric ("hot-potato") routing as follows: the
+forward direction of each ingress-egress pair takes its shortest path;
+the reverse direction takes a path chosen from the set of all end-to-end
+shortest paths so that the expected Jaccard overlap between forward and
+reverse node sets hits a target ratio theta. Per-pair targets theta' are
+drawn from a Gaussian with mean theta and standard deviation theta/5
+(footnote 8 notes the exact mechanism is not critical — only that paths
+with a target overlap are produced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.routing import RoutingTable
+from repro.topology.topology import Topology
+
+
+def jaccard_overlap(path_a: Sequence[str], path_b: Sequence[str]) -> float:
+    """Jaccard similarity of two paths' node sets.
+
+    Returns 1.0 for identical node sets and 0.0 for disjoint ones,
+    matching the paper's overlap metric.
+    """
+    set_a, set_b = set(path_a), set(path_b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+@dataclass(frozen=True)
+class AsymmetricRoute:
+    """Forward/reverse routes for one traffic class under asymmetry.
+
+    Attributes:
+        source: ingress PoP of the forward direction.
+        target: egress PoP of the forward direction.
+        fwd_path: nodes observing the forward flow (``P_c^fwd``).
+        rev_path: nodes observing the reverse flow (``P_c^rev``).
+        overlap: realized Jaccard overlap between the two node sets.
+    """
+
+    source: str
+    target: str
+    fwd_path: Tuple[str, ...]
+    rev_path: Tuple[str, ...]
+    overlap: float
+
+    @property
+    def common_nodes(self) -> Tuple[str, ...]:
+        """``P_c^common`` — nodes seeing both directions, in forward
+        path order (may be empty)."""
+        rev = set(self.rev_path)
+        return tuple(n for n in self.fwd_path if n in rev)
+
+
+class AsymmetricRoutingModel:
+    """Samples asymmetric forward/reverse route configurations.
+
+    Args:
+        topology: the network.
+        routing: symmetric shortest-path table providing both the
+            forward paths and the candidate pool for reverse paths.
+        max_candidates: optionally subsample the candidate pool (for
+            very large topologies); ``None`` uses every end-to-end path.
+        seed: seed for the candidate subsample only; per-configuration
+            randomness comes from the generator passed to
+            :meth:`generate`.
+    """
+
+    def __init__(self, topology: Topology, routing: RoutingTable,
+                 max_candidates: Optional[int] = None, seed: int = 0):
+        self.topology = topology
+        self.routing = routing
+        candidates: Dict[Tuple[str, ...], None] = {}
+        for source, target in routing.all_pairs():
+            if source < target:
+                candidates.setdefault(routing.path(source, target))
+        pool = list(candidates)
+        if max_candidates is not None and len(pool) > max_candidates:
+            rng = np.random.default_rng(seed)
+            keep = rng.choice(len(pool), size=max_candidates,
+                              replace=False)
+            pool = [pool[i] for i in sorted(keep)]
+        self._candidates: List[Tuple[str, ...]] = pool
+        self._overlap_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self._candidates)
+
+    def _overlaps_for(self, fwd_path: Tuple[str, ...]) -> np.ndarray:
+        """Jaccard overlap of ``fwd_path`` against every candidate."""
+        cached = self._overlap_cache.get(fwd_path)
+        if cached is None:
+            cached = np.array([jaccard_overlap(fwd_path, cand)
+                               for cand in self._candidates])
+            self._overlap_cache[fwd_path] = cached
+        return cached
+
+    def reverse_path_for(self, fwd_path: Tuple[str, ...],
+                         target_overlap: float,
+                         exclude_identical: bool = False
+                         ) -> Tuple[str, ...]:
+        """The candidate path whose overlap is closest to the target.
+
+        Ties are broken toward the earliest candidate, which is
+        deterministic because the candidate pool order is fixed.
+
+        Args:
+            exclude_identical: skip candidates whose node set equals
+                the forward path's (guarantees genuinely asymmetric
+                reverse routes even at high target overlap).
+        """
+        overlaps = self._overlaps_for(fwd_path)
+        distances = np.abs(overlaps - target_overlap)
+        if exclude_identical:
+            distances = np.where(overlaps >= 1.0, np.inf, distances)
+            if not np.isfinite(distances).any():
+                raise ValueError("no non-identical candidate paths")
+        index = int(np.argmin(distances))
+        return self._candidates[index]
+
+    def generate(self, theta: float, rng: np.random.Generator,
+                 exclude_identical: bool = False
+                 ) -> List[AsymmetricRoute]:
+        """Sample one asymmetric routing configuration.
+
+        Args:
+            theta: target expected overlap in [0, 1].
+            rng: random generator controlling the per-pair Gaussian
+                draws (mean ``theta``, std ``theta / 5``).
+            exclude_identical: forbid reverse paths with the same node
+                set as the forward path.
+
+        Returns:
+            One :class:`AsymmetricRoute` per unordered ingress-egress
+            pair (forward direction from the lexicographically smaller
+            node).
+        """
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be within [0, 1]")
+        routes = []
+        for source, target in self.routing.all_pairs():
+            if source >= target:
+                continue
+            fwd = self.routing.path(source, target)
+            theta_prime = float(np.clip(
+                rng.normal(theta, theta / 5.0 if theta > 0 else 0.0),
+                0.0, 1.0))
+            rev = self.reverse_path_for(fwd, theta_prime,
+                                        exclude_identical)
+            routes.append(AsymmetricRoute(
+                source=source, target=target, fwd_path=fwd,
+                rev_path=rev, overlap=jaccard_overlap(fwd, rev)))
+        return routes
+
+    def mean_overlap(self, routes: Sequence[AsymmetricRoute]) -> float:
+        """Average realized overlap of a configuration."""
+        if not routes:
+            return 0.0
+        return float(np.mean([r.overlap for r in routes]))

@@ -1,0 +1,109 @@
+"""Built-in topologies used in the paper's evaluation (Table 1).
+
+``internet2`` is the exact 11-PoP Abilene backbone (14 links).
+``geant`` is a hand-built 22-PoP approximation of the 2004 European
+research backbone. ``enterprise`` is a 23-PoP multi-site enterprise in
+the spirit of the "middlebox manifesto" network [30]. The five
+Rocketfuel ISPs are generated synthetically at the published PoP counts
+(see :mod:`repro.topology.generators` and DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.topology.generators import (
+    synthetic_enterprise_topology,
+    synthetic_isp_topology,
+)
+from repro.topology.topology import Topology
+
+# Metro-area population weights (millions), used by the gravity model.
+_ABILENE_POPULATIONS = {
+    "ATLA": 5.5, "CHIN": 9.5, "DNVR": 2.9, "HSTN": 6.3, "IPLS": 2.0,
+    "KSCY": 2.1, "LOSA": 13.1, "NYCM": 19.8, "SNVA": 7.1, "STTL": 3.6,
+    "WASH": 6.1,
+}
+
+# The real Abilene/Internet2 PoP-level adjacency.
+_ABILENE_LINKS = [
+    ("ATLA", "HSTN"), ("ATLA", "IPLS"), ("ATLA", "WASH"),
+    ("CHIN", "IPLS"), ("CHIN", "NYCM"), ("DNVR", "KSCY"),
+    ("DNVR", "SNVA"), ("DNVR", "STTL"), ("HSTN", "KSCY"),
+    ("HSTN", "LOSA"), ("IPLS", "KSCY"), ("LOSA", "SNVA"),
+    ("NYCM", "WASH"), ("SNVA", "STTL"),
+]
+
+# 22-PoP approximation of the GEANT European backbone (country codes),
+# with a meshier core (DE/FR/UK/NL/IT) and stub national networks.
+_GEANT_POPULATIONS = {
+    "AT": 8.8, "BE": 11.5, "CH": 8.6, "CZ": 10.7, "DE": 83.2,
+    "DK": 5.8, "ES": 47.4, "FR": 67.4, "GR": 10.7, "HR": 4.0,
+    "HU": 9.7, "IE": 5.0, "IL": 9.2, "IT": 59.0, "LU": 0.6,
+    "NL": 17.5, "PL": 38.0, "PT": 10.3, "SE": 10.4, "SI": 2.1,
+    "SK": 5.5, "UK": 67.2,
+}
+
+_GEANT_LINKS = [
+    ("UK", "FR"), ("UK", "NL"), ("UK", "IE"), ("UK", "SE"),
+    ("FR", "DE"), ("FR", "ES"), ("FR", "CH"), ("FR", "LU"),
+    ("DE", "NL"), ("DE", "AT"), ("DE", "CZ"), ("DE", "DK"),
+    ("DE", "CH"), ("NL", "BE"), ("BE", "LU"), ("ES", "PT"),
+    ("PT", "UK"), ("IT", "CH"), ("IT", "AT"), ("IT", "GR"),
+    ("AT", "HU"), ("AT", "SI"), ("CZ", "SK"), ("CZ", "PL"),
+    ("PL", "DE"), ("SE", "DK"), ("HU", "SK"), ("HU", "HR"),
+    ("SI", "HR"), ("GR", "IL"), ("IL", "IT"),
+]
+
+# PoP counts as reported in Table 1 of the paper.
+PAPER_TOPOLOGIES: Dict[str, int] = {
+    "internet2": 11,
+    "geant": 22,
+    "enterprise": 23,
+    "tinet": 41,
+    "telstra": 44,
+    "sprint": 52,
+    "level3": 63,
+    "ntt": 70,
+}
+
+# Seeds keep the synthetic ISPs stable across runs and versions.
+_ISP_SEEDS = {"tinet": 3257, "telstra": 1221, "sprint": 1239,
+              "level3": 3356, "ntt": 2914}
+
+# Rocketfuel backbones differ in meshiness; Level3 famously dense.
+_ISP_MEAN_DEGREE = {"tinet": 3.2, "telstra": 2.6, "sprint": 3.4,
+                    "level3": 4.4, "ntt": 3.0}
+
+
+def builtin_topology_names() -> List[str]:
+    """Names accepted by :func:`builtin_topology`, in paper order."""
+    return list(PAPER_TOPOLOGIES)
+
+
+def builtin_topology(name: str) -> Topology:
+    """Construct one of the paper's eight evaluation topologies.
+
+    Args:
+        name: one of :func:`builtin_topology_names` (case-insensitive).
+
+    Raises:
+        KeyError: for an unknown topology name.
+    """
+    key = name.lower()
+    if key == "internet2":
+        return Topology("internet2", sorted(_ABILENE_POPULATIONS),
+                        _ABILENE_LINKS, _ABILENE_POPULATIONS)
+    if key == "geant":
+        return Topology("geant", sorted(_GEANT_POPULATIONS),
+                        _GEANT_LINKS, _GEANT_POPULATIONS)
+    if key == "enterprise":
+        return synthetic_enterprise_topology(
+            num_pops=PAPER_TOPOLOGIES["enterprise"], seed=23)
+    if key in _ISP_SEEDS:
+        return synthetic_isp_topology(
+            name=key, num_pops=PAPER_TOPOLOGIES[key],
+            seed=_ISP_SEEDS[key], mean_degree=_ISP_MEAN_DEGREE[key])
+    raise KeyError(
+        f"unknown topology {name!r}; expected one of "
+        f"{builtin_topology_names()}")

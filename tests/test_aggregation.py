@@ -1,0 +1,90 @@
+"""Unit tests for the Section 6 aggregation LP (Figure 9)."""
+
+import pytest
+
+from repro.core import AggregationProblem, ingress_result
+
+
+class TestAggregationLP:
+    def test_coverage_sums_to_one(self, line_state):
+        result = AggregationProblem(line_state, beta=1e-9).solve()
+        for cls in line_state.classes:
+            total = sum(result.process_fractions[cls.name].values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_beta_zero_balances_load(self, line_state):
+        result = AggregationProblem(line_state, beta=0.0).solve()
+        # With no communication penalty, the LP is free to balance:
+        # 1500 work over 4 nodes with cap 1000 -> 0.375.
+        assert result.load_cost == pytest.approx(0.375, abs=1e-6)
+
+    def test_huge_beta_concentrates_at_aggregation_point(self,
+                                                         line_state):
+        result = AggregationProblem(line_state, beta=1e6).solve()
+        # Distance-0 processing (at the ingress) makes CommCost zero.
+        assert result.comm_cost == pytest.approx(0.0, abs=1e-3)
+        for cls in line_state.classes:
+            fractions = result.process_fractions[cls.name]
+            assert fractions[cls.ingress] == pytest.approx(1.0,
+                                                           abs=1e-6)
+
+    def test_huge_beta_matches_ingress_loads(self, line_state):
+        aggregated = AggregationProblem(line_state, beta=1e6).solve()
+        ingress = ingress_result(line_state)
+        assert aggregated.load_cost == pytest.approx(
+            ingress.load_cost, abs=1e-6)
+
+    def test_comm_cost_formula(self, line_state):
+        result = AggregationProblem(line_state, beta=1e-9).solve()
+        expected = 0.0
+        for cls in line_state.classes:
+            for node, fraction in \
+                    result.process_fractions[cls.name].items():
+                distance = line_state.routing.hop_count(node,
+                                                        cls.ingress)
+                expected += (cls.num_sessions * fraction *
+                             cls.record_bytes * distance)
+        assert result.comm_cost == pytest.approx(expected, rel=1e-6)
+
+    def test_tradeoff_monotone_in_beta(self, line_state):
+        base = AggregationProblem(line_state).suggested_beta()
+        betas = [base * m for m in (0.01, 0.1, 1.0, 10.0, 100.0)]
+        loads, comms = [], []
+        for beta in betas:
+            result = AggregationProblem(line_state, beta=beta).solve()
+            loads.append(result.load_cost)
+            comms.append(result.comm_cost)
+        # Raising beta never raises comm cost and never lowers load.
+        for i in range(len(betas) - 1):
+            assert comms[i + 1] <= comms[i] + 1e-6
+            assert loads[i + 1] >= loads[i] - 1e-6
+
+    def test_objective_value(self, line_state):
+        beta = AggregationProblem(line_state).suggested_beta()
+        result = AggregationProblem(line_state, beta=beta).solve()
+        assert result.objective == pytest.approx(
+            result.load_cost + beta * result.comm_cost, rel=1e-9)
+
+    def test_imbalance_improves_over_ingress(self, line_state):
+        base = AggregationProblem(line_state).suggested_beta()
+        aggregated = AggregationProblem(line_state, beta=base).solve()
+        ingress = ingress_result(line_state)
+        assert (aggregated.load_imbalance() <=
+                ingress.load_imbalance() + 1e-9)
+
+    def test_custom_aggregation_point(self, line_state):
+        # Send all reports to D instead of each ingress.
+        result = AggregationProblem(
+            line_state, beta=1e6,
+            aggregation_point=lambda cls: "D").solve()
+        for cls in line_state.classes:
+            fractions = result.process_fractions[cls.name]
+            if "D" in cls.path:
+                assert fractions["D"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_beta_rejected(self, line_state):
+        with pytest.raises(ValueError):
+            AggregationProblem(line_state, beta=-1.0)
+
+    def test_suggested_beta_positive(self, line_state):
+        assert AggregationProblem(line_state).suggested_beta() > 0

@@ -1,0 +1,148 @@
+"""Unit tests for scan-report aggregation, including the Figure 8
+motivating example (two sources, four destinations, two flows per
+pair, two two-node paths)."""
+
+import pytest
+
+from repro.nids import (
+    ScanAggregator,
+    ScanDetector,
+    SplitStrategy,
+    aggregate_reports,
+    report_cost_record_hops,
+)
+from repro.nids.reports import SourceCountReport
+
+
+def figure8_flows():
+    """The Figure 8 scenario: s1, s2 each contact d1..d4; path 1
+    carries destinations d1, d2 (nodes N2, N3), path 2 carries d3, d4
+    (nodes N4, N5); two flows per src-dst pair."""
+    flows = []
+    for src in (1, 2):
+        for dst in (11, 12, 13, 14):
+            for flow in range(2):
+                path = "p1" if dst in (11, 12) else "p2"
+                flows.append((src, dst, path, flow))
+    return flows
+
+
+class TestFigure8Strategies:
+    """All three splits must agree with centralized counting; their
+    costs must order as the paper argues (source-level cheapest)."""
+
+    def centralized_counts(self):
+        det = ScanDetector()
+        for src, dst, _, flow in figure8_flows():
+            det.observe_flow(src, dst, flow_key=(src, dst, flow))
+        return {src: det.destination_count(src) for src in (1, 2)}
+
+    def test_flow_level_correct_with_tuple_reports(self):
+        # Flow split: alternate flows of the same pair land on
+        # different nodes -> per-src counters would double count, but
+        # tuple reports union correctly.
+        detectors = {n: ScanDetector() for n in ("N2", "N3", "N4", "N5")}
+        for src, dst, path, flow in figure8_flows():
+            nodes = ("N2", "N3") if path == "p1" else ("N4", "N5")
+            node = nodes[flow % 2]
+            detectors[node].observe_flow(src, dst)
+        reports = [det.flow_tuple_report(node)
+                   for node, det in detectors.items()]
+        combined = aggregate_reports(SplitStrategy.FLOW_LEVEL, reports)
+        assert combined == self.centralized_counts()
+
+    def test_flow_level_counters_would_overcount(self):
+        """Demonstrate the overcounting the paper warns about: summing
+        per-src counters across a flow-level split is wrong."""
+        detectors = {n: ScanDetector() for n in ("N2", "N3")}
+        # Both flows of (s1, d1) land on different nodes.
+        detectors["N2"].observe_flow(1, 11)
+        detectors["N3"].observe_flow(1, 11)
+        reports = [det.source_count_report(node)
+                   for node, det in detectors.items()]
+        combined = aggregate_reports(SplitStrategy.SOURCE_LEVEL, reports)
+        assert combined[1] == 2  # wrong: the true count is 1
+
+    def test_destination_level_correct(self):
+        detectors = {n: ScanDetector() for n in ("N2", "N3", "N4", "N5")}
+        owner = {11: "N2", 12: "N3", 13: "N4", 14: "N5"}
+        for src, dst, _, flow in figure8_flows():
+            detectors[owner[dst]].observe_flow(src, dst)
+        reports = [det.destination_set_report(node)
+                   for node, det in detectors.items()]
+        combined = aggregate_reports(SplitStrategy.DESTINATION_LEVEL,
+                                     reports)
+        assert combined == self.centralized_counts()
+
+    def test_source_level_correct(self):
+        detectors = {n: ScanDetector() for n in ("N2", "N3", "N4", "N5")}
+        for src, dst, path, _ in figure8_flows():
+            nodes = ("N2", "N3") if path == "p1" else ("N4", "N5")
+            node = nodes[0] if src == 1 else nodes[1]
+            detectors[node].observe_flow(src, dst)
+        reports = [det.source_count_report(node)
+                   for node, det in detectors.items()]
+        combined = aggregate_reports(SplitStrategy.SOURCE_LEVEL, reports)
+        assert combined == self.centralized_counts()
+
+    def test_source_split_cheaper_than_destination_split(self):
+        """Paper: 6 record-hop units for source split vs 12 for
+        destination split (aggregating at N1; N2/N4 one hop away,
+        N3/N5 two hops)."""
+        hop_distance = {"N2": 1, "N3": 2, "N4": 1, "N5": 2}
+
+        dest_detectors = {n: ScanDetector()
+                          for n in ("N2", "N3", "N4", "N5")}
+        owner = {11: "N2", 12: "N3", 13: "N4", 14: "N5"}
+        for src, dst, _, flow in figure8_flows():
+            dest_detectors[owner[dst]].observe_flow(src, dst)
+        dest_reports = [det.source_count_report(node)
+                        for node, det in dest_detectors.items()]
+        dest_hops, _ = report_cost_record_hops(dest_reports,
+                                               hop_distance)
+        assert dest_hops == 12.0  # 2 rows per node, hops 1+2+1+2
+
+        src_detectors = {n: ScanDetector()
+                         for n in ("N2", "N3", "N4", "N5")}
+        for src, dst, path, _ in figure8_flows():
+            nodes = ("N2", "N3") if path == "p1" else ("N4", "N5")
+            node = nodes[0] if src == 1 else nodes[1]
+            src_detectors[node].observe_flow(src, dst)
+        src_reports = [det.source_count_report(node)
+                       for node, det in src_detectors.items()]
+        src_hops, _ = report_cost_record_hops(src_reports, hop_distance)
+        assert src_hops == 6.0  # 1 row per node, hops 1+2+1+2
+        assert src_hops < dest_hops
+
+
+class TestAggregator:
+    def test_threshold_at_aggregator_only(self):
+        """Section 7.3: per-node counts below k can aggregate above k."""
+        aggregator = ScanAggregator(threshold=3)
+        aggregator.submit(SourceCountReport("N1", {7: 2}))
+        aggregator.submit(SourceCountReport("N2", {7: 2}))
+        assert aggregator.alerts() == [7]
+
+    def test_below_threshold_not_flagged(self):
+        aggregator = ScanAggregator(threshold=5)
+        aggregator.submit(SourceCountReport("N1", {7: 2}))
+        aggregator.submit(SourceCountReport("N2", {7: 2}))
+        assert aggregator.alerts() == []
+
+    def test_type_checking(self):
+        aggregator = ScanAggregator(threshold=0,
+                                    strategy=SplitStrategy.FLOW_LEVEL)
+        aggregator.submit(SourceCountReport("N1", {1: 1}))
+        with pytest.raises(TypeError):
+            aggregator.alerts()
+
+    def test_reset(self):
+        aggregator = ScanAggregator(threshold=0)
+        aggregator.submit(SourceCountReport("N1", {1: 1}))
+        aggregator.reset()
+        assert aggregator.num_reports == 0
+        assert aggregator.alerts() == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ScanAggregator(threshold=-1)

@@ -1,0 +1,102 @@
+"""Unit tests for application-level traffic classes."""
+
+import pytest
+
+from repro.core import MirrorPolicy, NetworkState, ReplicationProblem
+from repro.traffic import (
+    ApplicationProfile,
+    DEFAULT_APPLICATION_MIX,
+    TrafficMatrix,
+    classes_with_applications,
+    gravity_traffic_matrix,
+    port_classifier_map,
+    validate_mix,
+)
+
+
+class TestMixValidation:
+    def test_default_mix_valid(self):
+        validate_mix(DEFAULT_APPLICATION_MIX)
+
+    def test_shares_must_sum_to_one(self):
+        bad = (ApplicationProfile("a", 1, 0.5, 100.0),)
+        with pytest.raises(ValueError):
+            validate_mix(bad)
+
+    def test_duplicate_names_rejected(self):
+        bad = (ApplicationProfile("a", 1, 0.5, 100.0),
+               ApplicationProfile("a", 2, 0.5, 100.0))
+        with pytest.raises(ValueError):
+            validate_mix(bad)
+
+    def test_duplicate_ports_rejected(self):
+        bad = (ApplicationProfile("a", 1, 0.5, 100.0),
+               ApplicationProfile("b", 1, 0.5, 100.0))
+        with pytest.raises(ValueError):
+            validate_mix(bad)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            validate_mix(())
+
+
+class TestClassGeneration:
+    def test_one_class_per_pair_and_app(self, line_topology):
+        matrix = gravity_traffic_matrix(line_topology, 1000.0)
+        classes = classes_with_applications(line_topology, matrix)
+        assert len(classes) == 12 * len(DEFAULT_APPLICATION_MIX)
+
+    def test_volume_split_by_share(self, line_topology):
+        matrix = TrafficMatrix({("A", "D"): 1000.0})
+        classes = classes_with_applications(line_topology, matrix)
+        by_app = {cls.name.split("/")[1]: cls for cls in classes}
+        assert by_app["http"].num_sessions == pytest.approx(450.0)
+        assert by_app["irc"].num_sessions == pytest.approx(50.0)
+        total = sum(cls.num_sessions for cls in classes)
+        assert total == pytest.approx(1000.0)
+
+    def test_shared_path_per_pair(self, line_topology):
+        matrix = TrafficMatrix({("A", "D"): 100.0})
+        classes = classes_with_applications(line_topology, matrix)
+        paths = {cls.path for cls in classes}
+        assert len(paths) == 1  # footnote 1: same routing path
+
+    def test_per_app_footprints_carried(self, line_topology):
+        matrix = TrafficMatrix({("A", "D"): 100.0})
+        classes = classes_with_applications(line_topology, matrix)
+        by_app = {cls.name.split("/")[1]: cls for cls in classes}
+        assert by_app["irc"].footprint("cpu") == 1.5
+        assert by_app["dns"].footprint("cpu") == 0.2
+
+    def test_port_classifier_map(self):
+        mapping = port_classifier_map(DEFAULT_APPLICATION_MIX)
+        assert mapping[80] == "http"
+        assert mapping[6667] == "irc"
+
+    def test_lp_solves_with_application_classes(self, line_topology):
+        """The formulations are class-granularity agnostic: per-app
+        classes slot in directly (Section 3's general model)."""
+        matrix = gravity_traffic_matrix(line_topology, 1000.0)
+        classes = classes_with_applications(line_topology, matrix)
+        state = NetworkState.calibrated(line_topology, classes,
+                                        dc_capacity_factor=5.0)
+        result = ReplicationProblem(
+            state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        assert result.load_cost <= 1.0
+        for cls in classes:
+            covered = (sum(result.process_fractions[cls.name].values())
+                       + result.replicated_fraction(cls.name))
+            assert covered == pytest.approx(1.0, abs=1e-6)
+
+    def test_heavier_apps_dominate_calibration(self, line_topology):
+        """HTTP (45% share, 1.2 cpu) drives more provisioning demand
+        than DNS (10% share, 0.2 cpu)."""
+        matrix = TrafficMatrix({("A", "D"): 1000.0})
+        classes = classes_with_applications(line_topology, matrix)
+        state = NetworkState.calibrated(line_topology, classes)
+        http = state.class_by_name("A->D/http")
+        dns = state.class_by_name("A->D/dns")
+        http_work = http.footprint("cpu") * http.num_sessions
+        dns_work = dns.footprint("cpu") * dns.num_sessions
+        assert http_work > 20 * dns_work

@@ -1,0 +1,110 @@
+"""Unit tests for the routing-asymmetry synthesis (Section 8.3)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    AsymmetricRoutingModel,
+    builtin_topology,
+    jaccard_overlap,
+    shortest_path_routing,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_overlap(("A", "B"), ("B", "A")) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_overlap(("A", "B"), ("C", "D")) == 0.0
+
+    def test_partial(self):
+        # {A,B,C} vs {B,C,D}: 2 shared / 4 union.
+        assert jaccard_overlap(("A", "B", "C"),
+                               ("B", "C", "D")) == pytest.approx(0.5)
+
+    def test_empty_paths(self):
+        assert jaccard_overlap((), ()) == 1.0
+
+    def test_symmetric(self):
+        a, b = ("A", "B", "C"), ("C", "D")
+        assert jaccard_overlap(a, b) == jaccard_overlap(b, a)
+
+
+@pytest.fixture(scope="module")
+def internet2_model():
+    topo = builtin_topology("internet2")
+    routing = shortest_path_routing(topo)
+    return AsymmetricRoutingModel(topo, routing)
+
+
+class TestAsymmetricRoutingModel:
+    def test_candidate_pool_is_unordered_pairs(self, internet2_model):
+        # 11 PoPs -> 55 unordered pairs, minus any duplicate node-paths.
+        assert 40 <= internet2_model.num_candidates <= 55
+
+    def test_generate_one_route_per_pair(self, internet2_model):
+        rng = np.random.default_rng(0)
+        routes = internet2_model.generate(0.5, rng)
+        assert len(routes) == 55
+        assert all(r.source < r.target for r in routes)
+
+    def test_forward_paths_are_shortest(self, internet2_model):
+        rng = np.random.default_rng(0)
+        for route in internet2_model.generate(0.5, rng):
+            assert route.fwd_path[0] == route.source
+            assert route.fwd_path[-1] == route.target
+
+    def test_overlap_tracks_theta(self, internet2_model):
+        rng = np.random.default_rng(1)
+        low = internet2_model.mean_overlap(
+            internet2_model.generate(0.1, rng))
+        high = internet2_model.mean_overlap(
+            internet2_model.generate(0.9, rng))
+        assert low < high
+        assert low < 0.4
+        assert high > 0.6
+
+    def test_theta_validation(self, internet2_model):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            internet2_model.generate(1.5, rng)
+
+    def test_theta_one_yields_identical_paths(self, internet2_model):
+        rng = np.random.default_rng(2)
+        routes = internet2_model.generate(1.0, rng)
+        # With target 1.0 most picked reverse paths share the node set.
+        mean = internet2_model.mean_overlap(routes)
+        assert mean > 0.9
+
+    def test_exclude_identical(self, internet2_model):
+        rng = np.random.default_rng(3)
+        routes = internet2_model.generate(0.9, rng,
+                                          exclude_identical=True)
+        for route in routes:
+            assert set(route.rev_path) != set(route.fwd_path)
+
+    def test_common_nodes_in_forward_order(self, internet2_model):
+        rng = np.random.default_rng(4)
+        for route in internet2_model.generate(0.4, rng):
+            common = route.common_nodes
+            assert set(common) == set(route.fwd_path) & set(route.rev_path)
+            indices = [route.fwd_path.index(n) for n in common]
+            assert indices == sorted(indices)
+
+    def test_deterministic_given_rng(self, internet2_model):
+        a = internet2_model.generate(0.3, np.random.default_rng(7))
+        b = internet2_model.generate(0.3, np.random.default_rng(7))
+        assert a == b
+
+    def test_max_candidates_subsampling(self):
+        topo = builtin_topology("internet2")
+        routing = shortest_path_routing(topo)
+        model = AsymmetricRoutingModel(topo, routing,
+                                       max_candidates=10, seed=1)
+        assert model.num_candidates == 10
+
+    def test_reverse_path_for_exact_target(self, internet2_model):
+        fwd = internet2_model._candidates[0]
+        rev = internet2_model.reverse_path_for(fwd, 1.0)
+        assert set(rev) == set(fwd)

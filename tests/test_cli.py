@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologies:
+    def test_lists_all_builtins(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("internet2", "geant", "ntt"):
+            assert name in out
+
+
+class TestSolve:
+    def test_replication_default(self, capsys):
+        assert main(["solve", "internet2"]) == 0
+        out = capsys.readouterr().out
+        assert "LoadCost" in out
+        assert "replicated classes" in out
+
+    def test_replication_no_mirror(self, capsys):
+        assert main(["solve", "internet2", "--mirror", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "LoadCost" in out
+
+    def test_aggregation(self, capsys):
+        assert main(["solve", "internet2",
+                     "--formulation", "aggregation"]) == 0
+        out = capsys.readouterr().out
+        assert "comm cost" in out
+
+    def test_split(self, capsys):
+        assert main(["solve", "internet2",
+                     "--formulation", "split"]) == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out
+
+    def test_nips(self, capsys):
+        assert main(["solve", "internet2",
+                     "--formulation", "nips"]) == 0
+        out = capsys.readouterr().out
+        assert "detour" in out
+
+    def test_combined(self, capsys):
+        assert main(["solve", "internet2",
+                     "--formulation", "combined"]) == 0
+        out = capsys.readouterr().out
+        assert "comm cost" in out
+
+    def test_top_limits_rows(self, capsys):
+        assert main(["solve", "internet2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 node loads" in out
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "arpanet"])
+
+
+class TestCompare:
+    def test_compare_internet2(self, capsys):
+        assert main(["compare", "internet2"]) == 0
+        out = capsys.readouterr().out
+        assert "ingress" in out
+        assert "path-replicate" in out
+        assert "dc+one-hop" in out
+
+
+class TestExperiment:
+    def test_fig13(self, capsys):
+        assert main(["experiment", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+
+    def test_all_runs_every_experiment(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_EXPERIMENTS", {
+            "alpha": lambda: "ALPHA TABLE",
+            "beta": lambda: "BETA TABLE",
+        })
+        assert main(["experiment", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "==== alpha ====" in out
+        assert "ALPHA TABLE" in out
+        assert "==== beta ====" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

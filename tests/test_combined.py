@@ -1,0 +1,72 @@
+"""Unit tests for the combined replication+aggregation formulation."""
+
+import pytest
+
+from repro.core import AggregationProblem, CombinedProblem
+
+
+class TestCombinedProblem:
+    def test_requires_datacenter(self, line_state):
+        with pytest.raises(ValueError):
+            CombinedProblem(line_state)
+
+    def test_coverage_sums_to_one(self, line_state_dc):
+        result = CombinedProblem(line_state_dc, beta=1e-9).solve()
+        for cls in line_state_dc.classes:
+            total = sum(result.process_fractions[cls.name].values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_never_worse_than_pure_aggregation(self, line_state_dc):
+        """The combined formulation strictly generalizes Figure 9 (set
+        all o to zero), so its objective can only improve."""
+        beta = AggregationProblem(line_state_dc).suggested_beta()
+        pure = AggregationProblem(line_state_dc, beta=beta).solve()
+        combined = CombinedProblem(line_state_dc, beta=beta,
+                                   max_link_load=0.4).solve()
+        assert combined.objective <= pure.objective + 1e-9
+
+    def test_dc_used_when_comm_cost_dominates(self, line_state_dc):
+        """With a very large beta and an aggregation point that sits
+        next to the DC, shipping the sub-task to the DC wins."""
+        anchor = "B"  # the DC anchor on the line fixture
+        result = CombinedProblem(
+            line_state_dc, beta=1e6, max_link_load=1.0,
+            aggregation_point=lambda cls: anchor).solve()
+        # Classes not passing through B benefit from DC counting
+        # (report distance DC->B is 1 hop vs their own distance).
+        dc_usage = sum(
+            fractions.get("DC", 0.0)
+            for fractions in result.process_fractions.values())
+        # At minimum the formulation keeps comm cost no worse than
+        # counting at the closest on-path node.
+        pure = AggregationProblem(
+            line_state_dc, beta=1e6,
+            aggregation_point=lambda cls: anchor).solve()
+        assert result.comm_cost <= pure.comm_cost + 1e-6
+        assert dc_usage >= 0.0
+
+    def test_link_budget_limits_dc_counting(self, line_state_dc):
+        """Zero link budget forbids shipping traffic to the DC, so the
+        combined result collapses to pure aggregation."""
+        beta = AggregationProblem(line_state_dc).suggested_beta()
+        pure = AggregationProblem(line_state_dc, beta=beta).solve()
+        choked = CombinedProblem(line_state_dc, beta=beta,
+                                 max_link_load=0.0).solve()
+        assert choked.objective == pytest.approx(pure.objective,
+                                                 rel=1e-6)
+
+    def test_load_balancing_can_beat_pure_aggregation(self,
+                                                      line_state_dc):
+        """With beta ~ 0 the DC's spare capacity lets the combined
+        formulation reach a lower LoadCost than on-path-only
+        aggregation."""
+        pure = AggregationProblem(line_state_dc, beta=0.0).solve()
+        combined = CombinedProblem(line_state_dc, beta=0.0,
+                                   max_link_load=1.0).solve()
+        assert combined.load_cost <= pure.load_cost + 1e-9
+
+    def test_validation(self, line_state_dc):
+        with pytest.raises(ValueError):
+            CombinedProblem(line_state_dc, beta=-1.0)
+        with pytest.raises(ValueError):
+            CombinedProblem(line_state_dc, max_link_load=1.5)

@@ -1,0 +1,85 @@
+"""Tests for the network-wide controller (Figure 6)."""
+
+import pytest
+
+from repro.core import (
+    MirrorPolicy,
+    NIDSController,
+    TransitionPhase,
+)
+
+
+@pytest.fixture
+def controller(line_state_dc):
+    return NIDSController(line_state_dc,
+                          mirror_policy=MirrorPolicy.datacenter(),
+                          max_link_load=0.4)
+
+
+class TestLifecycle:
+    def test_first_refresh_has_no_transition(self, controller):
+        rollout = controller.refresh()
+        assert rollout.transition is None
+        assert controller.current_configs is rollout.configs
+        assert controller.refresh_count == 1
+
+    def test_second_refresh_produces_overlap_transition(self,
+                                                        controller,
+                                                        line_classes):
+        controller.refresh()
+        shifted = [line_classes[0].scaled(3.0), line_classes[1]]
+        rollout = controller.refresh(shifted)
+        assert rollout.transition is not None
+        assert rollout.transition.phase is TransitionPhase.OVERLAPPING
+        for node in sorted(rollout.configs):
+            rollout.transition.acknowledge(node)
+        assert rollout.transition.phase is TransitionPhase.COMPLETE
+
+    def test_result_adapts_to_traffic(self, controller, line_classes):
+        first = controller.refresh()
+        heavier = [cls.scaled(2.0) for cls in line_classes]
+        second = controller.refresh(heavier)
+        # Load grows at least linearly (doubled background also shrinks
+        # the replication headroom, so it can grow super-linearly), but
+        # stays within the ingress-only ceiling of 2.0.
+        assert second.result.load_cost > \
+            1.9 * first.result.load_cost - 1e-9
+        assert second.result.load_cost <= 2.0 + 1e-9
+
+    def test_refresh_without_classes_reuses_current(self, controller,
+                                                    line_classes):
+        controller.refresh([cls.scaled(2.0) for cls in line_classes])
+        again = controller.refresh()
+        assert again.result.load_cost == pytest.approx(
+            controller.current_result.load_cost)
+
+
+class TestTriggers:
+    def test_needs_refresh_initially(self, controller, line_classes):
+        assert controller.needs_refresh(line_classes)
+
+    def test_small_drift_no_refresh(self, controller, line_classes):
+        controller.refresh(line_classes)
+        slightly = [cls.scaled(1.05) for cls in line_classes]
+        assert controller.traffic_drift(slightly) < 0.1
+        assert not controller.needs_refresh(slightly)
+
+    def test_large_drift_triggers(self, controller, line_classes):
+        controller.refresh(line_classes)
+        doubled = [cls.scaled(2.0) for cls in line_classes]
+        assert controller.needs_refresh(doubled)
+
+    def test_disappearing_class_counts_fully(self, controller,
+                                             line_classes):
+        controller.refresh(line_classes)
+        drift = controller.traffic_drift(line_classes[:1])
+        assert drift > 0.3  # B->C (500 of 1500) vanished
+
+    def test_drift_zero_for_identical_traffic(self, controller,
+                                              line_classes):
+        controller.refresh(line_classes)
+        assert controller.traffic_drift(line_classes) == 0.0
+
+    def test_threshold_validation(self, line_state_dc):
+        with pytest.raises(ValueError):
+            NIDSController(line_state_dc, drift_threshold=-0.1)

@@ -1,0 +1,219 @@
+"""Integration tests: LP solution -> shim configs -> trace emulation."""
+
+import pytest
+
+from repro.core import (
+    AggregationProblem,
+    MirrorPolicy,
+    NetworkState,
+    ReplicationProblem,
+    SplitTrafficProblem,
+)
+from repro.shim import (
+    build_aggregation_configs,
+    build_replication_configs,
+    build_split_configs,
+)
+from repro.simulation import Emulation, TraceGenerator
+from repro.simulation.tracegen import TraceSpec
+from repro.traffic.classes import TrafficClass
+
+
+@pytest.fixture
+def emulation_pieces(line_state_dc):
+    generator = TraceGenerator(
+        line_state_dc.topology.nodes, line_state_dc.classes,
+        spec=TraceSpec(total_sessions=600), seed=11)
+    sessions = generator.generate(with_payloads=True)
+    return line_state_dc, generator, sessions
+
+
+class TestSignatureEmulation:
+    def test_every_packet_processed_exactly_once(self,
+                                                 emulation_pieces):
+        state, generator, sessions = emulation_pieces
+        result = ReplicationProblem(
+            state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        configs = build_replication_configs(state, result)
+        emulation = Emulation(state, configs, generator.classifier)
+        report = emulation.run_signature(sessions)
+        total_packets = sum(len(s.packets) for s in sessions)
+        processed = sum(e for e in report.work_units.values())
+        assert report.packets_total == total_packets
+        # Each session appears at exactly one engine.
+        assert sum(report.sessions_processed.values()) == len(sessions)
+
+    def test_replication_reduces_measured_peak(self, emulation_pieces):
+        state, generator, sessions = emulation_pieces
+        reports = {}
+        for label, policy in (("plain", MirrorPolicy.none()),
+                              ("dc", MirrorPolicy.datacenter())):
+            result = ReplicationProblem(
+                state, mirror_policy=policy,
+                max_link_load=0.4).solve()
+            configs = build_replication_configs(state, result)
+            emulation = Emulation(state, configs, generator.classifier)
+            reports[label] = emulation.run_signature(sessions)
+        plain_peak = reports["plain"].max_work(exclude=["DC"])
+        dc_peak = reports["dc"].max_work(exclude=["DC"])
+        assert dc_peak < plain_peak
+
+    def test_measured_loads_track_lp_prediction(self, emulation_pieces):
+        state, generator, sessions = emulation_pieces
+        result = ReplicationProblem(
+            state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        configs = build_replication_configs(state, result)
+        emulation = Emulation(state, configs, generator.classifier)
+        report = emulation.run_signature(sessions)
+        # Compare normalized profiles: sessions per node vs LP loads.
+        lp = result.node_loads["cpu"]
+        cap = {n: state.capacity("cpu", n) for n in state.nids_nodes}
+        predicted = {n: lp[n] * cap[n] for n in state.nids_nodes}
+        total_pred = sum(predicted.values())
+        total_meas = sum(report.sessions_processed.values())
+        for node in state.nids_nodes:
+            share_pred = predicted[node] / total_pred
+            share_meas = report.sessions_processed[node] / total_meas
+            assert share_meas == pytest.approx(share_pred, abs=0.06)
+
+    def test_replicated_bytes_only_on_mirror_routes(self,
+                                                    emulation_pieces):
+        state, generator, sessions = emulation_pieces
+        result = ReplicationProblem(
+            state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        configs = build_replication_configs(state, result)
+        emulation = Emulation(state, configs, generator.classifier)
+        report = emulation.run_signature(sessions)
+        assert report.replicated_bytes > 0
+        for link, volume in report.link_replicated_bytes.items():
+            assert volume >= 0
+        # Every replication route ends at the DC anchor link.
+        anchor_link = tuple(sorted(("B", "DC")))
+        assert report.link_replicated_bytes.get(anchor_link, 0) > 0
+
+
+class TestLocalOffloadEmulation:
+    def test_one_hop_offload_reduces_measured_peak(self, line_state):
+        """The Figure 14 architecture operationally: local one-hop
+        mirrors absorb work without any datacenter."""
+        from repro.core import MirrorPolicy, ReplicationProblem
+
+        plain_lp = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.none()).solve()
+        local_lp = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.neighbors(1),
+            max_link_load=1.0).solve()
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=800), seed=31)
+        sessions = generator.generate(with_payloads=False)
+
+        peaks = {}
+        for label, lp in (("plain", plain_lp), ("local", local_lp)):
+            configs = build_replication_configs(line_state, lp)
+            emulation = Emulation(line_state, configs,
+                                  generator.classifier)
+            report = emulation.run_signature(sessions)
+            peaks[label] = report.max_work()
+            # Conservation regardless of policy.
+            assert sum(report.sessions_processed.values()) == \
+                len(sessions)
+        assert peaks["local"] <= peaks["plain"] * 1.05
+
+
+class TestStatefulEmulation:
+    def test_symmetric_routing_full_coverage(self, emulation_pieces):
+        state, generator, sessions = emulation_pieces
+        result = SplitTrafficProblem(state, max_link_load=0.4).solve()
+        configs = build_split_configs(state, result)
+        emulation = Emulation(state, configs, generator.classifier)
+        report = emulation.run_stateful(sessions)
+        assert report.miss_rate == pytest.approx(0.0, abs=1e-9)
+
+    def test_asymmetric_emulated_miss_matches_lp(self, line_topology):
+        # One class B-only forward, C-only reverse; LP must offload.
+        split = TrafficClass("split", "B", "B", ("B",), 200.0,
+                             session_bytes=1000.0, rev_path=("C",))
+        filler = TrafficClass("fill", "A", "D", ("A", "B", "C", "D"),
+                              800.0, session_bytes=1000.0)
+        state = NetworkState.calibrated(
+            line_topology, [split, filler], dc_capacity_factor=10.0,
+            dc_anchor="B")
+        lp = SplitTrafficProblem(state, max_link_load=0.4).solve()
+        configs = build_split_configs(state, lp)
+        generator = TraceGenerator(
+            state.topology.nodes, state.classes,
+            spec=TraceSpec(total_sessions=500), seed=12)
+        sessions = generator.generate(with_payloads=False)
+        emulation = Emulation(state, configs, generator.classifier)
+        report = emulation.run_stateful(sessions)
+        assert report.miss_rate == pytest.approx(lp.miss_rate, abs=0.05)
+
+    def test_no_offload_emulation_misses(self, line_topology):
+        split = TrafficClass("split", "B", "B", ("B",), 200.0,
+                             session_bytes=1000.0, rev_path=("C",))
+        filler = TrafficClass("fill", "A", "D", ("A", "B", "C", "D"),
+                              800.0, session_bytes=1000.0)
+        state = NetworkState.calibrated(
+            line_topology, [split, filler], dc_capacity_factor=10.0,
+            dc_anchor="B")
+        lp = SplitTrafficProblem(state, allow_offload=False).solve()
+        configs = build_split_configs(state, lp)
+        generator = TraceGenerator(
+            state.topology.nodes, state.classes,
+            spec=TraceSpec(total_sessions=500), seed=13)
+        sessions = generator.generate(with_payloads=False)
+        emulation = Emulation(state, configs, generator.classifier)
+        report = emulation.run_stateful(sessions)
+        # All 'split' sessions (1/5 of traffic) are missed.
+        assert report.miss_rate == pytest.approx(0.2, abs=0.03)
+
+
+class TestScanEmulation:
+    def test_distributed_equals_centralized(self, line_state):
+        lp = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, lp)
+        spec = TraceSpec(total_sessions=400, scanner_count=3,
+                         scanner_fanout=25)
+        generator = TraceGenerator(line_state.topology.nodes,
+                                   line_state.classes,
+                                   spec=spec, seed=14)
+        sessions = generator.generate(with_payloads=False)
+        emulation = Emulation(line_state, configs,
+                              generator.classifier)
+        report = emulation.run_scan(sessions, threshold=10)
+        assert report.semantically_equivalent
+        # The injected scanners are detected.
+        total_alerts = sum(len(a) for a in
+                           report.distributed_alerts.values())
+        assert total_alerts >= 3
+
+    def test_comm_cost_positive_when_distributed(self, line_state):
+        lp = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, lp)
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=300), seed=15)
+        sessions = generator.generate(with_payloads=False)
+        emulation = Emulation(line_state, configs,
+                              generator.classifier)
+        report = emulation.run_scan(sessions, threshold=5)
+        assert report.record_hops > 0
+        assert report.byte_hops > 0
+
+    def test_ingress_only_has_zero_comm_cost(self, line_state):
+        # Huge beta -> everything counted at the gateway itself.
+        lp = AggregationProblem(line_state, beta=1e6).solve()
+        configs = build_aggregation_configs(line_state, lp)
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=300), seed=16)
+        sessions = generator.generate(with_payloads=False)
+        emulation = Emulation(line_state, configs,
+                              generator.classifier)
+        report = emulation.run_scan(sessions, threshold=5)
+        assert report.record_hops == 0.0
+        assert report.semantically_equivalent

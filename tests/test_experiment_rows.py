@@ -1,0 +1,96 @@
+"""Unit tests for the experiment row dataclasses' derived metrics."""
+
+import pytest
+
+from repro.core import ArchitectureKind
+from repro.experiments import (
+    Fig11Series,
+    Fig13Row,
+    Fig14Row,
+    Fig18Series,
+    Fig19Row,
+    SlackRow,
+)
+from repro.experiments.ablations import DCCapacitySeries
+from repro.experiments.extensions_ablations import CombinedRow, FailureRow
+
+
+class TestFig11Series:
+    def test_knee_gain(self):
+        series = Fig11Series("t", [0.0, 0.4, 1.0], [0.5, 0.22, 0.20])
+        assert series.knee_gain(0.4) == pytest.approx(0.02)
+
+
+class TestFig13Row:
+    def test_gains(self):
+        row = Fig13Row("t", {
+            ArchitectureKind.INGRESS: 1.0,
+            ArchitectureKind.PATH_NO_REPLICATE: 0.4,
+            ArchitectureKind.PATH_AUGMENTED: 0.25,
+            ArchitectureKind.PATH_REPLICATE: 0.2,
+        })
+        assert row.replication_gain_vs_ingress() == pytest.approx(5.0)
+        assert row.replication_gain_vs_path() == pytest.approx(2.0)
+
+
+class TestFig14Row:
+    def test_gains(self):
+        row = Fig14Row("t", {"path-no-replicate": 0.6,
+                             "one-hop": 0.3, "two-hop": 0.25})
+        assert row.one_hop_gain() == pytest.approx(2.0)
+        assert row.two_hop_extra_gain() == pytest.approx(1.2)
+
+
+class TestFig18Series:
+    def test_normalization_and_best_point(self):
+        series = Fig18Series("t", betas=[1.0, 2.0, 3.0],
+                             load_costs=[0.2, 0.5, 1.0],
+                             comm_costs=[100.0, 40.0, 10.0])
+        points = series.normalized_points
+        assert points[0] == (pytest.approx(0.2), pytest.approx(1.0))
+        assert points[2] == (pytest.approx(1.0), pytest.approx(0.1))
+        # Middle point (0.5, 0.4) is nearest the origin.
+        assert series.best_beta() == 2.0
+        assert series.best_point() == (pytest.approx(0.5),
+                                       pytest.approx(0.4))
+
+    def test_zero_costs_handled(self):
+        series = Fig18Series("t", [1.0], [0.0], [0.0])
+        assert series.best_point() == (0.0, 0.0)
+
+
+class TestFig19Row:
+    def test_improvement(self):
+        row = Fig19Row("t", 5.4, 2.0, best_beta=1e-9)
+        assert row.improvement == pytest.approx(2.7)
+
+    def test_zero_denominator(self):
+        row = Fig19Row("t", 5.4, 0.0, best_beta=1e-9)
+        assert row.improvement == float("inf")
+
+
+class TestDCCapacitySeries:
+    def test_knee_capacity(self):
+        series = DCCapacitySeries("t", 0.4, [1, 2, 4, 8, 16],
+                                  [0.5, 0.4, 0.3, 0.25, 0.249])
+        assert series.knee_capacity(tolerance=0.02) == 8
+
+    def test_knee_at_end_when_still_improving(self):
+        series = DCCapacitySeries("t", 0.4, [1, 2],
+                                  [0.5, 0.3])
+        assert series.knee_capacity(tolerance=0.01) == 2
+
+
+class TestExtensionRows:
+    def test_slack_improvement(self):
+        row = SlackRow("t", 80.0, 0.8, 0.5)
+        assert row.improvement == pytest.approx(1.6)
+
+    def test_combined_gain(self):
+        row = CombinedRow("t", 1.0, 0.8, 0.5, 0.4)
+        assert row.objective_gain == pytest.approx(1.25)
+
+    def test_failure_row_fields(self):
+        row = FailureRow("t", "N1", 0.2, 0.25, 0.1, 12, 0.05)
+        assert row.failed_node == "N1"
+        assert row.load_after > row.load_before

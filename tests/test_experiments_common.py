@@ -1,0 +1,89 @@
+"""Unit tests for the shared experiment utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    asymmetric_classes,
+    evaluation_topologies,
+    format_table,
+    full_scale,
+    quartiles,
+    setup_topology,
+)
+from repro.topology import AsymmetricRoutingModel
+from repro.topology.library import builtin_topology_names
+
+
+class TestScale:
+    def test_quick_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert not full_scale()
+        assert evaluation_topologies(quick_count=3) == \
+            builtin_topology_names()[:3]
+
+    def test_full_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert full_scale()
+        assert evaluation_topologies() == builtin_topology_names()
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "FULL")
+        assert full_scale()
+
+
+class TestSetup:
+    def test_setup_without_dc(self):
+        setup = setup_topology("internet2")
+        assert setup.state.dc_node is None
+        assert setup.topology.num_nodes == 11
+        assert len(setup.classes) == 110
+
+    def test_setup_with_dc(self):
+        setup = setup_topology("internet2", dc_capacity_factor=10.0)
+        assert setup.state.dc_node == "DC"
+        # The setup's topology stays DC-free; only the state grows.
+        assert "DC" not in setup.topology.nodes
+        assert "DC" in setup.state.nids_nodes
+
+    def test_custom_volume(self):
+        setup = setup_topology("internet2", total_sessions=1000.0)
+        assert setup.matrix.total == pytest.approx(1000.0)
+
+
+class TestAsymmetricClasses:
+    def test_one_class_per_unordered_pair(self):
+        setup = setup_topology("internet2")
+        model = AsymmetricRoutingModel(setup.topology, setup.routing)
+        classes = asymmetric_classes(setup, model, 0.5,
+                                     np.random.default_rng(0))
+        assert len(classes) == 55
+        assert all("<->" in cls.name for cls in classes)
+
+    def test_volumes_merge_both_directions(self):
+        setup = setup_topology("internet2")
+        model = AsymmetricRoutingModel(setup.topology, setup.routing)
+        classes = asymmetric_classes(setup, model, 0.5,
+                                     np.random.default_rng(0))
+        total = sum(cls.num_sessions for cls in classes)
+        assert total == pytest.approx(setup.matrix.total, rel=1e-9)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["Name", "X"], [["a", 1], ["bbbb", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        # First column padded to the widest cell ("bbbb", 4 chars).
+        assert lines[3][:4] == "a   "
+        assert lines[4][:4] == "bbbb"
+
+    def test_quartiles(self):
+        summary = quartiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary["min"] == 1.0
+        assert summary["median"] == 3.0
+        assert summary["max"] == 5.0
+        assert summary["q25"] == 2.0
+        assert summary["q75"] == 4.0

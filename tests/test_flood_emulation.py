@@ -1,0 +1,81 @@
+"""End-to-end flood (DDoS) detection with per-destination splitting."""
+
+import pytest
+
+from repro.core import AggregationProblem
+from repro.shim import build_aggregation_configs
+from repro.shim.config import HashMode
+from repro.shim.hashing import FiveTuple
+from repro.simulation import Emulation, Session, TraceGenerator
+from repro.simulation.packets import pop_prefix_ip
+from repro.simulation.tracegen import TraceSpec
+
+
+@pytest.fixture
+def flood_emulation(line_state):
+    lp = AggregationProblem(line_state, beta=0.0).solve()
+    configs = build_aggregation_configs(
+        line_state, lp, hash_mode=HashMode.DESTINATION)
+    generator = TraceGenerator(line_state.topology.nodes,
+                               line_state.classes,
+                               spec=TraceSpec(total_sessions=10),
+                               seed=2)
+    return Emulation(line_state, configs, generator.classifier)
+
+
+def ddos_sessions(cls, pops, victim_host, attacker_count):
+    src_i = pops.index(cls.source)
+    dst_i = pops.index(cls.target)
+    sessions = []
+    for attacker in range(attacker_count):
+        tup = FiveTuple(6, pop_prefix_ip(src_i, 3000 + attacker),
+                        40000, pop_prefix_ip(dst_i, victim_host), 80)
+        sessions.append(Session(tup, cls.name, cls.path))
+    return sessions
+
+
+class TestFloodEmulation:
+    def test_distributed_equals_centralized(self, flood_emulation,
+                                            line_state):
+        cls = line_state.class_by_name("A->D")
+        pops = line_state.topology.nodes
+        sessions = ddos_sessions(cls, pops, victim_host=42,
+                                 attacker_count=30)
+        # Background flows that stay under the threshold.
+        sessions += ddos_sessions(cls, pops, victim_host=7,
+                                  attacker_count=3)
+        report = flood_emulation.run_flood(sessions, threshold=10)
+        assert report.semantically_equivalent
+        flagged = [dst for alerts in
+                   report.distributed_alerts.values()
+                   for dst in alerts]
+        assert len(flagged) == 1
+        victim_ip = pop_prefix_ip(pops.index("D"), 42)
+        assert flagged[0] == victim_ip
+
+    def test_victim_split_across_nodes_still_counted(
+            self, flood_emulation, line_state):
+        """Per-destination split: one node owns the victim, so even
+        though attackers' sessions hash all over, the distinct-source
+        count concentrates correctly."""
+        cls = line_state.class_by_name("A->D")
+        pops = line_state.topology.nodes
+        sessions = ddos_sessions(cls, pops, victim_host=11,
+                                 attacker_count=25)
+        report = flood_emulation.run_flood(sessions, threshold=20)
+        # Exactly one node did the counting for the victim.
+        counting_nodes = [node for node, work in
+                          report.work_units.items() if work > 0]
+        assert len(counting_nodes) == 1
+        assert report.semantically_equivalent
+
+    def test_below_threshold_no_alerts(self, flood_emulation,
+                                       line_state):
+        cls = line_state.class_by_name("B->C")
+        pops = line_state.topology.nodes
+        sessions = ddos_sessions(cls, pops, victim_host=5,
+                                 attacker_count=4)
+        report = flood_emulation.run_flood(sessions, threshold=10)
+        assert all(alerts == () for alerts in
+                   report.distributed_alerts.values())
+        assert report.semantically_equivalent

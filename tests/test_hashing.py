@@ -1,0 +1,90 @@
+"""Unit tests for the bidirectional shim hash (Section 7.2)."""
+
+import pytest
+
+from repro.shim import (
+    FiveTuple,
+    bob_hash,
+    canonical_five_tuple,
+    field_hash,
+    session_hash,
+)
+
+
+@pytest.fixture
+def tup():
+    return FiveTuple(proto=6, src_ip=0x0A010001, src_port=12345,
+                     dst_ip=0x0A020001, dst_port=80)
+
+
+class TestBobHash:
+    def test_deterministic(self):
+        assert bob_hash(1, 2, 3) == bob_hash(1, 2, 3)
+
+    def test_word_count_matters(self):
+        assert bob_hash(1, 2) != bob_hash(1, 2, 0)
+
+    def test_seed_changes_value(self):
+        assert bob_hash(1, 2, 3, seed=0) != bob_hash(1, 2, 3, seed=1)
+
+    def test_output_is_32_bit(self):
+        for words in [(0,), (1, 2, 3, 4, 5, 6, 7), (2**31,)]:
+            value = bob_hash(*words)
+            assert 0 <= value < 2 ** 32
+
+    def test_avalanche(self):
+        """Single-bit input changes flip roughly half the output bits."""
+        flips = []
+        for bit in range(16):
+            a = bob_hash(0x1234, 0x5678)
+            b = bob_hash(0x1234 ^ (1 << bit), 0x5678)
+            flips.append(bin(a ^ b).count("1"))
+        assert 8 <= sum(flips) / len(flips) <= 24
+
+
+class TestCanonicalization:
+    def test_already_canonical(self, tup):
+        assert canonical_five_tuple(tup) == tup
+
+    def test_reversed_becomes_canonical(self, tup):
+        assert canonical_five_tuple(tup.reversed()) == tup
+
+    def test_port_breaks_ip_tie(self):
+        tup = FiveTuple(6, 100, 9999, 100, 80)
+        canon = canonical_five_tuple(tup)
+        assert (canon.src_port, canon.dst_port) == (80, 9999)
+
+
+class TestSessionHash:
+    def test_in_unit_interval(self, tup):
+        assert 0.0 <= session_hash(tup) < 1.0
+
+    def test_bidirectional(self, tup):
+        assert session_hash(tup) == session_hash(tup.reversed())
+
+    def test_differs_across_sessions(self, tup):
+        other = tup._replace(src_port=54321)
+        assert session_hash(tup) != session_hash(other)
+
+    def test_uniformity(self):
+        """Hashes of many sessions spread evenly over [0, 1)."""
+        values = [session_hash(FiveTuple(6, i, 1000 + i, 99, 80))
+                  for i in range(2000)]
+        buckets = [0] * 10
+        for v in values:
+            buckets[int(v * 10)] += 1
+        assert min(buckets) > 120  # ~200 expected per bucket
+
+    def test_seed_independence(self, tup):
+        assert session_hash(tup, seed=1) != session_hash(tup, seed=2)
+
+
+class TestFieldHash:
+    def test_in_unit_interval(self):
+        assert 0.0 <= field_hash(42) < 1.0
+
+    def test_deterministic(self):
+        assert field_hash(42) == field_hash(42)
+
+    def test_distinct_fields_differ(self):
+        assert field_hash(42) != field_hash(43)

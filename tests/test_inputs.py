@@ -1,0 +1,139 @@
+"""Unit tests for NetworkState calibration (Section 8.2 conventions)."""
+
+import pytest
+
+from repro.core import (
+    NetworkState,
+    ingress_requirements,
+    link_background_bytes,
+)
+from repro.topology import shortest_path_routing
+from repro.traffic.classes import TrafficClass
+
+
+class TestIngressRequirements:
+    def test_demand_at_gateways_only(self, line_classes):
+        demand = ingress_requirements(line_classes, ["cpu"])["cpu"]
+        assert demand == {"A": 1000.0, "B": 500.0}
+
+    def test_multiple_resources(self, line_classes):
+        heavy = line_classes[0]
+        classes = [
+            TrafficClass(heavy.name, heavy.source, heavy.target,
+                         heavy.path, heavy.num_sessions,
+                         footprints={"cpu": 1.0, "mem": 2.0}),
+        ]
+        demand = ingress_requirements(classes, ["cpu", "mem"])
+        assert demand["mem"]["A"] == 2000.0
+
+
+class TestLinkBackground:
+    def test_symmetric_class_bytes(self, line_classes):
+        bg = link_background_bytes(line_classes[:1])  # A->D, 10MB
+        assert bg[("A", "B")] == pytest.approx(10_000_000.0)
+        assert bg[("B", "C")] == pytest.approx(10_000_000.0)
+        assert bg[("C", "D")] == pytest.approx(10_000_000.0)
+
+    def test_asymmetric_class_split_half(self):
+        cls = TrafficClass("x", "A", "C", ("A", "B", "C"), 100.0,
+                           session_bytes=1000.0,
+                           rev_path=("C", "D", "A"))
+        bg = link_background_bytes([cls])
+        assert bg[("A", "B")] == pytest.approx(50_000.0)
+        assert bg[("C", "D")] == pytest.approx(50_000.0)
+
+
+class TestCalibration:
+    def test_ingress_max_load_is_one(self, line_state):
+        loads = line_state.ingress_load()
+        assert max(loads.values()) == pytest.approx(1.0)
+
+    def test_max_bg_load_is_one_third(self, line_state):
+        assert line_state.max_bg_load() == pytest.approx(1.0 / 3.0)
+
+    def test_datacenter_capacity_factor(self, line_state_dc):
+        base = line_state_dc.capacity("cpu", "A")
+        assert line_state_dc.capacity("cpu", "DC") == \
+            pytest.approx(10.0 * base)
+
+    def test_datacenter_anchor_default_placement(self, line_state_dc):
+        # "observed" placement: B and C see all traffic on the line.
+        assert line_state_dc.topology.has_link("B", "DC")
+
+    def test_dc_link_has_zero_background(self, line_state_dc):
+        anchor_link = ("B", "DC")
+        assert line_state_dc.bg_load(anchor_link) == 0.0
+
+    def test_link_headroom_validation(self, line_topology, line_classes):
+        with pytest.raises(ValueError):
+            NetworkState.calibrated(line_topology, line_classes,
+                                    link_headroom=0.5)
+
+    def test_invalid_dc_factor(self, line_topology, line_classes):
+        with pytest.raises(ValueError):
+            NetworkState.calibrated(line_topology, line_classes,
+                                    dc_capacity_factor=0.0)
+
+    def test_unknown_class_node_rejected(self, line_topology):
+        bad = TrafficClass("x", "Z", "A", ("Z", "A"), 1.0)
+        with pytest.raises(ValueError):
+            NetworkState.calibrated(line_topology, [bad])
+
+
+class TestDerivedStates:
+    def test_with_traffic_keeps_capacity(self, line_state, line_classes):
+        doubled = [c.scaled(2.0) for c in line_classes]
+        new_state = line_state.with_traffic(doubled)
+        assert new_state.node_capacity == line_state.node_capacity
+        # Ingress load doubles because capacity did not change.
+        assert max(new_state.ingress_load().values()) == \
+            pytest.approx(2.0)
+
+    def test_with_traffic_recomputes_background(self, line_state,
+                                                line_classes):
+        doubled = [c.scaled(2.0) for c in line_classes]
+        new_state = line_state.with_traffic(doubled)
+        assert new_state.max_bg_load() == pytest.approx(2.0 / 3.0)
+
+    def test_augmented_capacity_spread(self, line_state):
+        augmented = line_state.with_augmented_capacity(4.0)
+        base = line_state.capacity("cpu", "A")
+        # 4x extra spread over 4 nodes -> each node gets +1x.
+        assert augmented.capacity("cpu", "A") == pytest.approx(2 * base)
+
+    def test_augmented_excludes_datacenter(self, line_state_dc):
+        augmented = line_state_dc.with_augmented_capacity(4.0)
+        assert augmented.capacity("cpu", "DC") == \
+            line_state_dc.capacity("cpu", "DC")
+
+    def test_augmented_negative_rejected(self, line_state):
+        with pytest.raises(ValueError):
+            line_state.with_augmented_capacity(-1.0)
+
+    def test_class_by_name(self, line_state):
+        assert line_state.class_by_name("A->D").source == "A"
+        with pytest.raises(KeyError):
+            line_state.class_by_name("missing")
+
+
+class TestRawConstructorValidation:
+    def test_missing_capacity_rejected(self, line_topology,
+                                       line_classes):
+        routing = shortest_path_routing(line_topology)
+        with pytest.raises(ValueError):
+            NetworkState(line_topology, routing, line_classes,
+                         node_capacity={"cpu": {"A": 1.0}},
+                         link_capacity={l: 1.0
+                                        for l in line_topology.links},
+                         bg_bytes={})
+
+    def test_zero_link_capacity_rejected(self, line_topology,
+                                         line_classes):
+        routing = shortest_path_routing(line_topology)
+        caps = {"cpu": {n: 1.0 for n in line_topology.nodes}}
+        with pytest.raises(ValueError):
+            NetworkState(line_topology, routing, line_classes,
+                         node_capacity=caps,
+                         link_capacity={l: 0.0
+                                        for l in line_topology.links},
+                         bg_bytes={})

@@ -1,0 +1,85 @@
+"""Tests for LP-format export and constant-constraint guards."""
+
+import pytest
+
+from repro.lpsolve import Model, ModelError, lp_string
+from repro.core import MirrorPolicy, ReplicationProblem
+
+
+class TestWriter:
+    def test_minimal_model(self):
+        m = Model("demo")
+        x = m.add_variable("x", lb=0, ub=1)
+        y = m.add_variable("y")
+        m.add_constraint(x + 2 * y >= 1, name="cover")
+        m.minimize(3 * x + y)
+        text = lp_string(m)
+        assert text.startswith("\\ demo\nMinimize")
+        assert "obj: + 3 x + 1 y" in text
+        assert "cover: + 1 x + 2 y >= 1" in text
+        assert "0 <= x <= 1" in text
+        assert text.rstrip().endswith("End")
+
+    def test_maximize_sense(self):
+        m = Model()
+        x = m.add_variable("x", ub=5)
+        m.maximize(x)
+        assert "Maximize" in lp_string(m)
+
+    def test_name_sanitization(self):
+        m = Model()
+        x = m.add_variable("p[c->d,N1]", lb=0, ub=1)
+        m.add_constraint(x <= 1, name="link[A,B]")
+        m.minimize(x)
+        text = lp_string(m)
+        assert "p_c__d_N1_" in text
+        assert "link_A_B_" in text
+        assert "[" not in text.split("\n", 1)[1]
+
+    def test_no_objective_rejected(self):
+        m = Model()
+        m.add_variable("x")
+        with pytest.raises(ValueError):
+            lp_string(m)
+
+    def test_full_formulation_exports(self, line_state_dc):
+        problem = ReplicationProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4)
+        model = problem.build_model()
+        text = lp_string(model)
+        assert "Minimize" in text
+        assert "Subject To" in text
+        # One coverage row per class.
+        assert text.count("cover_") == len(line_state_dc.classes)
+
+    def test_roundtrip_solve_consistency(self):
+        """Writing doesn't disturb the model; it still solves."""
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        lp_string(m)
+        assert m.solve().objective_value == pytest.approx(2.0)
+
+
+class TestConstantConstraints:
+    def test_tautology_dropped(self):
+        m = Model()
+        x = m.add_variable("x", lb=1, ub=1)
+        m.add_constraint((x - x) <= 5)  # 0 <= 5, trivially true
+        m.minimize(x)
+        assert m.num_constraints == 0
+        assert m.solve().objective_value == pytest.approx(1.0)
+
+    def test_contradiction_rejected_at_build(self):
+        m = Model()
+        x = m.add_variable("x")
+        with pytest.raises(ModelError):
+            m.add_constraint((x - x) >= 5)  # 0 >= 5, impossible
+
+    def test_constant_equality_contradiction(self):
+        m = Model()
+        x = m.add_variable("x")
+        with pytest.raises(ModelError):
+            m.add_constraint((x - x) == 1)

@@ -1,0 +1,176 @@
+"""Unit tests for LP expressions and constraints."""
+
+import pytest
+
+from repro.lpsolve import (
+    Constraint,
+    ConstraintSense,
+    LinExpr,
+    Model,
+    lin_sum,
+)
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+@pytest.fixture
+def xy(model):
+    return model.add_variable("x"), model.add_variable("y")
+
+
+class TestArithmetic:
+    def test_variable_plus_variable(self, xy):
+        x, y = xy
+        expr = x + y
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 0.0
+
+    def test_variable_plus_constant(self, xy):
+        x, _ = xy
+        expr = x + 5
+        assert expr.constant == 5.0
+
+    def test_radd_constant(self, xy):
+        x, _ = xy
+        expr = 5 + x
+        assert expr.constant == 5.0
+        assert expr.coefficient(x) == 1.0
+
+    def test_subtraction(self, xy):
+        x, y = xy
+        expr = x - y - 2
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == -1.0
+        assert expr.constant == -2.0
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        expr = 3 - x
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == 3.0
+
+    def test_scalar_multiplication(self, xy):
+        x, y = xy
+        expr = 2 * x + y * 3
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 3.0
+
+    def test_expression_scaling(self, xy):
+        x, y = xy
+        expr = (x + 2 * y + 1) * 4
+        assert expr.coefficient(x) == 4.0
+        assert expr.coefficient(y) == 8.0
+        assert expr.constant == 4.0
+
+    def test_division(self, xy):
+        x, _ = xy
+        expr = (4 * x) / 2
+        assert expr.coefficient(x) == 2.0
+
+    def test_division_by_zero_raises(self, xy):
+        x, _ = xy
+        with pytest.raises(ZeroDivisionError):
+            (x + 1) / 0
+
+    def test_negation(self, xy):
+        x, _ = xy
+        expr = -(x + 3)
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == -3.0
+
+    def test_multiplying_two_expressions_raises(self, xy):
+        x, y = xy
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)
+
+    def test_adding_garbage_raises(self, xy):
+        x, _ = xy
+        with pytest.raises(TypeError):
+            x + "nope"
+
+    def test_coefficients_accumulate(self, xy):
+        x, _ = xy
+        expr = x + x + x
+        assert expr.coefficient(x) == 3.0
+
+    def test_cancellation(self, xy):
+        x, _ = xy
+        expr = x - x
+        assert expr.is_constant()
+
+
+class TestLinSum:
+    def test_mixed_operands(self, xy):
+        x, y = xy
+        expr = lin_sum([x, 2 * y, 3, x])
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 2.0
+        assert expr.constant == 3.0
+
+    def test_empty(self):
+        expr = lin_sum([])
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+    def test_matches_repeated_addition(self, xy):
+        x, y = xy
+        via_sum = lin_sum([x, y, 1.5])
+        via_add = x + y + 1.5
+        assert via_sum.coeffs == via_add.coeffs
+        assert via_sum.constant == via_add.constant
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            lin_sum(["x"])
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self, xy):
+        x, y = xy
+        con = x + y <= 3
+        assert isinstance(con, Constraint)
+        assert con.sense is ConstraintSense.LE
+        assert con.rhs == 3.0
+
+    def test_ge_builds_constraint(self, xy):
+        x, _ = xy
+        con = x >= 1
+        assert con.sense is ConstraintSense.GE
+        assert con.rhs == 1.0
+
+    def test_eq_builds_constraint(self, xy):
+        x, y = xy
+        con = x + y == 2
+        assert con.sense is ConstraintSense.EQ
+        assert con.rhs == 2.0
+
+    def test_violation_satisfied(self, xy):
+        x, y = xy
+        con = x + y <= 3
+        assert con.violation({x: 1.0, y: 1.0}) == 0.0
+
+    def test_violation_amount(self, xy):
+        x, y = xy
+        con = x + y <= 3
+        assert con.violation({x: 3.0, y: 2.0}) == pytest.approx(2.0)
+
+    def test_violation_eq(self, xy):
+        x, _ = xy
+        con = x == 2
+        assert con.violation({x: 2.5}) == pytest.approx(0.5)
+
+    def test_violation_ge(self, xy):
+        x, _ = xy
+        con = x >= 2
+        assert con.violation({x: 0.5}) == pytest.approx(1.5)
+
+    def test_expr_vs_expr(self, xy):
+        x, y = xy
+        con = 2 * x <= y + 1
+        # Normalized: 2x - y - 1 <= 0.
+        assert con.rhs == pytest.approx(1.0)
+        assert con.expr.coefficient(y) == -1.0

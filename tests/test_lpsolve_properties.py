@@ -1,0 +1,109 @@
+"""Property-based tests for the LP substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.lpsolve import Model, lin_sum
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+positive = st.floats(min_value=0.1, max_value=100, allow_nan=False)
+
+
+class TestExpressionAlgebra:
+    @given(a=finite, b=finite, c=finite)
+    def test_scaling_distributes(self, a, b, c):
+        m = Model()
+        x = m.add_variable("x")
+        left = c * (a * x + b)
+        right = (c * a) * x + c * b
+        assert left.coefficient(x) == pytest.approx(right.coefficient(x))
+        assert left.constant == pytest.approx(right.constant)
+
+    @given(values=st.lists(finite, min_size=1, max_size=20))
+    def test_lin_sum_constant_total(self, values):
+        expr = lin_sum(values)
+        assert expr.constant == pytest.approx(sum(values))
+
+    @given(coeffs=st.lists(finite, min_size=1, max_size=10))
+    def test_sum_order_invariant(self, coeffs):
+        m = Model()
+        xs = [m.add_variable(f"x{i}") for i in range(len(coeffs))]
+        terms = [c * x for c, x in zip(coeffs, xs)]
+        forward = lin_sum(terms)
+        backward = lin_sum(reversed(terms))
+        for x in xs:
+            assert forward.coefficient(x) == pytest.approx(
+                backward.coefficient(x))
+
+
+class TestSolverProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(target=positive, weights=st.lists(positive, min_size=2,
+                                             max_size=6))
+    def test_weighted_cover_picks_cheapest(self, target, weights):
+        """min sum w_i x_i  s.t. sum x_i == 1, x in [0,1]: the optimum
+        puts everything on the smallest weight."""
+        m = Model()
+        xs = [m.add_variable(f"x{i}", lb=0, ub=1)
+              for i in range(len(weights))]
+        m.add_constraint(lin_sum(xs) == 1)
+        m.minimize(lin_sum(w * x for w, x in zip(weights, xs)))
+        sol = m.solve()
+        assert sol.objective_value == pytest.approx(min(weights),
+                                                    rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(demands=st.lists(positive, min_size=2, max_size=6))
+    def test_min_max_balances_perfectly_when_unconstrained(self, demands):
+        """Splitting divisible demand over identical servers: the
+        min-max equals total/num_servers."""
+        total = sum(demands)
+        servers = 3
+        m = Model()
+        z = m.add_variable("z")
+        shares = {}
+        for i, demand in enumerate(demands):
+            shares[i] = [m.add_variable(f"s{i}_{j}", lb=0, ub=1)
+                         for j in range(servers)]
+            m.add_constraint(lin_sum(shares[i]) == 1)
+        for j in range(servers):
+            load = lin_sum(demands[i] * shares[i][j]
+                           for i in range(len(demands)))
+            m.add_constraint(z >= load)
+        m.minimize(z)
+        sol = m.solve()
+        assert sol.objective_value == pytest.approx(total / servers,
+                                                    rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bound=st.floats(min_value=0.5, max_value=5.0,
+                           allow_nan=False))
+    def test_optimum_monotone_in_relaxation(self, bound):
+        """Relaxing a <= bound constraint never worsens the optimum."""
+        def solve_with(b):
+            m = Model()
+            x = m.add_variable("x", lb=0)
+            y = m.add_variable("y", lb=0)
+            m.add_constraint(x + y >= 4)
+            m.add_constraint(x <= b)
+            m.minimize(x + 2 * y)
+            return m.solve().objective_value
+
+        tight = solve_with(bound)
+        loose = solve_with(bound * 2)
+        assert loose <= tight + 1e-7
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed_weights=st.lists(positive, min_size=3, max_size=5))
+    def test_solution_satisfies_all_constraints(self, seed_weights):
+        m = Model()
+        xs = [m.add_variable(f"x{i}", lb=0, ub=2)
+              for i in range(len(seed_weights))]
+        m.add_constraint(lin_sum(xs) >= 1)
+        m.add_constraint(lin_sum(xs) <= len(xs))
+        m.minimize(lin_sum(w * x for w, x in zip(seed_weights, xs)))
+        sol = m.solve()
+        values = sol.values()
+        for con in m.constraints:
+            assert con.violation(values) < 1e-6

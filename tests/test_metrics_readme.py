@@ -1,0 +1,72 @@
+"""Tests for the emulation/LP agreement metrics, plus a guard that the
+README's quickstart snippet actually runs."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.core import MirrorPolicy, ReplicationProblem
+from repro.shim import build_replication_configs
+from repro.simulation import (
+    Emulation,
+    TraceGenerator,
+    peak_to_mean,
+    predicted_work_shares,
+    share_divergence,
+    work_shares,
+)
+from repro.simulation.tracegen import TraceSpec
+
+
+class TestMetrics:
+    def test_shares_sum_to_one(self, line_state_dc):
+        result = ReplicationProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        shares = predicted_work_shares(line_state_dc, result)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_emulation_matches_prediction(self, line_state_dc):
+        result = ReplicationProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        configs = build_replication_configs(line_state_dc, result)
+        generator = TraceGenerator(
+            line_state_dc.topology.nodes, line_state_dc.classes,
+            spec=TraceSpec(total_sessions=1500), seed=41)
+        emulation = Emulation(line_state_dc, configs,
+                              generator.classifier)
+        report = emulation.run_signature(
+            generator.generate(with_payloads=False))
+        divergence = share_divergence(
+            work_shares(report),
+            predicted_work_shares(line_state_dc, result))
+        assert divergence < 0.08
+
+    def test_divergence_bounds(self):
+        same = {"a": 0.5, "b": 0.5}
+        assert share_divergence(same, same) == 0.0
+        disjoint = share_divergence({"a": 1.0}, {"b": 1.0})
+        assert disjoint == pytest.approx(1.0)
+
+    def test_peak_to_mean(self):
+        assert peak_to_mean({"a": 2.0, "b": 1.0, "c": 0.0}) == \
+            pytest.approx(2.0)
+        import math
+
+        assert math.isnan(peak_to_mean({}))
+
+
+class TestReadmeSnippet:
+    def test_quickstart_block_executes(self):
+        """Extract the README's first python code block and run it."""
+        readme = pathlib.Path(__file__).parent.parent / "README.md"
+        text = readme.read_text()
+        match = re.search(r"```python\n(.*?)```", text, re.DOTALL)
+        assert match, "README has no python quickstart block"
+        code = match.group(1)
+        namespace = {}
+        exec(compile(code, "README.md", "exec"), namespace)  # noqa: S102
+        assert "result" in namespace
+        assert namespace["result"].load_cost < 1.0

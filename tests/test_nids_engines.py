@@ -1,0 +1,168 @@
+"""Unit tests for the simulated NIDS engines."""
+
+import pytest
+
+from repro.nids import (
+    AhoCorasick,
+    ScanDetector,
+    SignatureEngine,
+    StatefulSessionAnalyzer,
+)
+
+
+class TestAhoCorasick:
+    def test_single_pattern(self):
+        ac = AhoCorasick([b"abc"])
+        matches = ac.search(b"xxabcxx")
+        assert len(matches) == 1
+        assert matches[0].pattern == b"abc"
+        assert matches[0].end_offset == 5
+
+    def test_multiple_patterns(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        found = {m.pattern for m in ac.search(b"ushers")}
+        assert found == {b"she", b"he", b"hers"}
+
+    def test_overlapping_occurrences(self):
+        ac = AhoCorasick([b"aa"])
+        assert len(ac.search(b"aaaa")) == 3
+
+    def test_no_match(self):
+        ac = AhoCorasick([b"xyz"])
+        assert ac.search(b"abcabc") == []
+
+    def test_empty_payload(self):
+        ac = AhoCorasick([b"abc"])
+        assert ac.search(b"") == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b""])
+
+    def test_pattern_at_boundaries(self):
+        ac = AhoCorasick([b"start", b"end"])
+        found = {m.pattern for m in ac.search(b"start...end")}
+        assert found == {b"start", b"end"}
+
+    def test_binary_patterns(self):
+        ac = AhoCorasick([b"\x90\x90\x90"])
+        assert len(ac.search(b"\x00\x90\x90\x90\x00")) == 1
+
+    def test_matches_python_find_reference(self):
+        """Cross-check against a naive scan on random-ish data."""
+        patterns = [b"ab", b"bc", b"cab", b"abcab"]
+        ac = AhoCorasick(patterns)
+        payload = b"abcabcababcab"
+        expected = sum(payload.startswith(p, i)
+                       for p in patterns
+                       for i in range(len(payload)))
+        assert len(ac.search(payload)) == expected
+
+
+class TestSignatureEngine:
+    def test_detects_embedded_signature(self):
+        engine = SignatureEngine(patterns=[b"EVIL"])
+        found = engine.inspect("s1", b"aaaEVILbbb")
+        assert len(found) == 1
+        assert engine.stats.alerts == 1
+
+    def test_work_accounting(self):
+        engine = SignatureEngine(patterns=[b"x"],
+                                 per_session_cost=100.0,
+                                 per_byte_cost=2.0)
+        engine.inspect("s1", b"12345")           # new session
+        engine.inspect("s1", b"123")             # same session
+        engine.inspect("s2", b"1")               # another session
+        assert engine.stats.sessions_seen == 2
+        assert engine.stats.work_units == pytest.approx(
+            2 * 100.0 + 2.0 * 9)
+
+    def test_reset(self):
+        engine = SignatureEngine(patterns=[b"x"])
+        engine.inspect("s1", b"x")
+        engine.reset()
+        assert engine.stats.work_units == 0.0
+        assert engine.matches == []
+
+    def test_default_rule_set_loaded(self):
+        engine = SignatureEngine()
+        assert engine.inspect("s", b"GET /etc/passwd HTTP/1.0")
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureEngine(per_session_cost=-1.0)
+
+
+class TestScanDetector:
+    def test_distinct_destination_counting(self):
+        det = ScanDetector()
+        det.observe_flow(1, 10)
+        det.observe_flow(1, 11)
+        det.observe_flow(1, 10)  # duplicate destination
+        det.observe_flow(2, 10)
+        assert det.destination_count(1) == 2
+        assert det.destination_count(2) == 1
+        assert det.destination_count(99) == 0
+
+    def test_threshold_flagging(self):
+        det = ScanDetector(threshold=2)
+        for dst in range(5):
+            det.observe_flow(7, dst)
+        det.observe_flow(8, 1)
+        assert det.flagged_sources() == [7]
+
+    def test_zero_threshold_reports_everything(self):
+        det = ScanDetector(threshold=0)
+        det.observe_flow(1, 10)
+        assert det.flagged_sources() == [1]
+
+    def test_reports(self):
+        det = ScanDetector()
+        det.observe_flow(1, 10)
+        det.observe_flow(1, 11)
+        source_report = det.source_count_report("N1")
+        assert source_report.counts == {1: 2}
+        set_report = det.destination_set_report("N1")
+        assert set_report.destinations == {1: frozenset({10, 11})}
+        flow_report = det.flow_tuple_report("N1")
+        assert flow_report.tuples == frozenset({(1, 10), (1, 11)})
+
+    def test_flow_key_dedup(self):
+        det = ScanDetector(per_session_cost=10.0)
+        det.observe_flow(1, 10, flow_key="f1")
+        det.observe_flow(1, 10, flow_key="f1")
+        assert det.stats.work_units == 10.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ScanDetector(threshold=-1)
+
+
+class TestStatefulAnalyzer:
+    def test_coverage_requires_both_directions(self):
+        analyzer = StatefulSessionAnalyzer()
+        analyzer.observe("s1", "fwd")
+        assert not analyzer.is_covered("s1")
+        analyzer.observe("s1", "rev")
+        assert analyzer.is_covered("s1")
+
+    def test_partial_and_covered_counts(self):
+        analyzer = StatefulSessionAnalyzer()
+        analyzer.observe("s1", "fwd")
+        analyzer.observe("s1", "rev")
+        analyzer.observe("s2", "fwd")
+        assert analyzer.sessions_covered == 1
+        assert analyzer.sessions_partial == 1
+        assert analyzer.covered_sessions() == {"s1"}
+
+    def test_bad_direction_rejected(self):
+        analyzer = StatefulSessionAnalyzer()
+        with pytest.raises(ValueError):
+            analyzer.observe("s1", "sideways")
+
+    def test_repeated_packets_idempotent_for_coverage(self):
+        analyzer = StatefulSessionAnalyzer()
+        for _ in range(5):
+            analyzer.observe("s1", "fwd")
+        assert not analyzer.is_covered("s1")
+        assert analyzer.sessions_partial == 1

@@ -1,0 +1,113 @@
+"""Unit tests for the NIPS rerouting extension (Section 9)."""
+
+import pytest
+
+from repro.core import MirrorPolicy, NIPSProblem, ReplicationProblem
+
+
+class TestNIPSFormulation:
+    def test_no_mirrors_matches_on_path(self, line_state):
+        nips = NIPSProblem(line_state,
+                           mirror_policy=MirrorPolicy.none()).solve()
+        nids = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.none()).solve()
+        assert nips.load_cost == pytest.approx(nids.load_cost,
+                                               abs=1e-6)
+
+    def test_coverage_with_rerouting(self, line_state_dc):
+        result = NIPSProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.6, max_latency_penalty=4.0).solve()
+        for cls in line_state_dc.classes:
+            local = sum(result.process_fractions[cls.name].values())
+            moved = result.replicated_fraction(cls.name)
+            assert local + moved == pytest.approx(1.0, abs=1e-6)
+
+    def test_rerouting_reduces_load(self, line_state_dc):
+        plain = NIPSProblem(line_state_dc,
+                            mirror_policy=MirrorPolicy.none()).solve()
+        rerouted = NIPSProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.6, max_latency_penalty=4.0).solve()
+        assert rerouted.load_cost < plain.load_cost
+
+    def test_latency_bound_respected(self, line_state_dc):
+        budget = 1.0
+        result = NIPSProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.6, max_latency_penalty=budget).solve()
+        for hops in result.extra_hops.values():
+            assert hops <= budget + 1e-6
+
+    def test_zero_latency_budget_blocks_detours(self, line_state_dc):
+        """With zero allowed detour, only zero-extra-hop reroutes are
+        usable; on the line+DC topology every DC detour adds hops, so
+        the result matches pure on-path."""
+        strangled = NIPSProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=1.0, max_latency_penalty=0.0).solve()
+        plain = NIPSProblem(line_state_dc,
+                            mirror_policy=MirrorPolicy.none()).solve()
+        assert strangled.load_cost == pytest.approx(plain.load_cost,
+                                                    abs=1e-6)
+
+    def test_tighter_latency_never_helps(self, line_state_dc):
+        loads = []
+        for budget in (0.0, 1.0, 2.0, 4.0):
+            result = NIPSProblem(
+                line_state_dc,
+                mirror_policy=MirrorPolicy.datacenter(),
+                max_link_load=0.6,
+                max_latency_penalty=budget).solve()
+            loads.append(result.load_cost)
+        assert all(b <= a + 1e-9 for a, b in zip(loads, loads[1:]))
+
+    def test_link_loads_stay_in_bounds(self, line_state_dc):
+        result = NIPSProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.5, max_latency_penalty=4.0).solve()
+        for link, load in result.link_loads.items():
+            assert -1e-6 <= load
+            # Bound uses the NIPS-internal BG (full path bytes).
+            assert load <= max(0.5, line_state_dc.bg_load(link)) + 1e-6
+
+    def test_rerouting_relieves_downstream_links(self,
+                                                 diamond_topology):
+        """Rerouted traffic leaves its original downstream links, so
+        link load can fall below the background level — the
+        BG-not-constant effect the paper calls out. Needs a topology
+        with genuine alternative paths (a diamond, DC at C): traffic
+        on A-B-D rerouted via the DC travels A-C-DC-C-D instead."""
+        from repro.core import NetworkState
+        from repro.traffic.classes import TrafficClass
+
+        cls = TrafficClass("A->D", "A", "D", ("A", "B", "D"), 1000.0,
+                           session_bytes=10_000.0)
+        state = NetworkState.calibrated(
+            diamond_topology, [cls], dc_capacity_factor=10.0,
+            dc_anchor="C")
+        result = NIPSProblem(
+            state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=1.0, max_latency_penalty=6.0).solve()
+        assert result.replicated_fraction("A->D") > 0.01
+        relieved = [
+            link for link, load in result.link_loads.items()
+            if load < state.bg_load(link) - 1e-9
+        ]
+        assert relieved, "expected some link to shed traffic"
+        # Conservation: rerouting adds where the detour runs.
+        loaded = [link for link, load in result.link_loads.items()
+                  if load > state.bg_load(link) + 1e-9]
+        assert loaded
+
+    def test_validation(self, line_state):
+        with pytest.raises(ValueError):
+            NIPSProblem(line_state, max_link_load=2.0)
+        with pytest.raises(ValueError):
+            NIPSProblem(line_state, max_latency_penalty=-1.0)
+
+    def test_mean_extra_hops(self, line_state_dc):
+        result = NIPSProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.6, max_latency_penalty=4.0).solve()
+        assert result.mean_extra_hops >= 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for datacenter placement and mirror-set policies."""
+
+import pytest
+
+from repro.core import (
+    MirrorKind,
+    MirrorPolicy,
+    NetworkState,
+    place_datacenter,
+)
+
+
+class TestPlacement:
+    def test_origin_strategy(self, line_topology, line_classes):
+        # A originates 1000 sessions, B originates 500.
+        assert place_datacenter(line_topology, line_classes,
+                                strategy="origin") == "A"
+
+    def test_observed_strategy(self, line_topology, line_classes):
+        # B and C observe both classes (1500); tie broken to B.
+        assert place_datacenter(line_topology, line_classes,
+                                strategy="observed") == "B"
+
+    def test_betweenness_strategy(self, line_topology, line_classes):
+        assert place_datacenter(line_topology, line_classes,
+                                strategy="betweenness") == "B"
+
+    def test_medoid_strategy(self, line_topology, line_classes):
+        # Mean distances on the chain: B and C tie at (1+1+2)/3.
+        assert place_datacenter(line_topology, line_classes,
+                                strategy="medoid") == "B"
+
+    def test_unknown_strategy(self, line_topology, line_classes):
+        with pytest.raises(ValueError):
+            place_datacenter(line_topology, line_classes,
+                             strategy="oracle")
+
+
+class TestMirrorPolicies:
+    def test_none_policy(self, line_state):
+        sets = MirrorPolicy.none().mirror_sets(line_state)
+        assert all(not mirrors for mirrors in sets.values())
+
+    def test_datacenter_policy(self, line_state_dc):
+        sets = MirrorPolicy.datacenter().mirror_sets(line_state_dc)
+        for node, mirrors in sets.items():
+            if node == "DC":
+                assert mirrors == []
+            else:
+                assert mirrors == ["DC"]
+
+    def test_datacenter_policy_requires_dc(self, line_state):
+        with pytest.raises(ValueError):
+            MirrorPolicy.datacenter().mirror_sets(line_state)
+
+    def test_one_hop_neighbors(self, line_state):
+        sets = MirrorPolicy.neighbors(hops=1).mirror_sets(line_state)
+        assert sets["A"] == ["B"]
+        assert sets["B"] == ["A", "C"]
+
+    def test_two_hop_neighbors(self, line_state):
+        sets = MirrorPolicy.neighbors(hops=2).mirror_sets(line_state)
+        assert sets["A"] == ["B", "C"]
+
+    def test_neighbors_exclude_dc(self, line_state_dc):
+        sets = MirrorPolicy.neighbors(hops=1).mirror_sets(line_state_dc)
+        assert "DC" not in sets["B"]  # B is the DC anchor
+
+    def test_dc_plus_neighbors(self, line_state_dc):
+        policy = MirrorPolicy.datacenter_plus_neighbors(hops=1)
+        sets = policy.mirror_sets(line_state_dc)
+        assert set(sets["A"]) == {"B", "DC"}
+        assert sets["DC"] == []
+
+    def test_all_nodes(self, line_state):
+        sets = MirrorPolicy.all_nodes().mirror_sets(line_state)
+        assert set(sets["A"]) == {"B", "C", "D"}
+        assert "A" not in sets["A"]
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            MirrorPolicy.neighbors(hops=0)
+        with pytest.raises(ValueError):
+            MirrorPolicy.datacenter_plus_neighbors(hops=0)
+
+    def test_describe(self):
+        assert MirrorPolicy.none().describe() == "none"
+        assert MirrorPolicy.neighbors(2).describe() == "neighbors(2-hop)"
+        assert MirrorPolicy.datacenter().describe() == "datacenter"

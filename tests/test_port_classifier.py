@@ -1,0 +1,74 @@
+"""Tests for port-aware classification of per-application classes."""
+
+import pytest
+
+from repro.shim import FiveTuple
+from repro.simulation import TraceGenerator
+from repro.simulation.packets import pop_prefix_ip
+from repro.simulation.tracegen import PrefixClassifier, TraceSpec
+from repro.traffic import (
+    DEFAULT_APPLICATION_MIX,
+    TrafficMatrix,
+    classes_with_applications,
+)
+
+
+@pytest.fixture
+def app_setup(line_topology):
+    matrix = TrafficMatrix({("A", "D"): 1000.0, ("B", "C"): 400.0})
+    classes = classes_with_applications(line_topology, matrix)
+    ports = {cls.name: app.port
+             for cls in classes
+             for app in DEFAULT_APPLICATION_MIX
+             if cls.name.endswith("/" + app.name)}
+    return line_topology, classes, ports
+
+
+class TestPortClassifier:
+    def test_shared_pair_without_ports_rejected(self, app_setup):
+        topology, classes, _ = app_setup
+        with pytest.raises(ValueError):
+            PrefixClassifier(topology.nodes, classes)
+
+    def test_classifies_by_port(self, app_setup):
+        topology, classes, ports = app_setup
+        classifier = PrefixClassifier(topology.nodes, classes, ports)
+        a, d = topology.nodes.index("A"), topology.nodes.index("D")
+        http = FiveTuple(6, pop_prefix_ip(a, 1), 40000,
+                         pop_prefix_ip(d, 2), 80)
+        irc = FiveTuple(6, pop_prefix_ip(a, 1), 40000,
+                        pop_prefix_ip(d, 2), 6667)
+        assert classifier(http) == "A->D/http"
+        assert classifier(irc) == "A->D/irc"
+
+    def test_unknown_port_falls_back_to_first_class(self, app_setup):
+        topology, classes, ports = app_setup
+        classifier = PrefixClassifier(topology.nodes, classes, ports)
+        a, d = topology.nodes.index("A"), topology.nodes.index("D")
+        odd = FiveTuple(6, pop_prefix_ip(a, 1), 40000,
+                        pop_prefix_ip(d, 2), 9999)
+        assert classifier(odd) == "A->D/http"  # first registered
+
+    def test_generator_emits_matching_ports(self, app_setup):
+        topology, classes, ports = app_setup
+        generator = TraceGenerator(
+            topology.nodes, classes,
+            spec=TraceSpec(total_sessions=300), seed=5,
+            class_ports=ports)
+        for session in generator.generate(with_payloads=False):
+            assert session.five_tuple.dst_port == \
+                ports[session.class_name]
+            assert generator.classifier(session.five_tuple) == \
+                session.class_name
+
+    def test_single_class_pairs_need_no_ports(self, line_topology):
+        matrix = TrafficMatrix({("A", "D"): 100.0})
+        from repro.traffic import classes_from_matrix
+
+        classes = classes_from_matrix(line_topology, matrix)
+        classifier = PrefixClassifier(line_topology.nodes, classes)
+        a, d = (line_topology.nodes.index("A"),
+                line_topology.nodes.index("D"))
+        tup = FiveTuple(6, pop_prefix_ip(a, 1), 40000,
+                        pop_prefix_ip(d, 2), 12345)
+        assert classifier(tup) == "A->D"

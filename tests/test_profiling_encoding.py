@@ -1,0 +1,133 @@
+"""Unit tests for footprint profiling and report wire encoding."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.nids import (
+    CostModel,
+    ReportDecodeError,
+    SignatureEngine,
+    apply_cost_model,
+    decode_report,
+    encode_report,
+    encoded_size,
+    fit_cost_model,
+    profile_engine,
+)
+from repro.nids.reports import (
+    DestinationSetReport,
+    FlowTupleReport,
+    SourceCountReport,
+)
+from repro.shim import FiveTuple
+from repro.simulation import Session
+from repro.traffic.classes import TrafficClass
+
+
+def make_sessions(count, payload_bytes):
+    sessions = []
+    for i in range(count):
+        session = Session(FiveTuple(6, 100 + i, 1000, 200 + i, 80),
+                          "c", ("A",))
+        session.add_packet("fwd", payload_bytes + 40,
+                           b"x" * payload_bytes)
+        sessions.append(session)
+    return sessions
+
+
+class TestCostModelFit:
+    def test_recovers_engine_coefficients(self):
+        """Profiling a SignatureEngine recovers its true cost model."""
+        model = profile_engine(
+            lambda: SignatureEngine(patterns=[b"EVIL"],
+                                    per_session_cost=100.0,
+                                    per_byte_cost=2.0),
+            batches=[make_sessions(10, 50), make_sessions(40, 200),
+                     make_sessions(25, 10)])
+        assert model.per_session == pytest.approx(100.0, rel=1e-6)
+        assert model.per_byte == pytest.approx(2.0, rel=1e-6)
+        assert model.residual == pytest.approx(0.0, abs=1e-6)
+
+    def test_footprint_prediction(self):
+        model = CostModel(per_session=100.0, per_byte=2.0)
+        assert model.footprint(500.0) == pytest.approx(1100.0)
+        assert model.predict(10, 1000) == pytest.approx(3000.0)
+
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([(1.0, 10.0, 20.0)])
+
+    def test_degenerate_batches_rejected(self):
+        # Bytes exactly proportional to sessions: rank deficient.
+        with pytest.raises(ValueError):
+            fit_cost_model([(1.0, 10.0, 20.0), (2.0, 20.0, 40.0),
+                            (3.0, 30.0, 60.0)])
+
+    def test_apply_cost_model(self):
+        cls = TrafficClass("c", "A", "B", ("A", "B"), 10.0,
+                           session_bytes=1000.0)
+        model = CostModel(per_session=50.0, per_byte=0.5)
+        (updated,) = apply_cost_model([cls], model)
+        assert updated.footprint("cpu") == pytest.approx(550.0)
+        # Original untouched (frozen dataclass semantics).
+        assert cls.footprint("cpu") == 1.0
+
+    def test_payload_fraction(self):
+        cls = TrafficClass("c", "A", "B", ("A", "B"), 10.0,
+                           session_bytes=1000.0)
+        model = CostModel(per_session=0.0, per_byte=1.0)
+        (updated,) = apply_cost_model([cls], model,
+                                      payload_fraction=0.5)
+        assert updated.footprint("cpu") == pytest.approx(500.0)
+        with pytest.raises(ValueError):
+            apply_cost_model([cls], model, payload_fraction=2.0)
+
+
+class TestEncoding:
+    def test_source_count_roundtrip(self):
+        report = SourceCountReport("N1", {5: 3, 7: 12})
+        assert decode_report(encode_report(report)) == report
+
+    def test_flow_tuple_roundtrip(self):
+        report = FlowTupleReport("node-x",
+                                 frozenset({(1, 2), (3, 4)}))
+        assert decode_report(encode_report(report)) == report
+
+    def test_destination_set_roundtrip(self):
+        report = DestinationSetReport(
+            "N2", {1: frozenset({10, 11}), 9: frozenset()})
+        assert decode_report(encode_report(report)) == report
+
+    def test_empty_report(self):
+        report = SourceCountReport("N1", {})
+        assert decode_report(encode_report(report)) == report
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_report(SourceCountReport("N", {1: 1})))
+        data[0:2] = b"XX"
+        with pytest.raises(ReportDecodeError):
+            decode_report(bytes(data))
+
+    def test_truncation_rejected(self):
+        data = encode_report(SourceCountReport("N", {1: 1, 2: 2}))
+        with pytest.raises(ReportDecodeError):
+            decode_report(data[:-3])
+
+    def test_encoded_size_tracks_nominal_record_bytes(self):
+        """The 16-byte nominal record size in Rec_c matches the wire
+        format exactly (modulo the fixed header)."""
+        small = SourceCountReport("N1", {1: 1})
+        large = SourceCountReport("N1", {i: 1 for i in range(100)})
+        delta = encoded_size(large) - encoded_size(small)
+        assert delta == 99 * 16
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=st.dictionaries(
+        st.integers(min_value=0, max_value=2 ** 64 - 1),
+        st.integers(min_value=0, max_value=2 ** 64 - 1),
+        max_size=20),
+        node=st.text(min_size=1, max_size=10))
+    def test_roundtrip_property(self, counts, node):
+        report = SourceCountReport(node, counts)
+        assert decode_report(encode_report(report)) == report

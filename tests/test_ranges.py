@@ -1,0 +1,81 @@
+"""Unit tests for hash-range compilation (Section 7.1)."""
+
+import pytest
+
+from repro.shim import HashRange, compile_hash_ranges
+from repro.shim.ranges import lookup
+
+
+class TestHashRange:
+    def test_contains_half_open(self):
+        rng = HashRange("k", 0.2, 0.5)
+        assert not rng.contains(0.19999)
+        assert rng.contains(0.2)
+        assert rng.contains(0.49999)
+        assert not rng.contains(0.5)
+
+    def test_width(self):
+        assert HashRange("k", 0.25, 0.75).width == pytest.approx(0.5)
+
+
+class TestCompile:
+    def test_full_coverage_layout(self):
+        ranges = compile_hash_ranges([("a", 0.25), ("b", 0.5),
+                                      ("c", 0.25)])
+        assert [r.key for r in ranges] == ["a", "b", "c"]
+        assert ranges[0].start == 0.0
+        assert ranges[-1].end == 1.0
+        # Contiguous, non-overlapping.
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.end == pytest.approx(right.start)
+
+    def test_zero_fractions_skipped(self):
+        ranges = compile_hash_ranges([("a", 0.0), ("b", 1.0)])
+        assert [r.key for r in ranges] == ["b"]
+
+    def test_rounding_snapped_to_one(self):
+        thirds = [("a", 1 / 3), ("b", 1 / 3), ("c", 1 / 3)]
+        ranges = compile_hash_ranges(thirds)
+        assert ranges[-1].end == 1.0
+
+    def test_partial_coverage_allowed(self):
+        ranges = compile_hash_ranges([("a", 0.3)],
+                                     require_full_coverage=False)
+        assert len(ranges) == 1
+        assert ranges[0].end == pytest.approx(0.3)
+
+    def test_under_coverage_rejected_when_required(self):
+        with pytest.raises(ValueError):
+            compile_hash_ranges([("a", 0.5)])
+
+    def test_over_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            compile_hash_ranges([("a", 0.7), ("b", 0.7)])
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            compile_hash_ranges([("a", -0.1), ("b", 1.1)])
+
+    def test_tiny_negative_noise_tolerated(self):
+        """LP solutions carry float noise like -1e-12."""
+        ranges = compile_hash_ranges([("a", -1e-12), ("b", 1.0)])
+        assert [r.key for r in ranges] == ["b"]
+
+    def test_every_point_owned_exactly_once(self):
+        ranges = compile_hash_ranges([("a", 0.2), ("b", 0.3),
+                                      ("c", 0.5)])
+        for i in range(100):
+            value = i / 100.0
+            owners = [r.key for r in ranges if r.contains(value)]
+            assert len(owners) == 1
+
+    def test_lookup(self):
+        ranges = compile_hash_ranges([("a", 0.5), ("b", 0.5)])
+        assert lookup(ranges, 0.25) == "a"
+        assert lookup(ranges, 0.75) == "b"
+        gap = compile_hash_ranges([("a", 0.3)],
+                                  require_full_coverage=False)
+        assert lookup(gap, 0.9) is None
+
+    def test_empty_input(self):
+        assert compile_hash_ranges([], require_full_coverage=False) == []

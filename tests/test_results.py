@@ -1,0 +1,111 @@
+"""Unit tests for result objects and multi-resource formulations."""
+
+import pytest
+
+from repro.core import (
+    LPStats,
+    MirrorPolicy,
+    NetworkState,
+    ReplicationProblem,
+    ReplicationResult,
+)
+from repro.traffic.classes import TrafficClass
+
+
+def make_result(node_loads, dc_node=None, offloads=None):
+    return ReplicationResult(
+        load_cost=max(max(loads.values()) for loads in
+                      node_loads.values()),
+        node_loads=node_loads,
+        process_fractions={},
+        offload_fractions=offloads or {},
+        link_loads={},
+        max_link_load=0.4,
+        dc_node=dc_node,
+        stats=LPStats(0, 0, 0.0, 0))
+
+
+class TestAssignmentResult:
+    def test_max_load(self):
+        result = make_result({"cpu": {"A": 0.5, "B": 0.9}})
+        assert result.max_load() == 0.9
+
+    def test_max_load_excluding_dc(self):
+        result = make_result({"cpu": {"A": 0.5, "DC": 0.9}},
+                             dc_node="DC")
+        assert result.max_load(exclude_dc=True) == 0.5
+        assert result.max_load(exclude_dc=False) == 0.9
+
+    def test_dc_load(self):
+        result = make_result({"cpu": {"A": 0.5, "DC": 0.7}},
+                             dc_node="DC")
+        assert result.dc_load() == 0.7
+
+    def test_dc_load_without_dc(self):
+        result = make_result({"cpu": {"A": 0.5}})
+        assert result.dc_load() == 0.0
+
+    def test_load_imbalance(self):
+        result = make_result({"cpu": {"A": 0.9, "B": 0.3, "C": 0.3}})
+        assert result.load_imbalance() == pytest.approx(0.9 / 0.5)
+
+    def test_load_imbalance_all_zero(self):
+        result = make_result({"cpu": {"A": 0.0, "B": 0.0}})
+        assert result.load_imbalance() == 1.0
+
+    def test_replicated_fraction(self):
+        result = make_result(
+            {"cpu": {"A": 0.5}},
+            offloads={"c1": {("A", "DC"): 0.25, ("B", "DC"): 0.15}})
+        assert result.replicated_fraction("c1") == pytest.approx(0.4)
+        assert result.replicated_fraction("missing") == 0.0
+
+
+class TestMultiResource:
+    @pytest.fixture
+    def two_resource_state(self, line_topology):
+        """CPU-heavy class at A, memory-heavy class at B."""
+        classes = [
+            TrafficClass("A->D", "A", "D", ("A", "B", "C", "D"),
+                         1000.0, footprints={"cpu": 1.0, "mem": 0.1}),
+            TrafficClass("B->C", "B", "C", ("B", "C"), 500.0,
+                         footprints={"cpu": 0.1, "mem": 2.0}),
+        ]
+        return NetworkState.calibrated(line_topology, classes,
+                                       resources=("cpu", "mem"))
+
+    def test_both_resources_provisioned(self, two_resource_state):
+        assert set(two_resource_state.resources) == {"cpu", "mem"}
+        # Calibration: max ingress demand per resource.
+        assert two_resource_state.capacity("cpu", "A") == \
+            pytest.approx(1000.0)  # cpu demand at A
+        assert two_resource_state.capacity("mem", "A") == \
+            pytest.approx(1000.0)  # mem demand at B: 500*2
+
+    def test_load_cost_covers_both_resources(self, two_resource_state):
+        result = ReplicationProblem(
+            two_resource_state,
+            mirror_policy=MirrorPolicy.none()).solve()
+        for resource in ("cpu", "mem"):
+            for load in result.node_loads[resource].values():
+                assert load <= result.load_cost + 1e-6
+        top = max(max(result.node_loads[r].values())
+                  for r in ("cpu", "mem"))
+        assert top == pytest.approx(result.load_cost, abs=1e-6)
+
+    def test_ingress_max_is_one_across_resources(self,
+                                                 two_resource_state):
+        cpu = two_resource_state.ingress_load("cpu")
+        mem = two_resource_state.ingress_load("mem")
+        assert max(max(cpu.values()), max(mem.values())) == \
+            pytest.approx(1.0)
+
+    def test_optimum_balances_conflicting_resources(
+            self, two_resource_state):
+        """The min-max must consider both dimensions: a split optimal
+        for CPU alone would overload memory and vice versa."""
+        result = ReplicationProblem(
+            two_resource_state,
+            mirror_policy=MirrorPolicy.none()).solve()
+        assert result.load_cost < 1.0  # beats ingress-only
+        assert result.load_cost > 0.0

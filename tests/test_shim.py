@@ -1,0 +1,167 @@
+"""Unit tests for shim configs and the runtime shim."""
+
+import pytest
+
+from repro.core import (
+    AggregationProblem,
+    MirrorPolicy,
+    ReplicationProblem,
+)
+from repro.shim import (
+    FiveTuple,
+    Shim,
+    ShimAction,
+    ShimConfig,
+    ShimRule,
+    build_aggregation_configs,
+    build_replication_configs,
+    session_hash,
+)
+from repro.shim.config import HashMode
+from repro.shim.ranges import HashRange
+
+
+def make_tuple(i: int) -> FiveTuple:
+    return FiveTuple(6, 1000 + i, 10_000 + i, 2000 + i, 80)
+
+
+@pytest.fixture
+def replication_setup(line_state_dc):
+    result = ReplicationProblem(
+        line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4).solve()
+    configs = build_replication_configs(line_state_dc, result)
+    return line_state_dc, result, configs
+
+
+class TestReplicationConfigs:
+    def test_every_session_owned_by_one_path_node(self,
+                                                  replication_setup):
+        """The union of a class's rules covers [0,1) exactly once
+        across the path nodes (disjoint hash ranges)."""
+        state, _, configs = replication_setup
+        for cls in state.classes:
+            for i in range(200):
+                value = i / 200.0
+                actors = []
+                for node in cls.path:
+                    for rule in configs[node].rules_for(cls.name):
+                        if rule.hash_range.contains(value):
+                            actors.append((node, rule.action))
+                assert len(actors) == 1, (cls.name, value, actors)
+
+    def test_mirror_gets_process_rules_for_offloaded_ranges(
+            self, replication_setup):
+        state, result, configs = replication_setup
+        dc_rules = configs["DC"].rules
+        offloaded_classes = {name for name, o in
+                             result.offload_fractions.items()
+                             if sum(o.values()) > 1e-6}
+        assert offloaded_classes
+        for name in offloaded_classes:
+            assert any(r.action is ShimAction.PROCESS
+                       for r in dc_rules.get(name, []))
+
+    def test_realized_fractions_match_lp(self, replication_setup):
+        """Hashing many sessions realizes the LP's fractions."""
+        state, result, configs = replication_setup
+        cls = state.classes[0]  # A->D
+        shims = {node: Shim(configs[node], lambda t: cls.name)
+                 for node in cls.path}
+        counts = {node: 0 for node in cls.path}
+        replicated = 0
+        total = 3000
+        for i in range(total):
+            tup = make_tuple(i)
+            for node in cls.path:
+                decision = shims[node].handle(tup)
+                if decision.is_process:
+                    counts[node] += 1
+                elif decision.is_replicate:
+                    replicated += 1
+        fractions = result.process_fractions[cls.name]
+        for node in cls.path:
+            assert counts[node] / total == pytest.approx(
+                fractions[node], abs=0.05)
+        assert replicated / total == pytest.approx(
+            result.replicated_fraction(cls.name), abs=0.05)
+
+
+class TestShimRuntime:
+    def test_unclassified_packet_ignored(self):
+        config = ShimConfig(node="A", rules={})
+        shim = Shim(config, classifier=lambda t: None)
+        decision = shim.handle(make_tuple(1))
+        assert decision.is_ignore
+        assert shim.counters.packets_ignored == 1
+
+    def test_both_directions_agree(self, replication_setup):
+        """A session and its reverse get the same process/offload
+        decision (bidirectional hashing)."""
+        state, _, configs = replication_setup
+        cls = state.classes[0]
+        node = cls.path[0]
+        shim = Shim(configs[node], lambda t: cls.name)
+        for i in range(100):
+            tup = make_tuple(i)
+            fwd = shim.handle(tup, "fwd")
+            rev = shim.handle(tup.reversed(), "rev")
+            assert fwd.action == rev.action
+            assert fwd.target == rev.target
+
+    def test_counters_accumulate(self):
+        rule = ShimRule("c", HashRange("k", 0.0, 1.0),
+                        ShimAction.REPLICATE, target="DC")
+        config = ShimConfig(node="A", rules={"c": [rule]})
+        shim = Shim(config, classifier=lambda t: "c")
+        shim.handle(make_tuple(1), size_bytes=100.0)
+        shim.handle(make_tuple(2), size_bytes=50.0)
+        assert shim.counters.packets_replicated == 2
+        assert shim.counters.bytes_replicated == 150.0
+
+    def test_directional_rule_matching(self):
+        rule = ShimRule("c", HashRange("k", 0.0, 1.0),
+                        ShimAction.PROCESS, direction="fwd")
+        config = ShimConfig(node="A", rules={"c": [rule]})
+        shim = Shim(config, classifier=lambda t: "c")
+        assert shim.handle(make_tuple(1), "fwd").is_process
+        assert shim.handle(make_tuple(1), "rev").is_ignore
+
+
+class TestAggregationConfigs:
+    def test_source_ranges_partition_sources(self, line_state):
+        result = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, result)
+        cls = line_state.classes[0]
+        shims = {node: Shim(configs[node], lambda t: cls.name)
+                 for node in cls.path}
+        for i in range(300):
+            tup = make_tuple(i)
+            actors = [node for node in cls.path
+                      if shims[node].handle(tup).is_process]
+            assert len(actors) == 1
+
+    def test_same_source_always_same_node(self, line_state):
+        """All flows of one source go to one counting node — the
+        property that makes the source-level split correct."""
+        result = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, result)
+        cls = line_state.classes[0]
+        shims = {node: Shim(configs[node], lambda t: cls.name)
+                 for node in cls.path}
+        src = 12345
+        owners = set()
+        for dst in range(50):
+            tup = FiveTuple(6, src, 1000, 5000 + dst, 80)
+            for node in cls.path:
+                if shims[node].handle(tup).is_process:
+                    owners.add(node)
+        assert len(owners) == 1
+
+    def test_rules_use_source_hash_mode(self, line_state):
+        result = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, result)
+        for config in configs.values():
+            for rules in config.rules.values():
+                for rule in rules:
+                    assert rule.hash_mode is HashMode.SOURCE

@@ -1,0 +1,81 @@
+"""Edge-case tests for shim config dispatch and asymmetry corners."""
+
+import numpy as np
+import pytest
+
+from repro.shim import FiveTuple, Shim, ShimAction, ShimConfig, ShimRule
+from repro.shim.ranges import HashRange
+from repro.topology import (
+    AsymmetricRoutingModel,
+    builtin_topology,
+    shortest_path_routing,
+)
+
+
+class TestShimConfigDecide:
+    def make_config(self):
+        rules = {
+            "c": [ShimRule("c", HashRange("p", 0.0, 0.4),
+                           ShimAction.PROCESS),
+                  ShimRule("c", HashRange("o", 0.4, 1.0),
+                           ShimAction.REPLICATE, target="DC",
+                           direction="fwd")],
+        }
+        return ShimConfig(node="N1", rules=rules)
+
+    def test_decide_hits_first_matching_rule(self):
+        config = self.make_config()
+        rule = config.decide("c", 0.2, "fwd")
+        assert rule.action is ShimAction.PROCESS
+
+    def test_decide_respects_direction(self):
+        config = self.make_config()
+        assert config.decide("c", 0.6, "fwd").target == "DC"
+        assert config.decide("c", 0.6, "rev") is None
+
+    def test_decide_unknown_class(self):
+        config = self.make_config()
+        assert config.decide("zzz", 0.2, "fwd") is None
+
+    def test_num_rules(self):
+        assert self.make_config().num_rules == 2
+
+    def test_shim_decision_flags(self):
+        config = self.make_config()
+        shim = Shim(config, classifier=lambda t: "c")
+        tup = FiveTuple(6, 1, 2, 3, 4)
+        decision = shim.handle(tup, "fwd")
+        assert decision.is_process or decision.is_replicate
+        assert not decision.is_ignore
+
+
+class TestAsymmetryEdges:
+    def test_exclude_identical_with_single_candidate(self):
+        """A topology whose candidate pool is one path cannot supply a
+        non-identical reverse path."""
+        from repro.topology.topology import Topology
+
+        topo = Topology("pair", ["A", "B"], [("A", "B")])
+        routing = shortest_path_routing(topo)
+        model = AsymmetricRoutingModel(topo, routing)
+        with pytest.raises(ValueError):
+            model.reverse_path_for(("A", "B"), 0.5,
+                                   exclude_identical=True)
+
+    def test_theta_zero_allows_degenerate_gaussian(self):
+        topo = builtin_topology("internet2")
+        routing = shortest_path_routing(topo)
+        model = AsymmetricRoutingModel(topo, routing)
+        routes = model.generate(0.0, np.random.default_rng(0))
+        assert len(routes) == 55
+        # Target 0 picks the most-disjoint candidates available.
+        assert model.mean_overlap(routes) < 0.3
+
+    def test_overlap_cache_reused(self):
+        topo = builtin_topology("internet2")
+        routing = shortest_path_routing(topo)
+        model = AsymmetricRoutingModel(topo, routing)
+        fwd = routing.path("ATLA", "NYCM")
+        first = model._overlaps_for(fwd)
+        second = model._overlaps_for(fwd)
+        assert first is second  # cached array object

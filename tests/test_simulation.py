@@ -1,0 +1,199 @@
+"""Unit tests for the packet model and trace generator."""
+
+import pytest
+
+from repro.shim import FiveTuple
+from repro.simulation import (
+    Session,
+    TraceGenerator,
+    pop_prefix_ip,
+)
+from repro.simulation.packets import pop_index_of_ip
+from repro.simulation.tracegen import PrefixClassifier, TraceSpec
+from repro.traffic.classes import TrafficClass
+
+
+class TestAddressing:
+    def test_prefix_roundtrip(self):
+        ip = pop_prefix_ip(5, host=42)
+        assert pop_index_of_ip(ip) == 5
+
+    def test_distinct_pops_distinct_prefixes(self):
+        assert pop_prefix_ip(1, 1) != pop_prefix_ip(2, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pop_prefix_ip(300)
+        with pytest.raises(ValueError):
+            pop_prefix_ip(1, host=2 ** 16)
+
+
+class TestSession:
+    def test_default_reverse_path(self):
+        session = Session(FiveTuple(6, 1, 2, 3, 4), "c",
+                          fwd_path=("A", "B", "C"))
+        assert session.rev_path == ("C", "B", "A")
+
+    def test_observers_by_direction(self):
+        session = Session(FiveTuple(6, 1, 2, 3, 4), "c",
+                          fwd_path=("A", "B"), rev_path=("C",))
+        assert session.observers("fwd") == ("A", "B")
+        assert session.observers("rev") == ("C",)
+
+    def test_add_packet_validation(self):
+        session = Session(FiveTuple(6, 1, 2, 3, 4), "c", ("A",))
+        with pytest.raises(ValueError):
+            session.add_packet("up", 100)
+
+    def test_wire_tuple_reverses(self):
+        tup = FiveTuple(6, 1, 2, 3, 4)
+        session = Session(tup, "c", ("A",))
+        fwd = session.add_packet("fwd", 100)
+        rev = session.add_packet("rev", 100)
+        assert fwd.wire_tuple() == tup
+        assert rev.wire_tuple() == tup.reversed()
+
+    def test_total_bytes(self):
+        session = Session(FiveTuple(6, 1, 2, 3, 4), "c", ("A",))
+        session.add_packet("fwd", 100)
+        session.add_packet("rev", 60)
+        assert session.total_bytes == 160
+
+
+@pytest.fixture
+def small_classes(line_topology):
+    from repro.topology import shortest_path_routing
+
+    routing = shortest_path_routing(line_topology)
+    return [
+        TrafficClass("A->D", "A", "D", routing.path("A", "D"), 600.0),
+        TrafficClass("B->C", "B", "C", routing.path("B", "C"), 200.0),
+    ]
+
+
+class TestTraceGenerator:
+    def test_session_budget_respected(self, line_topology,
+                                      small_classes):
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=TraceSpec(total_sessions=400),
+                             seed=1)
+        sessions = gen.generate(with_payloads=False)
+        assert len(sessions) == 400
+
+    def test_volume_proportions(self, line_topology, small_classes):
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=TraceSpec(total_sessions=400),
+                             seed=1)
+        sessions = gen.generate(with_payloads=False)
+        a_d = sum(1 for s in sessions if s.class_name == "A->D")
+        assert a_d == 300  # 600/(600+200) of 400
+
+    def test_deterministic(self, line_topology, small_classes):
+        def fingerprints(seed):
+            gen = TraceGenerator(line_topology.nodes, small_classes,
+                                 spec=TraceSpec(total_sessions=50),
+                                 seed=seed)
+            return [s.five_tuple for s in gen.generate(False)]
+
+        assert fingerprints(3) == fingerprints(3)
+        assert fingerprints(3) != fingerprints(4)
+
+    def test_sessions_follow_class_paths(self, line_topology,
+                                         small_classes):
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=TraceSpec(total_sessions=100),
+                             seed=1)
+        by_name = {c.name: c for c in small_classes}
+        for session in gen.generate(False):
+            assert session.fwd_path == by_name[session.class_name].path
+
+    def test_classifier_maps_sessions_back(self, line_topology,
+                                           small_classes):
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=TraceSpec(total_sessions=100),
+                             seed=2)
+        for session in gen.generate(False):
+            assert gen.classifier(session.five_tuple) == \
+                session.class_name
+
+    def test_payload_generation(self, line_topology, small_classes):
+        spec = TraceSpec(total_sessions=50, payload_bytes=80,
+                         signature_session_fraction=1.0)
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=spec, seed=3)
+        sessions = gen.generate(with_payloads=True)
+        assert all(len(p.payload) == 80
+                   for s in sessions for p in s.packets)
+
+    def test_signatures_embedded_when_requested(self, line_topology,
+                                                small_classes):
+        from repro.nids import SignatureEngine
+
+        spec = TraceSpec(total_sessions=60, payload_bytes=100,
+                         signature_session_fraction=1.0)
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=spec, seed=4)
+        engine = SignatureEngine()
+        for session in gen.generate(True):
+            for packet in session.packets:
+                engine.inspect(session.five_tuple, packet.payload)
+        assert engine.stats.alerts >= 50  # ~1 per session
+
+    def test_scanner_injection(self, line_topology, small_classes):
+        spec = TraceSpec(total_sessions=50, scanner_count=2,
+                         scanner_fanout=30)
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=spec, seed=5)
+        sessions = gen.generate(False)
+        assert len(sessions) == 50 + 2 * 30
+        # Scanners contact many distinct destinations.
+        by_src = {}
+        for s in sessions:
+            by_src.setdefault(s.src_ip, set()).add(s.dst_ip)
+        assert max(len(d) for d in by_src.values()) >= 30
+
+    def test_heavy_tailed_payload_sizes(self, line_topology,
+                                        small_classes):
+        spec = TraceSpec(total_sessions=400, payload_bytes=200,
+                         payload_sigma=0.8)
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=spec, seed=9)
+        sizes = [s.packets[0].size_bytes - 40
+                 for s in gen.generate(with_payloads=False)]
+        assert len(set(sizes)) > 50          # genuinely variable
+        assert max(sizes) > 3 * min(sizes)   # heavy tail
+        mean = sum(sizes) / len(sizes)
+        assert 100 < mean < 400              # centered near the mean
+
+    def test_fixed_payload_when_sigma_zero(self, line_topology,
+                                           small_classes):
+        spec = TraceSpec(total_sessions=50, payload_bytes=200,
+                         payload_sigma=0.0)
+        gen = TraceGenerator(line_topology.nodes, small_classes,
+                             spec=spec, seed=10)
+        sizes = {p.size_bytes for s in gen.generate(False)
+                 for p in s.packets}
+        assert sizes == {240}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TraceSpec(payload_bytes=0)
+        with pytest.raises(ValueError):
+            TraceSpec(payload_sigma=-0.5)
+        with pytest.raises(ValueError):
+            TraceSpec(total_sessions=-1)
+
+    def test_unclassified_tuple_returns_none(self, line_topology,
+                                             small_classes):
+        classifier = PrefixClassifier(line_topology.nodes,
+                                      small_classes)
+        outside = FiveTuple(6, pop_prefix_ip(200, 1), 1,
+                            pop_prefix_ip(201, 1), 2)
+        assert classifier(outside) is None
+
+    def test_duplicate_prefix_pair_rejected(self, line_topology,
+                                            small_classes):
+        dupe = small_classes + [TrafficClass(
+            "A->D2", "A", "D", ("A", "B", "C", "D"), 1.0)]
+        with pytest.raises(ValueError):
+            PrefixClassifier(line_topology.nodes, dupe)

@@ -1,0 +1,141 @@
+"""Unit tests for the Topology abstraction."""
+
+import pytest
+
+from repro.topology import Topology, builtin_topology
+
+
+class TestConstruction:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("t", ["A", "A"], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("t", ["A", "B"], [("A", "A")])
+
+    def test_unknown_link_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("t", ["A", "B"], [("A", "C")])
+
+    def test_links_canonical_order(self):
+        topo = Topology("t", ["B", "A"], [("B", "A")])
+        assert topo.links == [("A", "B")]
+
+    def test_duplicate_links_collapse(self):
+        topo = Topology("t", ["A", "B"], [("A", "B"), ("B", "A")])
+        assert topo.num_links == 1
+
+    def test_default_populations(self):
+        topo = Topology("t", ["A", "B"], [("A", "B")])
+        assert topo.population("A") == 1.0
+
+
+class TestPaths:
+    def test_shortest_path_on_line(self, line_topology):
+        assert line_topology.shortest_path("A", "D") == \
+            ("A", "B", "C", "D")
+
+    def test_shortest_path_same_node(self, line_topology):
+        assert line_topology.shortest_path("B", "B") == ("B",)
+
+    def test_deterministic_tie_break(self, diamond_topology):
+        # A-B-D and A-C-D are both shortest; lexicographic pick is ABD.
+        assert diamond_topology.shortest_path("A", "D") == ("A", "B", "D")
+
+    def test_all_shortest_paths(self, diamond_topology):
+        paths = diamond_topology.all_shortest_paths("A", "D")
+        assert ("A", "B", "D") in paths
+        assert ("A", "C", "D") in paths
+        assert len(paths) == 2
+
+    def test_hop_distance(self, line_topology):
+        assert line_topology.hop_distance("A", "D") == 3
+        assert line_topology.hop_distance("A", "A") == 0
+
+    def test_nodes_within(self, line_topology):
+        assert line_topology.nodes_within("B", 1) == ["A", "C"]
+        assert line_topology.nodes_within("B", 2) == ["A", "C", "D"]
+
+    def test_nodes_within_negative_raises(self, line_topology):
+        with pytest.raises(ValueError):
+            line_topology.nodes_within("B", -1)
+
+    def test_path_links(self):
+        links = Topology.path_links(("C", "B", "A"))
+        assert links == [("B", "C"), ("A", "B")]
+
+    def test_diameter(self, line_topology, diamond_topology):
+        assert line_topology.diameter() == 3
+        assert diamond_topology.diameter() == 2
+
+    def test_mean_path_length(self, line_topology):
+        # Chain of 4: distances 1,1,1 (adjacent), 2,2, 3 -> mean 10/6.
+        assert line_topology.mean_path_length() == \
+            pytest.approx(10.0 / 6.0)
+
+
+class TestDerivedTopologies:
+    def test_with_datacenter(self, line_topology):
+        topo = line_topology.with_datacenter("B", "DC")
+        assert "DC" in topo.nodes
+        assert topo.has_link("B", "DC")
+        assert topo.population("DC") == 0.0
+        # Original unchanged.
+        assert "DC" not in line_topology.nodes
+
+    def test_with_datacenter_bad_anchor(self, line_topology):
+        with pytest.raises(ValueError):
+            line_topology.with_datacenter("Z")
+
+    def test_with_datacenter_name_clash(self, line_topology):
+        with pytest.raises(ValueError):
+            line_topology.with_datacenter("B", "A")
+
+    def test_datacenter_is_never_transit(self, line_topology):
+        topo = line_topology.with_datacenter("B", "DC")
+        # Shortest paths between original nodes avoid the stub DC.
+        for source in line_topology.nodes:
+            for target in line_topology.nodes:
+                if source != target:
+                    assert "DC" not in topo.shortest_path(source, target)
+
+    def test_subgraph_without(self, line_topology):
+        topo = line_topology.subgraph_without("D")
+        assert topo.nodes == ["A", "B", "C"]
+        assert topo.num_links == 2
+
+
+class TestBuiltins:
+    def test_internet2_shape(self):
+        topo = builtin_topology("internet2")
+        assert topo.num_nodes == 11
+        assert topo.num_links == 14
+        assert topo.is_connected()
+
+    def test_geant_shape(self):
+        topo = builtin_topology("geant")
+        assert topo.num_nodes == 22
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("name,pops", [
+        ("enterprise", 23), ("tinet", 41), ("telstra", 44),
+        ("sprint", 52), ("level3", 63), ("ntt", 70)])
+    def test_paper_pop_counts(self, name, pops):
+        topo = builtin_topology(name)
+        assert topo.num_nodes == pops
+        assert topo.is_connected()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            builtin_topology("arpanet")
+
+    def test_case_insensitive(self):
+        assert builtin_topology("Internet2").num_nodes == 11
+
+    def test_builtins_deterministic(self):
+        a = builtin_topology("sprint")
+        b = builtin_topology("sprint")
+        assert a.nodes == b.nodes
+        assert a.links == b.links
+        assert a.populations == b.populations

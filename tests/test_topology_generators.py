@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic topology generators."""
+
+import pytest
+
+from repro.topology.generators import (
+    synthetic_enterprise_topology,
+    synthetic_isp_topology,
+)
+
+
+class TestISPGenerator:
+    def test_basic_shape(self):
+        topo = synthetic_isp_topology("isp", num_pops=30, seed=1)
+        assert topo.num_nodes == 30
+        assert topo.is_connected()
+
+    def test_deterministic(self):
+        a = synthetic_isp_topology("isp", 25, seed=9)
+        b = synthetic_isp_topology("isp", 25, seed=9)
+        assert a.links == b.links
+        assert a.populations == b.populations
+
+    def test_seed_changes_structure(self):
+        a = synthetic_isp_topology("isp", 25, seed=1)
+        b = synthetic_isp_topology("isp", 25, seed=2)
+        assert a.links != b.links
+
+    def test_mean_degree_close_to_target(self):
+        topo = synthetic_isp_topology("isp", 50, seed=3,
+                                      mean_degree=3.5)
+        mean = 2.0 * topo.num_links / topo.num_nodes
+        assert 2.5 <= mean <= 4.5
+
+    def test_no_degree_one_nodes(self):
+        topo = synthetic_isp_topology("isp", 40, seed=4)
+        assert all(topo.degree(n) >= 2 for n in topo.nodes)
+
+    def test_heavy_tailed_degrees(self):
+        topo = synthetic_isp_topology("isp", 60, seed=5,
+                                      mean_degree=3.0)
+        degrees = sorted((topo.degree(n) for n in topo.nodes),
+                         reverse=True)
+        # Hub nodes should be far above the mean (Rocketfuel-like).
+        assert degrees[0] >= 2.0 * (sum(degrees) / len(degrees))
+
+    def test_too_few_pops_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_isp_topology("isp", 2, seed=1)
+
+    def test_low_mean_degree_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_isp_topology("isp", 10, seed=1, mean_degree=1.5)
+
+    def test_positive_populations(self):
+        topo = synthetic_isp_topology("isp", 20, seed=6)
+        assert all(p > 0 for p in topo.populations.values())
+
+
+class TestEnterpriseGenerator:
+    def test_shape(self):
+        topo = synthetic_enterprise_topology(num_pops=23, seed=23)
+        assert topo.num_nodes == 23
+        assert topo.is_connected()
+
+    def test_gateway_core_ring(self):
+        topo = synthetic_enterprise_topology(num_pops=23, seed=23,
+                                             num_sites=4)
+        gateways = [n for n in topo.nodes if n.startswith("gw")]
+        assert len(gateways) == 4
+        for i in range(4):
+            assert topo.has_link(f"gw{i}", f"gw{(i + 1) % 4}")
+
+    def test_access_nodes_attach_to_gateways(self):
+        topo = synthetic_enterprise_topology(num_pops=23, seed=23)
+        for node in topo.nodes:
+            if node.startswith("acc"):
+                assert any(peer.startswith("gw") or
+                           peer.startswith("acc")
+                           for peer in topo.neighbors(node))
+
+    def test_too_few_pops_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_enterprise_topology(num_pops=5, num_sites=4)
+
+    def test_deterministic(self):
+        a = synthetic_enterprise_topology(23, seed=1)
+        b = synthetic_enterprise_topology(23, seed=1)
+        assert a.links == b.links

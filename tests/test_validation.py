@@ -1,0 +1,130 @@
+"""Tests for the independent result validators and LP duals."""
+
+import pytest
+
+from repro.core import (
+    AggregationProblem,
+    MirrorPolicy,
+    ReplicationProblem,
+    SplitTrafficProblem,
+    validate_aggregation,
+    validate_replication,
+    validate_split,
+)
+from repro.lpsolve import Model
+
+
+class TestValidators:
+    def test_replication_result_valid(self, line_state_dc):
+        result = ReplicationProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.4).solve()
+        assert validate_replication(line_state_dc, result) == []
+
+    def test_on_path_result_valid(self, line_state):
+        result = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.none()).solve()
+        assert validate_replication(line_state, result) == []
+
+    def test_aggregation_result_valid(self, line_state):
+        result = AggregationProblem(line_state, beta=1e-9).solve()
+        assert validate_aggregation(line_state, result) == []
+
+    def test_split_result_valid(self, line_state_dc):
+        result = SplitTrafficProblem(line_state_dc,
+                                     max_link_load=0.4).solve()
+        assert validate_split(line_state_dc, result) == []
+
+    def test_tampered_coverage_detected(self, line_state):
+        result = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.none()).solve()
+        first = next(iter(result.process_fractions))
+        node = next(iter(result.process_fractions[first]))
+        result.process_fractions[first][node] += 0.5
+        problems = validate_replication(line_state, result)
+        assert any("coverage" in p for p in problems)
+
+    def test_tampered_load_detected(self, line_state):
+        result = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.none()).solve()
+        node = next(iter(result.node_loads["cpu"]))
+        result.node_loads["cpu"][node] += 0.5
+        problems = validate_replication(line_state, result)
+        assert any("recomputed" in p for p in problems)
+
+    def test_tampered_comm_cost_detected(self, line_state):
+        result = AggregationProblem(line_state, beta=1e-9).solve()
+        result.comm_cost *= 2.0
+        problems = validate_aggregation(line_state, result)
+        assert any("CommCost" in p for p in problems)
+
+    def test_out_of_bounds_fraction_detected(self, line_state):
+        result = ReplicationProblem(
+            line_state, mirror_policy=MirrorPolicy.none()).solve()
+        first = next(iter(result.process_fractions))
+        node = next(iter(result.process_fractions[first]))
+        result.process_fractions[first][node] = 1.7
+        problems = validate_replication(line_state, result)
+        assert any("out of [0, 1]" in p for p in problems)
+
+    def test_inflated_coverage_detected_in_split(self, line_state_dc):
+        result = SplitTrafficProblem(line_state_dc,
+                                     max_link_load=0.4).solve()
+        name = next(iter(result.coverage))
+        result.coverage[name] = 2.0
+        problems = validate_split(line_state_dc, result)
+        assert any("exceeds" in p for p in problems)
+
+
+class TestDuals:
+    def test_binding_lower_bound(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x >= 2, name="floor")
+        m.minimize(x)
+        sol = m.solve()
+        assert sol.dual("floor") == pytest.approx(1.0)
+        assert "floor" in sol.binding_constraints()
+
+    def test_nonbinding_constraint_zero_dual(self):
+        m = Model()
+        x = m.add_variable("x", lb=0, ub=1)
+        m.add_constraint(x <= 100, name="loose")
+        m.minimize(x)
+        sol = m.solve()
+        assert sol.dual("loose") == 0.0
+        assert "loose" not in sol.binding_constraints()
+
+    def test_maximization_dual_sign(self):
+        # max 3a + 2b, a+b <= 4 binding with shadow price 3.
+        m = Model()
+        a = m.add_variable("a")
+        b = m.add_variable("b")
+        m.add_constraint(a + b <= 4, name="cap")
+        m.add_constraint(a + 3 * b <= 6, name="slacky")
+        m.maximize(3 * a + 2 * b)
+        sol = m.solve()
+        assert sol.dual("cap") == pytest.approx(3.0)
+
+    def test_equality_dual(self):
+        m = Model()
+        x = m.add_variable("x")
+        y = m.add_variable("y")
+        m.add_constraint(x + y == 3, name="balance")
+        m.minimize(2 * x + y)
+        sol = m.solve()
+        # Relaxing the equality by one unit costs one unit of y.
+        assert sol.dual("balance") == pytest.approx(1.0)
+
+    def test_link_budget_shadow_price(self, line_state_dc):
+        """The MaxLinkLoad constraints that bind carry a negative
+        shadow price (relaxing the cap lowers LoadCost)."""
+        problem = ReplicationProblem(
+            line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=0.2)
+        model = problem.build_model()
+        solution = model.solve()
+        link_duals = [solution.dual(con.name)
+                      for con in model.constraints
+                      if con.name.startswith("linkload")]
+        assert any(d < -1e-9 for d in link_duals)
