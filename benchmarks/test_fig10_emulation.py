@@ -6,17 +6,74 @@ pure on-path distribution, and the emulated result matches the LP
 (trace-driven) prediction.
 """
 
+import pathlib
+import re
+
+import pytest
+
+from repro.core import MirrorPolicy, ReplicationProblem
 from repro.experiments import format_fig10, run_fig10
-from repro.experiments.common import full_scale
+from repro.experiments.common import full_scale, setup_topology
+from repro.simulation.metrics import (
+    predicted_work_shares,
+    share_rms,
+    work_shares,
+)
+
+RECORDED = pathlib.Path(__file__).parent / "results" / \
+    "fig10_emulation.txt"
 
 
-def test_fig10_emulated_internet2(benchmark, save_result):
+@pytest.fixture(scope="module")
+def fig10_result():
     sessions = 20_000 if full_scale() else 4_000
-    result = benchmark.pedantic(
-        run_fig10, kwargs={"total_sessions": sessions},
-        iterations=1, rounds=1)
-    save_result("fig10_emulation", format_fig10(result))
-    assert result.max_work_reduction() > 1.3
+    return run_fig10(total_sessions=sessions)
+
+
+def test_fig10_emulated_internet2(benchmark, save_result,
+                                  fig10_result):
+    # Time a small re-run for the throughput record; the assertions
+    # use the module-scoped full result.
+    benchmark.pedantic(run_fig10, kwargs={"total_sessions": 500},
+                       iterations=1, rounds=1)
+    save_result("fig10_emulation", format_fig10(fig10_result))
+    assert fig10_result.max_work_reduction() > 1.3
     # Replication must not lose detections: the same trace yields at
     # least as many signature alerts (every packet still inspected).
-    assert result.alerts_replicate == result.alerts_no_replicate
+    assert fig10_result.alerts_replicate == \
+        fig10_result.alerts_no_replicate
+
+
+def _recorded_replicate_work():
+    """Parse the per-node Path,Replicate work column out of the
+    committed benchmark record."""
+    work = {}
+    for line in RECORDED.read_text().splitlines():
+        match = re.match(r"^(\w+)\s+(\d+)\s+(\d+)\s*$", line)
+        if match:
+            work[match.group(1)] = float(match.group(3))
+    return work
+
+
+def test_fig10_lp_agreement_no_worse_than_recorded(fig10_result):
+    """Pin the emulation/LP agreement: RMS error between emulated and
+    LP-predicted work shares must stay at or under the agreement in
+    the committed ``fig10_emulation.txt`` record (small slack for
+    trace-size differences)."""
+    recorded_work = _recorded_replicate_work()
+    assert len(recorded_work) >= 12, "could not parse recorded table"
+
+    state = setup_topology("internet2", dc_capacity_factor=8.0).state
+    lp = ReplicationProblem(
+        state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4).solve()
+    predicted = predicted_work_shares(state, lp)
+
+    recorded_rms = share_rms(work_shares(recorded_work), predicted)
+    fresh_rms = share_rms(work_shares(fig10_result.work_replicate),
+                          predicted)
+    assert fresh_rms <= recorded_rms * 1.25 + 0.005, (
+        f"emulation/LP agreement regressed: RMS {fresh_rms:.5f} vs "
+        f"recorded {recorded_rms:.5f}")
+    # Absolute sanity bound: shares agree to within a few percent.
+    assert fresh_rms < 0.05

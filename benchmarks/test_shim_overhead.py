@@ -7,6 +7,7 @@ place pytest-benchmark's repeated timing is the point, rather than a
 one-shot experiment run.
 """
 
+from repro.obs import MetricsRegistry, use_registry
 from repro.shim import (
     FiveTuple,
     HashRange,
@@ -21,6 +22,16 @@ TUPLES = [FiveTuple(6, 0x0A010000 + i, 1024 + i, 0x0A020000 + i, 80)
           for i in range(512)]
 
 
+def _shim_config():
+    rules = {
+        "c": [ShimRule("c", HashRange("p", 0.0, 0.5),
+                       ShimAction.PROCESS),
+              ShimRule("c", HashRange("o", 0.5, 1.0),
+                       ShimAction.REPLICATE, target="DC")],
+    }
+    return ShimConfig(node="N1", rules=rules)
+
+
 def test_session_hash_throughput(benchmark):
     def hash_batch():
         total = 0.0
@@ -33,15 +44,15 @@ def test_session_hash_throughput(benchmark):
 
 
 def test_shim_decision_throughput(benchmark):
-    """Full per-packet path: classify, hash, range lookup, decide."""
-    rules = {
-        "c": [ShimRule("c", HashRange("p", 0.0, 0.5),
-                       ShimAction.PROCESS),
-              ShimRule("c", HashRange("o", 0.5, 1.0),
-                       ShimAction.REPLICATE, target="DC")],
-    }
-    shim = Shim(ShimConfig(node="N1", rules=rules),
-                classifier=lambda t: "c")
+    """Full per-packet path: classify, hash, range lookup, decide.
+
+    Runs with metrics disabled (the default null registry), so this
+    is the number the zero-overhead-when-disabled guarantee protects.
+    """
+    shim = Shim(_shim_config(), classifier=lambda t: "c")
+    # The observability layer must not have installed its per-packet
+    # wrapper: the hot path is the plain class method.
+    assert "handle" not in shim.__dict__
 
     def decide_batch():
         processed = 0
@@ -53,3 +64,22 @@ def test_shim_decision_throughput(benchmark):
     processed = benchmark(decide_batch)
     # Roughly half the hash space processes locally.
     assert 0.3 * len(TUPLES) < processed < 0.7 * len(TUPLES)
+
+
+def test_shim_decision_throughput_instrumented(benchmark):
+    """The same per-packet path with a recording registry installed
+    (decision counters + hash-lookup timing) — quantifies the cost of
+    opting in to metrics."""
+    with use_registry(MetricsRegistry()) as registry:
+        shim = Shim(_shim_config(), classifier=lambda t: "c")
+
+        def decide_batch():
+            processed = 0
+            for tup in TUPLES:
+                if shim.handle(tup, "fwd", 1500.0).is_process:
+                    processed += 1
+            return processed
+
+        processed = benchmark(decide_batch)
+    assert 0.3 * len(TUPLES) < processed < 0.7 * len(TUPLES)
+    assert registry.counter_value("shim.packets") >= len(TUPLES)

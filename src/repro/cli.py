@@ -8,6 +8,8 @@ Commands:
 - ``compare`` — Figure 13-style architecture comparison for one
   topology.
 - ``experiment`` — regenerate one of the paper's tables/figures.
+- ``stats`` — run one instrumented controller cycle plus a trace
+  replay and report the collected metrics (optionally as JSONL).
 """
 
 from __future__ import annotations
@@ -156,6 +158,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name",
                             choices=sorted(_EXPERIMENTS) + ["all"])
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented optimize+replay cycle and report "
+             "the collected metrics")
+    stats.add_argument("topology", nargs="?", default="internet2",
+                       choices=builtin_topology_names())
+    stats.add_argument("--mirror", default="dc",
+                       choices=sorted(_MIRROR_CHOICES))
+    stats.add_argument("--max-link-load", type=float, default=0.4)
+    stats.add_argument("--dc-capacity", type=float, default=8.0)
+    stats.add_argument("--sessions", type=int, default=1000,
+                       help="synthetic trace size for the replay")
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write the metrics snapshot as "
+                            "JSON lines to PATH")
     return parser
 
 
@@ -258,6 +277,64 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.core.controller import NIDSController
+    from repro.obs import MetricsRegistry, use_registry, write_jsonl
+    from repro.simulation.emulation import Emulation
+    from repro.simulation.tracegen import TraceGenerator, TraceSpec
+
+    dc_factor = (args.dc_capacity
+                 if args.mirror in ("dc", "dc+one-hop") else None)
+    setup = setup_topology(args.topology,
+                           dc_capacity_factor=dc_factor)
+    state = setup.state
+    with use_registry(MetricsRegistry()) as metrics:
+        controller = NIDSController(
+            state, mirror_policy=_MIRROR_CHOICES[args.mirror](),
+            max_link_load=args.max_link_load)
+        rollout = controller.refresh()
+        generator = TraceGenerator(
+            state.topology.nodes, state.classes,
+            spec=TraceSpec(total_sessions=args.sessions),
+            seed=args.seed)
+        sessions = generator.generate(with_payloads=True)
+        emulation = Emulation(state, rollout.configs,
+                              generator.classifier)
+        emulation.run_signature(sessions)
+
+        snap = metrics.snapshot()
+        print(format_table(
+            ["Counter", "Value"],
+            [[name, f"{value:g}"]
+             for name, value in sorted(snap["counters"].items())],
+            title=f"counters ({args.topology}, "
+                  f"{args.sessions} sessions)"))
+        print(format_table(
+            ["Gauge", "Value"],
+            [[name, f"{value:g}"]
+             for name, value in sorted(snap["gauges"].items())],
+            title="gauges"))
+        rows = []
+        for name, summary in sorted(snap["histograms"].items()):
+            rows.append([name, f"{summary['count']:g}",
+                         f"{summary['mean']:.6g}",
+                         f"{summary['p50']:.6g}",
+                         f"{summary['p95']:.6g}",
+                         f"{summary['p99']:.6g}"])
+        print(format_table(
+            ["Histogram", "Count", "Mean", "p50", "p95", "p99"],
+            rows, title="histograms"))
+        if args.jsonl:
+            try:
+                count = write_jsonl(metrics, args.jsonl)
+            except OSError as exc:
+                print(f"error: cannot write {args.jsonl}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote {count} JSONL records to {args.jsonl}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     if args.name == "all":
         for name in sorted(_EXPERIMENTS):
@@ -278,6 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return _cmd_experiment(args)
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.inputs import NetworkState
+from repro.obs import get_registry
 from repro.core.mirrors import MirrorPolicy
 from repro.core.replication import ReplicationProblem
 from repro.core.results import ReplicationResult
@@ -113,7 +114,10 @@ class NIDSController:
         configuration has been computed yet)."""
         if self._current_configs is None:
             return True
-        return self.traffic_drift(classes) > self.drift_threshold
+        triggered = self.traffic_drift(classes) > self.drift_threshold
+        if triggered:
+            get_registry().inc("controller.drift_triggers")
+        return triggered
 
     # -- the optimization cycle ---------------------------------------------
 
@@ -136,29 +140,42 @@ class NIDSController:
                 independent validation (never expected; a guard
                 against optimizer/compilation regressions).
         """
-        if classes is not None:
-            state = self.state.with_traffic(classes)
-            self._current_classes = list(classes)
-        else:
-            state = self.state.with_traffic(self._current_classes)
+        metrics = get_registry()
+        with metrics.span("controller.refresh"):
+            if classes is not None:
+                state = self.state.with_traffic(classes)
+                self._current_classes = list(classes)
+            else:
+                state = self.state.with_traffic(self._current_classes)
 
-        result = ReplicationProblem(
-            state, mirror_policy=self.mirror_policy,
-            max_link_load=self.max_link_load).solve()
-        problems = validate_replication(state, result)
-        if problems:
-            raise RuntimeError(
-                "optimizer produced an invalid assignment: "
-                + "; ".join(problems[:3]))
-        configs = build_replication_configs(state, result)
+            result = ReplicationProblem(
+                state, mirror_policy=self.mirror_policy,
+                max_link_load=self.max_link_load).solve()
+            problems = validate_replication(state, result)
+            if problems:
+                raise RuntimeError(
+                    "optimizer produced an invalid assignment: "
+                    + "; ".join(problems[:3]))
+            configs = build_replication_configs(state, result)
 
-        transition = None
-        if self._current_configs is not None:
-            transition = OverlapTransition(self._current_configs,
-                                           configs)
-            transition.begin()
-        self._current_configs = configs
-        self._current_result = result
-        self.refresh_count += 1
+            transition = None
+            if self._current_configs is not None:
+                transition = OverlapTransition(self._current_configs,
+                                               configs)
+                transition.begin()
+                # Overlap size: total rules honored during the
+                # transient (old and new unioned at every node).
+                overlap_rules = sum(
+                    self._current_configs[node].num_rules
+                    + configs[node].num_rules
+                    for node in configs)
+                metrics.gauge("controller.transition.nodes",
+                              len(configs))
+                metrics.gauge("controller.transition.union_rules",
+                              overlap_rules)
+            self._current_configs = configs
+            self._current_result = result
+            self.refresh_count += 1
+        metrics.inc("controller.refreshes")
         return Rollout(result=result, configs=configs,
                        transition=transition)

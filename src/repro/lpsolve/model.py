@@ -15,6 +15,7 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.lpsolve.constraint import Constraint, ConstraintSense
+from repro.obs import get_registry
 from repro.lpsolve.errors import (
     InfeasibleError,
     LPError,
@@ -237,14 +238,20 @@ class Model:
         if not self._variables:
             raise ModelError(f"model {self.name!r} has no variables")
 
-        c, a_ub, b_ub, a_eq, b_eq, bounds = self._compile()
+        metrics = get_registry()
+        with metrics.span("lp.build"):
+            c, a_ub, b_ub, a_eq, b_eq, bounds = self._compile()
         start = time.perf_counter()
-        result = linprog(
-            c,
-            A_ub=a_ub, b_ub=b_ub if a_ub is not None else None,
-            A_eq=a_eq, b_eq=b_eq if a_eq is not None else None,
-            bounds=bounds, method="highs")
+        with metrics.span("lp.solve"):
+            result = linprog(
+                c,
+                A_ub=a_ub, b_ub=b_ub if a_ub is not None else None,
+                A_eq=a_eq, b_eq=b_eq if a_eq is not None else None,
+                bounds=bounds, method="highs")
         elapsed = time.perf_counter() - start
+        metrics.inc("lp.solves")
+        metrics.gauge("lp.num_variables", self.num_variables)
+        metrics.gauge("lp.num_constraints", self.num_constraints)
 
         status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
         duals = {}

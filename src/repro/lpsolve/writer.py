@@ -16,6 +16,7 @@ from typing import TextIO
 from repro.lpsolve.constraint import ConstraintSense
 from repro.lpsolve.expr import LinExpr
 from repro.lpsolve.model import Model
+from repro.obs import get_registry
 
 _SENSE_TOKEN = {
     ConstraintSense.LE: "<=",
@@ -53,24 +54,27 @@ def write_lp(model: Model, out: TextIO) -> None:
     objective = getattr(model, "_objective", None)
     if objective is None:
         raise ValueError("model has no objective to write")
-    sense = "Minimize" if model._sense > 0 else "Maximize"
-    out.write(f"\\ {model.name}\n{sense}\n obj:")
-    _write_expr(out, objective)
-    out.write("\nSubject To\n")
-    for con in model.constraints:
-        out.write(f" {_safe_name(con.name or 'c')}:")
-        _write_expr(out, con.expr)
-        out.write(f" {_SENSE_TOKEN[con.sense]} {con.rhs:.12g}\n")
-    out.write("Bounds\n")
-    for var in model.variables:
-        name = _safe_name(var.name)
-        if var.ub is None:
-            if var.lb == 0.0:
-                continue  # default bound
-            out.write(f" {var.lb:.12g} <= {name} <= +inf\n")
-        else:
-            out.write(f" {var.lb:.12g} <= {name} <= {var.ub:.12g}\n")
-    out.write("End\n")
+    metrics = get_registry()
+    with metrics.span("lp.write"):
+        sense = "Minimize" if model._sense > 0 else "Maximize"
+        out.write(f"\\ {model.name}\n{sense}\n obj:")
+        _write_expr(out, objective)
+        out.write("\nSubject To\n")
+        for con in model.constraints:
+            out.write(f" {_safe_name(con.name or 'c')}:")
+            _write_expr(out, con.expr)
+            out.write(f" {_SENSE_TOKEN[con.sense]} {con.rhs:.12g}\n")
+        out.write("Bounds\n")
+        for var in model.variables:
+            name = _safe_name(var.name)
+            if var.ub is None:
+                if var.lb == 0.0:
+                    continue  # default bound
+                out.write(f" {var.lb:.12g} <= {name} <= +inf\n")
+            else:
+                out.write(f" {var.lb:.12g} <= {name} <= {var.ub:.12g}\n")
+        out.write("End\n")
+    metrics.inc("lp.writes")
 
 
 def lp_string(model: Model) -> str:

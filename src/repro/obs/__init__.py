@@ -1,0 +1,99 @@
+"""Observability: metrics registry, instrumentation plumbing, JSONL
+export.
+
+By default the process-wide registry is the no-op
+:class:`NullRegistry`, so the instrumented hot paths (LP solve phases,
+shim per-packet decisions, controller refreshes, emulation replay) add
+no measurable work. Opt in either programmatically::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as reg:
+        ...  # run a solve / emulation
+        print(reg.snapshot())
+
+or through the environment: setting ``REPRO_METRICS=path.jsonl``
+before importing :mod:`repro` installs a recording registry and writes
+a JSONL snapshot to that path at interpreter exit (see
+:mod:`repro.obs.export` for the schema). That makes any existing
+entry point — ``python -m repro``, the benchmark suite, an experiment
+script — emit machine-readable measurement trajectories without code
+changes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Mapping, Optional
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    read_jsonl,
+    snapshot_records,
+    validate_record,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    HistogramStats,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    percentile,
+    set_registry,
+    use_registry,
+)
+
+ENV_VAR = "REPRO_METRICS"
+
+__all__ = [
+    "ENV_VAR",
+    "HistogramStats",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SCHEMA_VERSION",
+    "configure_from_env",
+    "get_registry",
+    "percentile",
+    "read_jsonl",
+    "set_registry",
+    "snapshot_records",
+    "use_registry",
+    "validate_record",
+    "write_jsonl",
+]
+
+
+def configure_from_env(environ: Optional[Mapping[str, str]] = None,
+                       register_atexit: bool = True
+                       ) -> Optional[MetricsRegistry]:
+    """Install a recording registry when ``REPRO_METRICS`` is set.
+
+    Args:
+        environ: environment mapping (defaults to ``os.environ``;
+            injectable for tests).
+        register_atexit: write the JSONL snapshot to the configured
+            path at interpreter exit (the production hook). Tests pass
+            False and export explicitly.
+
+    Returns:
+        The installed :class:`MetricsRegistry`, or ``None`` when the
+        variable is unset/empty (the null registry stays in place).
+    """
+    environ = os.environ if environ is None else environ
+    path = environ.get(ENV_VAR, "").strip()
+    if not path:
+        return None
+    registry = MetricsRegistry()
+    set_registry(registry)
+    if register_atexit:
+        atexit.register(write_jsonl, registry, path)
+    return registry
+
+
+# The import-time hook: importing any repro module that uses metrics
+# pulls this package in, so REPRO_METRICS=out.jsonl works for every
+# entry point without explicit wiring.
+configure_from_env()

@@ -1,0 +1,120 @@
+"""JSON-lines export of a registry snapshot.
+
+The schema (versioned, documented in ``docs/observability.md``) is one
+JSON object per line:
+
+- ``{"type": "meta", "schema": 1, "ts": <unix seconds>}`` — always the
+  first line.
+- ``{"type": "counter", "name": str, "value": number}``
+- ``{"type": "gauge", "name": str, "value": number}``
+- ``{"type": "histogram", "name": str, "count": int, "sum": number,
+  "min": number, "max": number, "mean": number, "p50": number,
+  "p95": number, "p99": number}``
+
+Non-finite numbers (empty-histogram NaNs) are serialized as ``null``
+so every line is strict RFC 8259 JSON. :func:`validate_record` is the
+authoritative schema check, shared by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.obs.registry import NullRegistry
+
+SCHEMA_VERSION = 1
+
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean",
+                     "p50", "p95", "p99")
+
+
+def _clean(value: float) -> Optional[float]:
+    """JSON-safe number: NaN/inf become None (strict-JSON null)."""
+    return value if math.isfinite(value) else None
+
+
+def snapshot_records(registry: NullRegistry,
+                     timestamp: Optional[float] = None) -> List[Dict]:
+    """Flatten a registry snapshot into schema records (meta first,
+    then counters/gauges/histograms, each sorted by name)."""
+    snap = registry.snapshot()
+    records: List[Dict] = [{
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "ts": time.time() if timestamp is None else timestamp,
+    }]
+    for name in sorted(snap["counters"]):
+        records.append({"type": "counter", "name": name,
+                        "value": _clean(snap["counters"][name])})
+    for name in sorted(snap["gauges"]):
+        records.append({"type": "gauge", "name": name,
+                        "value": _clean(snap["gauges"][name])})
+    for name in sorted(snap["histograms"]):
+        record: Dict = {"type": "histogram", "name": name}
+        summary = snap["histograms"][name]
+        for field in _HISTOGRAM_FIELDS:
+            record[field] = _clean(summary[field])
+        record["count"] = int(summary["count"])
+        records.append(record)
+    return records
+
+
+def write_jsonl(registry: NullRegistry, out: Union[str, TextIO],
+                timestamp: Optional[float] = None) -> int:
+    """Write the snapshot as JSONL to a path or stream; returns the
+    number of records written."""
+    records = snapshot_records(registry, timestamp=timestamp)
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as handle:
+            return write_jsonl(registry, handle, timestamp=timestamp)
+    for record in records:
+        out.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def validate_record(record: Dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the schema."""
+    kind = record.get("type")
+    if kind == "meta":
+        if record.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"bad schema version: {record!r}")
+        if not isinstance(record.get("ts"), (int, float)):
+            raise ValueError(f"meta record missing ts: {record!r}")
+        return
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"record missing name: {record!r}")
+    if kind in ("counter", "gauge"):
+        value = record.get("value")
+        if value is not None and not isinstance(value, (int, float)):
+            raise ValueError(f"non-numeric value: {record!r}")
+        return
+    if kind == "histogram":
+        for field in _HISTOGRAM_FIELDS:
+            if field not in record:
+                raise ValueError(
+                    f"histogram missing {field!r}: {record!r}")
+            value = record[field]
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"non-numeric {field!r}: {record!r}")
+        if not isinstance(record["count"], int):
+            raise ValueError(f"histogram count not int: {record!r}")
+        return
+    raise ValueError(f"unknown record type: {record!r}")
+
+
+def read_jsonl(lines: Iterable[str]) -> List[Dict]:
+    """Parse and validate JSONL lines (blank lines are skipped)."""
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        validate_record(record)
+        records.append(record)
+    return records

@@ -1,0 +1,242 @@
+"""The metrics registry: counters, gauges, histograms, timing spans.
+
+The controller of Figure 6 "periodically collects traffic and routing
+feeds, runs the optimization, and pushes configurations" — this module
+gives every stage of that loop something to report into. Two registry
+flavors share one interface:
+
+- :class:`NullRegistry` — the default. Every operation is a no-op and
+  ``enabled`` is False, so instrumented call sites that bind their
+  fast paths at construction time (e.g., :class:`~repro.shim.shim.Shim`)
+  add zero per-packet work when metrics are off.
+- :class:`MetricsRegistry` — in-memory accumulation of counters,
+  gauges, and histograms (with p50/p95/p99 summaries), plus
+  context-manager timing spans.
+
+The process-wide registry is managed by :func:`get_registry` /
+:func:`set_registry` / :func:`use_registry`; see
+:mod:`repro.obs.export` for the JSONL snapshot format.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolation percentile of unsorted samples (NaN when
+    empty); ``q`` in [0, 100]."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    weight = rank - lo
+    return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+
+class HistogramStats:
+    """Accumulated observations for one histogram metric."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return self.total / len(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/mean plus p50/p95/p99."""
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": min(self.samples) if self.samples else float("nan"),
+            "max": max(self.samples) if self.samples else float("nan"),
+            "mean": self.mean,
+        }
+        for q in _PERCENTILES:
+            out[f"p{q:g}"] = percentile(self.samples, q)
+        return out
+
+
+class _NullSpan:
+    """A reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Times a ``with`` block into ``<name>.seconds``."""
+
+    __slots__ = ("_registry", "_name", "_start", "elapsed")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._registry.observe(f"{self._name}.seconds", self.elapsed)
+
+
+class NullRegistry:
+    """Do-nothing registry; the zero-overhead default.
+
+    Instrumented code may call any recording method unconditionally;
+    hot paths should instead check :attr:`enabled` once (at setup
+    time) and skip instrumentation entirely.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name``."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+
+    def span(self, name: str):
+        """Context manager timing its block into ``<name>.seconds``."""
+        return _NULL_SPAN
+
+    # -- read side (all empty) -------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        return 0.0
+
+    def gauge_value(self, name: str) -> float:
+        return float("nan")
+
+    def histogram(self, name: str) -> Optional[HistogramStats]:
+        return None
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        """Drop all accumulated measurements."""
+
+
+class MetricsRegistry(NullRegistry):
+    """In-memory metrics accumulator (process-local, not thread-safe
+    beyond CPython dict-op atomicity — matching the single-threaded
+    controller/emulation loops it instruments)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramStats] = {}
+
+    # -- write side -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramStats()
+        hist.observe(value)
+
+    def span(self, name: str):
+        return _Span(self, name)
+
+    # -- read side --------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> float:
+        return self.gauges.get(name, float("nan"))
+
+    def histogram(self, name: str) -> Optional[HistogramStats]:
+        return self.histograms.get(name)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view: counters, gauges, histogram summaries."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: hist.summary()
+                           for name, hist in self.histograms.items()},
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+NULL_REGISTRY = NullRegistry()
+
+_registry: NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> NullRegistry:
+    """The process-wide registry (the null registry by default)."""
+    return _registry
+
+
+def set_registry(registry: Optional[NullRegistry]) -> NullRegistry:
+    """Install ``registry`` globally; ``None`` restores the null
+    registry. Returns the previously installed registry."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: NullRegistry) -> Iterator[NullRegistry]:
+    """Temporarily install a registry (tests, CLI one-shots)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

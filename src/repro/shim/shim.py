@@ -10,9 +10,11 @@ quantities (packets/bytes seen, processed, replicated).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs import get_registry
 from repro.shim.config import HashMode, ShimAction, ShimConfig, ShimRule
 from repro.shim.hashing import FiveTuple, field_hash, session_hash
 
@@ -69,6 +71,13 @@ class Shim:
         self.classifier = classifier
         self.hash_seed = hash_seed
         self.counters = ShimCounters()
+        # Observability is bound at construction time: with the default
+        # null registry the class-level ``handle`` stays untouched and
+        # the per-packet path pays nothing; with a recording registry
+        # installed, an instrumented wrapper shadows it per instance.
+        self._metrics = get_registry()
+        if self._metrics.enabled:
+            self.handle = self._handle_instrumented
 
     @property
     def node(self) -> str:
@@ -114,3 +123,28 @@ class Shim:
                                     target=rule.target, rule=rule)
         self.counters.packets_ignored += 1
         return ShimDecision(action=None)
+
+    def _handle_instrumented(self, tup: FiveTuple,
+                             direction: str = "fwd",
+                             size_bytes: float = 0.0) -> ShimDecision:
+        """:meth:`handle` plus registry metrics (only installed when a
+        recording registry was active at construction).
+
+        Emits per-packet decision counters (``shim.decision.process``
+        / ``.replicate`` / ``.ignore``, plus ``shim.packets``) and the
+        ``shim.hash_lookup.seconds`` histogram covering the classify +
+        hash + range-lookup path.
+        """
+        metrics = self._metrics
+        start = time.perf_counter()
+        decision = Shim.handle(self, tup, direction, size_bytes)
+        metrics.observe("shim.hash_lookup.seconds",
+                        time.perf_counter() - start)
+        metrics.inc("shim.packets")
+        if decision.action is ShimAction.PROCESS:
+            metrics.inc("shim.decision.process")
+        elif decision.action is ShimAction.REPLICATE:
+            metrics.inc("shim.decision.replicate")
+        else:
+            metrics.inc("shim.decision.ignore")
+        return decision

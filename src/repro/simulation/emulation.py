@@ -16,10 +16,12 @@ Emulab methodology (Section 8.1) in-process:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.inputs import NetworkState
+from repro.obs import get_registry
 from repro.nids.aggregator import (
     ScanAggregator,
     SplitStrategy,
@@ -107,6 +109,26 @@ class Emulation:
             for node in state.nids_nodes
         }
 
+    def _publish_run_metrics(self, kind: str,
+                             work_units: Dict[str, float],
+                             packets: int, elapsed: float) -> None:
+        """End-of-run observability: throughput and per-node work.
+
+        Published once per replay (never per packet), so the emulation
+        loop itself carries no instrumentation overhead.
+        """
+        metrics = get_registry()
+        if not metrics.enabled:
+            return
+        metrics.inc("emulation.runs")
+        metrics.inc("emulation.packets", packets)
+        metrics.observe(f"emulation.run_{kind}.seconds", elapsed)
+        if elapsed > 0:
+            metrics.gauge("emulation.packets_per_second",
+                          packets / elapsed)
+        for node, work in work_units.items():
+            metrics.gauge(f"emulation.work_units.{node}", work)
+
     # -- signature / replication -----------------------------------------
 
     def run_signature(self, sessions: Sequence[Session],
@@ -126,6 +148,7 @@ class Emulation:
         link_bytes: Dict[Link, float] = {}
         replicated = 0.0
         packets = 0
+        start = time.perf_counter()
         for session in sessions:
             key = session.five_tuple
             for packet in session.packets:
@@ -144,7 +167,7 @@ class Emulation:
                                 node, decision.target):
                             link_bytes[link] = (link_bytes.get(link, 0.0)
                                                 + packet.size_bytes)
-        return EmulationReport(
+        report = EmulationReport(
             work_units={n: e.stats.work_units
                         for n, e in engines.items()},
             sessions_processed={n: e.stats.sessions_seen
@@ -153,6 +176,9 @@ class Emulation:
             replicated_bytes=replicated,
             link_replicated_bytes=link_bytes,
             packets_total=packets)
+        self._publish_run_metrics("signature", report.work_units,
+                                  packets, time.perf_counter() - start)
+        return report
 
     # -- stateful / split traffic ------------------------------------------
 
@@ -167,9 +193,12 @@ class Emulation:
             node: StatefulSessionAnalyzer()
             for node in self.state.nids_nodes}
         replicated = 0.0
+        packets = 0
+        start = time.perf_counter()
         for session in sessions:
             key = session.five_tuple
             for packet in session.packets:
+                packets += 1
                 for node in session.observers(packet.direction):
                     decision = self.shims[node].handle(
                         session.five_tuple, packet.direction,
@@ -184,12 +213,15 @@ class Emulation:
         covered: Set = set()
         for analyzer in analyzers.values():
             covered |= analyzer.covered_sessions()
-        return StatefulEmulationReport(
+        report = StatefulEmulationReport(
             covered_sessions=len(covered),
             total_sessions=len(sessions),
             work_units={n: a.stats.work_units
                         for n, a in analyzers.items()},
             replicated_bytes=replicated)
+        self._publish_run_metrics("stateful", report.work_units,
+                                  packets, time.perf_counter() - start)
+        return report
 
     # -- scan / aggregation ----------------------------------------------
 

@@ -9,20 +9,35 @@ agreement with an LP result's predicted distribution.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Mapping, Union
 
 from repro.core.inputs import NetworkState
 from repro.core.results import AssignmentResult
 from repro.simulation.emulation import EmulationReport
 
 
-def work_shares(report: EmulationReport) -> Dict[str, float]:
-    """Each node's fraction of the total emulated work."""
-    total = sum(report.work_units.values())
-    if total <= 0:
-        return {node: 0.0 for node in report.work_units}
-    return {node: work / total
-            for node, work in report.work_units.items()}
+def _normalized(work: Mapping[str, float]) -> Dict[str, float]:
+    """Shares of a non-negative per-node quantity.
+
+    Degenerate totals — empty input, all-zero work, NaN or negative
+    sums — uniformly yield an all-zeros dict over the same keys
+    instead of raising or propagating NaNs.
+    """
+    total = sum(work.values())
+    if not (total > 0) or math.isinf(total):  # catches NaN too
+        return {node: 0.0 for node in work}
+    return {node: value / total for node, value in work.items()}
+
+
+def work_shares(report: Union[EmulationReport, Mapping[str, float]]
+                ) -> Dict[str, float]:
+    """Each node's fraction of the total emulated work.
+
+    Accepts any emulation report with ``work_units`` or a plain
+    per-node work mapping; degenerate inputs give all-zeros.
+    """
+    work = getattr(report, "work_units", report)
+    return _normalized(work)
 
 
 def predicted_work_shares(state: NetworkState,
@@ -31,15 +46,16 @@ def predicted_work_shares(state: NetworkState,
     """The LP's predicted per-node share of total work.
 
     Normalized loads are de-normalized by capacity (load x capacity is
-    work in footprint units) and expressed as fractions.
+    work in footprint units) and expressed as fractions. Nodes or
+    resources absent from the result/state contribute zero work, and a
+    degenerate (zero/NaN) total gives all-zeros — mirroring
+    :func:`work_shares`.
     """
-    work = {node: result.node_loads[resource][node] *
-            state.capacity(resource, node)
+    loads = result.node_loads.get(resource, {})
+    capacities = state.node_capacity.get(resource, {})
+    work = {node: loads.get(node, 0.0) * capacities.get(node, 0.0)
             for node in state.nids_nodes}
-    total = sum(work.values())
-    if total <= 0:
-        return {node: 0.0 for node in work}
-    return {node: value / total for node, value in work.items()}
+    return _normalized(work)
 
 
 def share_divergence(measured: Dict[str, float],
@@ -52,6 +68,22 @@ def share_divergence(measured: Dict[str, float],
     nodes = set(measured) | set(predicted)
     return 0.5 * sum(abs(measured.get(node, 0.0) -
                          predicted.get(node, 0.0)) for node in nodes)
+
+
+def share_rms(measured: Dict[str, float],
+              predicted: Dict[str, float]) -> float:
+    """Root-mean-square error between two share distributions.
+
+    The Figure 10 agreement metric: per-node difference between the
+    emulated and LP-predicted work shares, RMS over the union of
+    nodes. 0.0 is perfect agreement; missing nodes count as 0 share.
+    """
+    nodes = set(measured) | set(predicted)
+    if not nodes:
+        return 0.0
+    total = sum((measured.get(node, 0.0) - predicted.get(node, 0.0)) ** 2
+                for node in nodes)
+    return math.sqrt(total / len(nodes))
 
 
 def peak_to_mean(values: Dict[str, float]) -> float:

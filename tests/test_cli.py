@@ -94,3 +94,46 @@ class TestExperiment:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStats:
+    def test_stats_reports_metrics(self, capsys):
+        assert main(["stats", "internet2", "--sessions", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "lp.solves" in out
+        assert "shim.decision.process" in out
+        assert "emulation.packets_per_second" in out
+        assert "lp.solve.seconds" in out
+
+    def test_stats_jsonl_is_schema_valid(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "stats.jsonl"
+        assert main(["stats", "internet2", "--sessions", "200",
+                     "--jsonl", str(path)]) == 0
+        records = read_jsonl(path.read_text().splitlines())
+        assert records[0]["type"] == "meta"
+        names = {r.get("name") for r in records}
+        # The acceptance-criteria trio: LP solve-phase timings, shim
+        # decision counters, emulation throughput.
+        assert "lp.solve.seconds" in names
+        assert "shim.decision.process" in names
+        assert "emulation.packets_per_second" in names
+
+    def test_stats_restores_null_registry(self, capsys):
+        from repro.obs import NULL_REGISTRY, get_registry
+
+        assert main(["stats", "internet2", "--sessions", "100"]) == 0
+        assert get_registry() is NULL_REGISTRY
+
+    def test_stats_without_mirror_dc(self, capsys):
+        assert main(["stats", "internet2", "--mirror", "none",
+                     "--sessions", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "controller.refreshes" in out
+
+    def test_stats_unwritable_jsonl_is_clean_error(self, capsys):
+        assert main(["stats", "internet2", "--sessions", "100",
+                     "--jsonl", "/nonexistent-dir/x.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot write" in err

@@ -1,0 +1,75 @@
+"""Golden-file test: the LP text for a small fixed replication
+instance is byte-stable.
+
+Any change to variable ordering, constraint naming, coefficient
+formatting, or — most importantly — the formulation itself (an extra
+or missing constraint) shows up as a diff against the checked-in
+golden file. Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/test_lp_writer_golden.py
+"""
+
+import pathlib
+
+from repro.core import MirrorPolicy, ReplicationProblem
+from repro.core.inputs import NetworkState
+from repro.lpsolve import lp_string
+from repro.topology.routing import shortest_path_routing
+from repro.topology.topology import Topology
+from repro.traffic.classes import TrafficClass
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / \
+    "replication_small.lp"
+
+
+def _small_instance() -> NetworkState:
+    """A fixed three-node triangle with two classes; fully
+    deterministic (no randomness anywhere in the construction)."""
+    topology = Topology(
+        "tri", ["A", "B", "C"],
+        [("A", "B"), ("B", "C"), ("A", "C")],
+        populations={"A": 2.0, "B": 1.0, "C": 1.0})
+    routing = shortest_path_routing(topology)
+    classes = [
+        TrafficClass(name="A->B", source="A", target="B",
+                     path=routing.path("A", "B"),
+                     num_sessions=800.0, session_bytes=5_000.0),
+        TrafficClass(name="A->C", source="A", target="C",
+                     path=routing.path("A", "C"),
+                     num_sessions=400.0, session_bytes=5_000.0),
+    ]
+    return NetworkState.calibrated(topology, classes,
+                                   dc_capacity_factor=4.0)
+
+
+def _golden_text() -> str:
+    state = _small_instance()
+    model = ReplicationProblem(
+        state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.5).build_model()
+    return lp_string(model)
+
+
+def test_replication_lp_text_is_byte_stable():
+    assert GOLDEN.exists(), (
+        f"golden file missing: {GOLDEN}; regenerate with "
+        f"`PYTHONPATH=src python {__file__}`")
+    assert _golden_text() == GOLDEN.read_text(), (
+        "LP text drifted from the golden file — if the formulation "
+        "change is intentional, regenerate the golden file")
+
+
+def test_golden_instance_still_solves():
+    """The pinned instance stays feasible (golden file is not stale
+    relative to a solvable model)."""
+    state = _small_instance()
+    result = ReplicationProblem(
+        state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.5).solve()
+    assert result.load_cost > 0.0
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(_golden_text())
+    print(f"wrote {GOLDEN}")

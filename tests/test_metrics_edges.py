@@ -1,0 +1,123 @@
+"""Edge cases for emulation/LP share metrics: empty and degenerate
+reports must uniformly yield all-zeros, never raise."""
+
+import math
+
+import pytest
+
+from repro.core.inputs import NetworkState
+from repro.core.results import AssignmentResult, LPStats
+from repro.simulation.emulation import EmulationReport
+from repro.simulation.metrics import (
+    peak_to_mean,
+    predicted_work_shares,
+    share_divergence,
+    share_rms,
+    work_shares,
+)
+from repro.topology.topology import Topology
+from repro.traffic.classes import TrafficClass
+
+
+def _report(work):
+    return EmulationReport(
+        work_units=work, sessions_processed={}, alerts=0,
+        replicated_bytes=0.0, link_replicated_bytes={},
+        packets_total=0)
+
+
+def _stats():
+    return LPStats(num_variables=0, num_constraints=0,
+                   solve_seconds=0.0, iterations=0)
+
+
+@pytest.fixture
+def tiny_state():
+    topology = Topology("pair", ["A", "B"], [("A", "B")],
+                        populations={"A": 1.0, "B": 1.0})
+    from repro.topology.routing import shortest_path_routing
+
+    routing = shortest_path_routing(topology)
+    cls = TrafficClass(name="A->B", source="A", target="B",
+                       path=routing.path("A", "B"),
+                       num_sessions=10.0, session_bytes=100.0)
+    return NetworkState.calibrated(topology, [cls])
+
+
+class TestWorkShares:
+    def test_empty_report(self):
+        assert work_shares(_report({})) == {}
+
+    def test_all_zero_work(self):
+        shares = work_shares(_report({"A": 0.0, "B": 0.0}))
+        assert shares == {"A": 0.0, "B": 0.0}
+
+    def test_nan_total_degrades_to_zeros(self):
+        shares = work_shares(_report({"A": float("nan"), "B": 1.0}))
+        assert shares == {"A": 0.0, "B": 0.0}
+
+    def test_plain_mapping_accepted(self):
+        shares = work_shares({"A": 3.0, "B": 1.0})
+        assert shares == {"A": 0.75, "B": 0.25}
+
+    def test_normal_report_unchanged(self):
+        shares = work_shares(_report({"A": 2.0, "B": 2.0}))
+        assert shares == {"A": 0.5, "B": 0.5}
+
+
+class TestPredictedWorkShares:
+    def test_zero_loads_give_all_zeros(self, tiny_state):
+        result = AssignmentResult(
+            load_cost=0.0,
+            node_loads={"cpu": {n: 0.0
+                                for n in tiny_state.nids_nodes}},
+            process_fractions={}, stats=_stats())
+        shares = predicted_work_shares(tiny_state, result)
+        assert shares == {n: 0.0 for n in tiny_state.nids_nodes}
+
+    def test_missing_resource_gives_all_zeros(self, tiny_state):
+        result = AssignmentResult(
+            load_cost=0.0, node_loads={},
+            process_fractions={}, stats=_stats())
+        shares = predicted_work_shares(tiny_state, result,
+                                       resource="memory")
+        assert shares == {n: 0.0 for n in tiny_state.nids_nodes}
+
+    def test_missing_node_counts_as_zero(self, tiny_state):
+        result = AssignmentResult(
+            load_cost=0.5, node_loads={"cpu": {"A": 0.5}},
+            process_fractions={}, stats=_stats())
+        shares = predicted_work_shares(tiny_state, result)
+        assert shares["A"] == 1.0
+        assert shares["B"] == 0.0
+
+    def test_shares_sum_to_one_when_nonzero(self, tiny_state):
+        result = AssignmentResult(
+            load_cost=0.5,
+            node_loads={"cpu": {"A": 0.5, "B": 0.25}},
+            process_fractions={}, stats=_stats())
+        shares = predicted_work_shares(tiny_state, result)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestShareComparators:
+    def test_divergence_of_empty(self):
+        assert share_divergence({}, {}) == 0.0
+
+    def test_rms_of_empty(self):
+        assert share_rms({}, {}) == 0.0
+
+    def test_rms_identical_is_zero(self):
+        shares = {"A": 0.6, "B": 0.4}
+        assert share_rms(shares, dict(shares)) == 0.0
+
+    def test_rms_known_value(self):
+        assert share_rms({"A": 1.0, "B": 0.0},
+                         {"A": 0.0, "B": 1.0}) == pytest.approx(1.0)
+
+    def test_rms_missing_nodes_count_as_zero(self):
+        assert share_rms({"A": 0.5}, {"B": 0.5}) == pytest.approx(0.5)
+
+    def test_peak_to_mean_empty_is_nan(self):
+        assert math.isnan(peak_to_mean({}))
+        assert math.isnan(peak_to_mean({"A": 0.0}))

@@ -1,0 +1,216 @@
+"""Unit tests for the metrics registry and JSONL export layer."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    ENV_VAR,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    SCHEMA_VERSION,
+    configure_from_env,
+    get_registry,
+    percentile,
+    read_jsonl,
+    set_registry,
+    snapshot_records,
+    use_registry,
+    validate_record,
+    write_jsonl,
+)
+
+
+class TestCounters:
+    def test_default_increment(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a")
+        assert reg.counter_value("a") == 2.0
+
+    def test_weighted_increment(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 1500.0)
+        reg.inc("bytes", 40.0)
+        assert reg.counter_value("bytes") == 1540.0
+
+    def test_missing_counter_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("load", 0.25)
+        reg.gauge("load", 0.75)
+        assert reg.gauge_value("load") == 0.75
+
+    def test_missing_gauge_is_nan(self):
+        assert math.isnan(MetricsRegistry().gauge_value("nope"))
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        for value in range(1, 101):
+            reg.observe("h", float(value))
+        summary = reg.histogram("h").summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == pytest.approx(5050.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_single_sample(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 3.0)
+        summary = reg.histogram("h").summary()
+        assert summary["p50"] == summary["p99"] == 3.0
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_missing_histogram_is_none(self):
+        assert MetricsRegistry().histogram("nope") is None
+
+
+class TestSpans:
+    def test_span_records_elapsed_seconds(self):
+        reg = MetricsRegistry()
+        with reg.span("phase") as span:
+            pass
+        assert span.elapsed is not None and span.elapsed >= 0.0
+        hist = reg.histogram("phase.seconds")
+        assert hist is not None and hist.count == 1
+
+    def test_span_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("phase"):
+                raise RuntimeError("boom")
+        assert reg.histogram("phase.seconds").count == 1
+
+    def test_nested_spans(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        assert reg.histogram("outer.seconds").count == 1
+        assert reg.histogram("inner.seconds").count == 1
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        reg.inc("a")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        with reg.span("s"):
+            pass
+        assert reg.counter_value("a") == 0.0
+        assert reg.histogram("h") is None
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+    def test_default_global_registry_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+
+class TestGlobalRegistry:
+    def test_use_registry_restores_previous(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_null(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            assert get_registry().enabled
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+        assert previous is NULL_REGISTRY
+
+    def test_reset_clears_all(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+
+class TestEnvHook:
+    def test_unset_leaves_null_registry(self):
+        assert configure_from_env(environ={}) is None
+        assert get_registry() is NULL_REGISTRY
+
+    def test_blank_value_ignored(self):
+        assert configure_from_env(environ={ENV_VAR: "  "}) is None
+
+    def test_set_installs_recording_registry(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        try:
+            reg = configure_from_env(environ={ENV_VAR: str(path)},
+                                     register_atexit=False)
+            assert reg is not None and get_registry() is reg
+            reg.inc("demo")
+            write_jsonl(reg, str(path))
+        finally:
+            set_registry(None)
+        records = read_jsonl(path.read_text().splitlines())
+        assert {"type": "counter", "name": "demo",
+                "value": 1.0} in records
+
+
+class TestJsonlExport:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2.0)
+        reg.gauge("g", 0.5)
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        return reg
+
+    def test_meta_record_first(self):
+        records = snapshot_records(self._populated(), timestamp=123.0)
+        assert records[0] == {"type": "meta",
+                              "schema": SCHEMA_VERSION, "ts": 123.0}
+
+    def test_round_trip_stream(self):
+        buffer = io.StringIO()
+        count = write_jsonl(self._populated(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == count == 4
+        records = read_jsonl(lines)
+        by_name = {r.get("name"): r for r in records[1:]}
+        assert by_name["c"]["value"] == 2.0
+        assert by_name["g"]["value"] == 0.5
+        assert by_name["h"]["count"] == 2
+        assert by_name["h"]["mean"] == pytest.approx(2.0)
+
+    def test_every_line_is_strict_json(self):
+        reg = self._populated()
+        buffer = io.StringIO()
+        write_jsonl(reg, buffer)
+        for line in buffer.getvalue().splitlines():
+            validate_record(json.loads(line))
+
+    def test_validate_rejects_bad_records(self):
+        for bad in ({"type": "meta", "schema": 99, "ts": 1.0},
+                    {"type": "counter", "value": 1.0},
+                    {"type": "counter", "name": "x", "value": "y"},
+                    {"type": "histogram", "name": "h"},
+                    {"type": "mystery", "name": "x"}):
+            with pytest.raises(ValueError):
+                validate_record(bad)

@@ -1,0 +1,114 @@
+"""Property-based coverage tests for hash-range compilation.
+
+Seeded-random trials over the Section 7.1 layout: whenever a class's
+LP fractions sum to 1, the compiled per-class ranges must be pairwise
+non-overlapping and cover [0, 1) exactly — including layouts mixing
+on-path ``p_{c,j}`` entries with off-path mirror ``o_{c,j,j'}``
+entries, zero fractions, and many tiny slivers.
+"""
+
+import random
+
+import pytest
+
+from repro.shim.ranges import compile_hash_ranges, lookup
+
+NODES = [f"N{i}" for i in range(8)]
+MIRRORS = ["DC", "M1", "M2"]
+
+
+def _random_unit_fractions(rng, count, zero_probability=0.2):
+    """``count`` non-negative weights summing exactly to 1."""
+    weights = [0.0 if rng.random() < zero_probability
+               else rng.random() for _ in range(count)]
+    if sum(weights) == 0.0:
+        weights[rng.randrange(count)] = 1.0
+    total = sum(weights)
+    fractions = [w / total for w in weights]
+    # Kill float drift so the sum is exactly 1 (the LP's equality
+    # constraint guarantees the same within solver tolerance).
+    fractions[-1] = 1.0 - sum(fractions[:-1])
+    return fractions
+
+
+def _random_entries(rng):
+    """A replication-style layout: process entries, then off-path
+    mirror (replicate) entries, mimicking build_replication_configs."""
+    num_process = rng.randint(1, 6)
+    num_offload = rng.randint(0, 6)
+    fractions = _random_unit_fractions(rng, num_process + num_offload)
+    entries = []
+    for i in range(num_process):
+        entries.append((("process", NODES[i]), fractions[i]))
+    for i in range(num_offload):
+        key = ("replicate", NODES[i % len(NODES)],
+               MIRRORS[i % len(MIRRORS)])
+        entries.append((key, fractions[num_process + i]))
+    return entries
+
+
+def _assert_partition(ranges):
+    """Ranges are contiguous, non-overlapping, and cover [0, 1)."""
+    assert ranges, "full coverage requires at least one range"
+    ordered = sorted(ranges, key=lambda r: r.start)
+    assert ordered[0].start == 0.0
+    assert ordered[-1].end == 1.0
+    for prev, cur in zip(ordered, ordered[1:]):
+        assert prev.end == pytest.approx(cur.start, abs=1e-12), \
+            "gap or overlap between consecutive ranges"
+        assert prev.end <= cur.start + 1e-12, "ranges overlap"
+    for rng_ in ordered:
+        assert rng_.width > 0.0
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_unit_layouts_partition_the_hash_space(seed):
+    rng = random.Random(1000 + seed)
+    for _ in range(10):  # many trials per seed
+        entries = _random_entries(rng)
+        ranges = compile_hash_ranges(entries)
+        _assert_partition(ranges)
+        # Every probed hash value is owned by exactly one range.
+        for _ in range(50):
+            value = rng.random()
+            owners = [r for r in ranges if r.contains(value)]
+            assert len(owners) == 1
+            assert lookup(ranges, value) == owners[0].key
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_widths_match_fractions(seed):
+    rng = random.Random(2000 + seed)
+    entries = _random_entries(rng)
+    ranges = compile_hash_ranges(entries)
+    by_key = {r.key: r for r in ranges}
+    for key, fraction in entries:
+        if fraction <= 1e-9:
+            assert key not in by_key  # zero entries produce no range
+        else:
+            assert by_key[key].width == pytest.approx(fraction,
+                                                      abs=1e-6)
+
+
+def test_off_path_mirror_only_layout():
+    """A class served purely by off-path mirrors still partitions."""
+    entries = [(("replicate", "N0", "DC"), 0.5),
+               (("replicate", "N1", "DC"), 0.3),
+               (("replicate", "N2", "M1"), 0.2)]
+    ranges = compile_hash_ranges(entries)
+    _assert_partition(ranges)
+    assert [r.key for r in ranges] == [k for k, _ in entries]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_partial_coverage_leaves_tail_unowned(seed):
+    """When fractions sum below 1 without full coverage required, the
+    tail of [0,1) stays unassigned and nothing overlaps."""
+    rng = random.Random(3000 + seed)
+    entries = _random_entries(rng)
+    scale = rng.uniform(0.2, 0.9)
+    scaled = [(key, fraction * scale) for key, fraction in entries]
+    ranges = compile_hash_ranges(scaled, require_full_coverage=False)
+    covered = sum(r.width for r in ranges)
+    assert covered == pytest.approx(scale, abs=1e-6)
+    assert lookup(ranges, 0.999999) is None
