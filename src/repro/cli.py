@@ -124,10 +124,16 @@ def _fmt_strategies():
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.lpsolve import available_backends
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Network-wide NIDS load balancing (CoNEXT'12 "
                     "reproduction)")
+    parser.add_argument(
+        "--solver", default=None, choices=available_backends(),
+        help="LP solver backend for every formulation (default: the "
+             "REPRO_SOLVER env var, falling back to scipy/HiGHS)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("topologies",
@@ -349,6 +355,10 @@ def _cmd_experiment(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.solver is not None:
+        from repro.lpsolve import set_default_backend
+
+        set_default_backend(args.solver)
     if args.command == "topologies":
         return _cmd_topologies()
     if args.command == "solve":

@@ -22,6 +22,7 @@ from repro.core.inputs import (
     ingress_requirements,
     link_background_bytes,
 )
+from repro.core.formulation import Formulation
 from repro.core.mirrors import MirrorKind, MirrorPolicy
 from repro.core.placement import PLACEMENT_STRATEGIES, place_datacenter
 from repro.core.replication import ReplicationProblem
@@ -112,6 +113,7 @@ __all__ = [
     "DC_NODE_NAME",
     "DEFAULT_GAMMA",
     "FORTZ_THORUP_SEGMENTS",
+    "Formulation",
     "LPStats",
     "MirrorKind",
     "MirrorPolicy",

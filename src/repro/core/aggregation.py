@@ -14,15 +14,22 @@ aggregation point. The LP assigns the local-processing fractions
 aggregation point (the ingress gateway by default — it is best placed
 to decide whether to alert, Section 6). Report sizes are small, so no
 ``MaxLinkLoad`` constraint is carried over.
+
+``beta`` and the per-class ``volumes`` are named parameters of the
+:class:`~repro.core.formulation.Formulation`; the Figure 18 beta sweep
+re-solves via ``resolve(beta=...)``, which only rewrites objective
+coefficients on the compiled LP.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.core.formulation import Formulation, _check_non_negative
 from repro.core.inputs import NetworkState
 from repro.core.results import AggregationResult, LPStats
-from repro.lpsolve import LinExpr, Model, Variable, lin_sum
+from repro.lpsolve import (Constraint, LinExpr, Model, Solution,
+                           SolverBackend, Variable, lin_sum)
 
 AggregationPointFn = Callable[[object], str]
 
@@ -32,7 +39,7 @@ def ingress_aggregation_point(cls) -> str:
     return cls.ingress
 
 
-class AggregationProblem:
+class AggregationProblem(Formulation):
     """Builds and solves the Figure 9 LP.
 
     Args:
@@ -41,19 +48,32 @@ class AggregationProblem:
             report traffic against load balance (Figure 18).
         aggregation_point: maps a class to the node its reports are
             sent to (default: the ingress).
+        backend: LP solver backend (name, instance, or None for the
+            process default).
     """
+
+    kind = "aggregation"
 
     def __init__(self, state: NetworkState, beta: float = 1.0,
                  aggregation_point: AggregationPointFn =
-                 ingress_aggregation_point):
-        if beta < 0:
-            raise ValueError("beta must be non-negative")
-        self.state = state
-        self.beta = beta
+                 ingress_aggregation_point,
+                 backend: Union[None, str, SolverBackend] = None):
+        super().__init__(state, backend=backend)
+        self._declare_param("beta", beta, _check_non_negative("beta"))
         self.aggregation_point = aggregation_point
-        self._model: Optional[Model] = None
+        self._reset()
+
+    @property
+    def beta(self) -> float:
+        """The communication-cost weight (change it via ``resolve``)."""
+        return self._params["beta"]
+
+    def _reset(self) -> None:
         self._p: Dict[Tuple[str, str], Variable] = {}
         self._load_exprs: Dict[Tuple[str, str], LinExpr] = {}
+        self._loadcost_cons: Dict[Tuple[str, str], Constraint] = {}
+        self._comm_expr: Optional[LinExpr] = None
+        self._load_cost_var: Optional[Variable] = None
 
     def suggested_beta(self) -> float:
         """A beta making LoadCost and CommCost comparable in scale.
@@ -72,10 +92,8 @@ class AggregationProblem:
             total += cls.num_sessions * cls.record_bytes * mean_distance
         return 1.0 / total if total > 0 else 1.0
 
-    def build_model(self) -> Model:
-        """Construct (and cache) the LP."""
+    def _build(self, model: Model) -> None:
         state = self.state
-        model = Model(f"aggregation[{state.topology.name}]")
 
         comm_terms: List[LinExpr] = []
         load_terms: Dict[Tuple[str, str], List[LinExpr]] = {
@@ -108,20 +126,52 @@ class AggregationProblem:
         for (resource, node), terms in load_terms.items():
             expr = lin_sum(terms)
             self._load_exprs[(resource, node)] = expr
-            model.add_constraint(load_cost >= expr,
-                                 name=f"loadcost[{resource},{node}]")
+            self._loadcost_cons[(resource, node)] = model.add_constraint(
+                load_cost >= expr, name=f"loadcost[{resource},{node}]")
 
         self._comm_expr = lin_sum(comm_terms)
         model.minimize(load_cost + self.beta * self._comm_expr)
-        self._model = model
         self._load_cost_var = load_cost
-        return model
 
-    def solve(self) -> AggregationResult:
-        """Solve and unpack loads, fractions, and the comm cost."""
-        model = self._model or self.build_model()
-        solution = model.solve()
+        self._bind(("volumes",), self._patch_volume_terms)
+        self._bind(("beta", "volumes"), self._patch_objective)
 
+    # -- incremental patching ------------------------------------------------
+
+    def _patch_volume_terms(self) -> None:
+        """Rescale load-constraint and CommCost coefficients."""
+        state = self.state
+        model = self._model
+        for cls in state.classes:
+            point = self.aggregation_point(cls)
+            for node in cls.path:
+                var = self._p[(cls.name, node)]
+                distance = state.routing.hop_count(node, point)
+                self._comm_expr.coeffs[var] = (cls.num_sessions *
+                                               cls.record_bytes *
+                                               distance)
+                for resource in state.resources:
+                    if cls.footprint(resource) == 0.0:
+                        continue
+                    work = cls.footprint(resource) * cls.num_sessions
+                    cap = state.capacity(resource, node)
+                    model.set_coefficient(
+                        self._loadcost_cons[(resource, node)], var,
+                        -(work / cap))
+                    self._load_exprs[(resource, node)].coeffs[var] = (
+                        work / cap)
+
+    def _patch_objective(self) -> None:
+        """Rewrite ``beta * CommCost`` objective coefficients (runs
+        after the volume patch, so the comm expression is current)."""
+        for var, comm_coeff in self._comm_expr.coeffs.items():
+            self._model.set_objective_coefficient(
+                var, self.beta * comm_coeff)
+
+    # -- solving --------------------------------------------------------------
+
+    def _unpack(self, model: Model,
+                solution: Solution) -> AggregationResult:
         node_loads = {
             resource: {
                 node: solution.value(self._load_exprs[(resource, node)])
@@ -148,3 +198,7 @@ class AggregationProblem:
                 num_constraints=model.num_constraints,
                 solve_seconds=solution.solve_seconds,
                 iterations=solution.iterations))
+
+    def solve(self) -> AggregationResult:
+        """Solve and unpack loads, fractions, and the comm cost."""
+        return super().solve()

@@ -104,6 +104,10 @@ class ArchitectureEvaluator:
             dc_capacity_factor=dc_capacity_factor, dc_anchor=dc_anchor)
         self.augmented_state = self.base_state.with_augmented_capacity(
             dc_capacity_factor)
+        # One cached formulation per architecture: the Figure 15 sweep
+        # re-evaluates each architecture across ~100 traffic matrices,
+        # and only the volumes change between them.
+        self._problems: Dict[ArchitectureKind, ReplicationProblem] = {}
 
     def state_for(self, kind: ArchitectureKind) -> NetworkState:
         """The calibrated state an architecture is evaluated on."""
@@ -135,14 +139,20 @@ class ArchitectureEvaluator:
                 provisioning stays calibrated to the mean traffic.
         """
         state = self.state_for(kind)
-        if classes is not None:
-            state = state.with_traffic(classes)
         if kind is ArchitectureKind.INGRESS:
+            if classes is not None:
+                state = state.with_traffic(classes)
             return ingress_result(state)
-        problem = ReplicationProblem(
-            state, mirror_policy=self._mirror_policy(kind),
-            max_link_load=self.max_link_load)
-        return problem.solve()
+        problem = self._problems.get(kind)
+        if problem is None:
+            problem = ReplicationProblem(
+                state, mirror_policy=self._mirror_policy(kind),
+                max_link_load=self.max_link_load)
+            self._problems[kind] = problem
+        # Resolve to the requested traffic (back to the calibration
+        # mean when classes is None) instead of rebuilding the LP.
+        target = classes if classes is not None else state.classes
+        return problem.resolve_traffic(target)
 
     def evaluate_all(self, kinds: Sequence[ArchitectureKind],
                      classes: Optional[Sequence[TrafficClass]] = None

@@ -74,6 +74,9 @@ class NIDSController:
         self._current_configs: Optional[Dict[str, ShimConfig]] = None
         self._current_result: Optional[ReplicationResult] = None
         self._current_classes: List[TrafficClass] = list(state.classes)
+        # The formulation is kept across refreshes so a traffic update
+        # is an incremental re-solve of the compiled LP, not a rebuild.
+        self._problem: Optional[ReplicationProblem] = None
         self.refresh_count = 0
 
     # -- observability ---------------------------------------------------
@@ -143,14 +146,19 @@ class NIDSController:
         metrics = get_registry()
         with metrics.span("controller.refresh"):
             if classes is not None:
-                state = self.state.with_traffic(classes)
                 self._current_classes = list(classes)
-            else:
-                state = self.state.with_traffic(self._current_classes)
 
-            result = ReplicationProblem(
-                state, mirror_policy=self.mirror_policy,
-                max_link_load=self.max_link_load).solve()
+            if self._problem is None:
+                self._problem = ReplicationProblem(
+                    self.state.with_traffic(self._current_classes),
+                    mirror_policy=self.mirror_policy,
+                    max_link_load=self.max_link_load)
+                result = self._problem.solve()
+            else:
+                result = self._problem.resolve_traffic(
+                    self._current_classes,
+                    max_link_load=self.max_link_load)
+            state = self._problem.state
             problems = validate_replication(state, result)
             if problems:
                 raise RuntimeError(

@@ -14,22 +14,30 @@ the replication tunnels plus background bounded by
 ``max(MaxLinkLoad, BG_l)`` (Eqs (4), (5)). Objective: minimize the
 maximum node-resource load (Eq (1)), optionally with the piecewise
 link-cost extension from the end of Section 4.
+
+The class is a :class:`~repro.core.formulation.Formulation`:
+``max_link_load`` and the per-class ``volumes`` are named parameters,
+so ``resolve(max_link_load=...)`` (Figure 11) and
+``resolve_traffic(classes)`` (Figure 15, controller refresh) patch the
+compiled LP in place instead of rebuilding it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.core.formulation import Formulation, _check_max_link_load
 from repro.core.inputs import NetworkState
 from repro.core.mirrors import MirrorPolicy
 from repro.core.results import LPStats, ReplicationResult
-from repro.lpsolve import LinExpr, Model, Variable, lin_sum
+from repro.lpsolve import (Constraint, LinExpr, Model, Solution,
+                           SolverBackend, Variable, lin_sum)
 from repro.topology.topology import Link
 
 OffloadKey = Tuple[str, str, str]  # (class name, from node, to node)
 
 
-class ReplicationProblem:
+class ReplicationProblem(Formulation):
     """Builds and solves one instance of the Figure 7 LP.
 
     Args:
@@ -44,36 +52,52 @@ class ReplicationProblem:
             the Section 4 extension — a piecewise-linear link cost term
             added to the objective with this weight (see
             :mod:`repro.core.extensions`).
+        load_weights: when set, the Section 4 extension replacing the
+            max-load objective with a weighted sum of node loads.
+        backend: LP solver backend (name, instance, or None for the
+            process default).
     """
+
+    kind = "replication"
 
     def __init__(self, state: NetworkState,
                  mirror_policy: Optional[MirrorPolicy] = None,
                  max_link_load: float = 0.4,
                  link_cost_weight: Optional[float] = None,
                  load_weights: Optional[Dict[Tuple[str, str],
-                                             float]] = None):
-        if not 0.0 <= max_link_load <= 1.0:
-            raise ValueError("max_link_load must be in [0, 1]")
-        self.state = state
+                                             float]] = None,
+                 backend: Union[None, str, SolverBackend] = None):
+        super().__init__(state, backend=backend)
         self.mirror_policy = mirror_policy or MirrorPolicy.none()
-        self.max_link_load = max_link_load
+        self._declare_param("max_link_load", max_link_load,
+                            _check_max_link_load)
         self.link_cost_weight = link_cost_weight
         # Section 4 extension: when set, LoadCost becomes the weighted
         # sum of the (resource, node) loads instead of their maximum.
         self.load_weights = (None if load_weights is None
                              else dict(load_weights))
-        self._model: Optional[Model] = None
+        if link_cost_weight is not None or load_weights is not None:
+            self._incremental_ok = False
+        self._reset()
+
+    @property
+    def max_link_load(self) -> float:
+        """``MaxLinkLoad`` (change it via ``resolve``)."""
+        return self._params["max_link_load"]
+
+    def _reset(self) -> None:
         self._p: Dict[Tuple[str, str], Variable] = {}
         self._o: Dict[OffloadKey, Variable] = {}
         self._load_exprs: Dict[Tuple[str, str], LinExpr] = {}
         self._link_exprs: Dict[Link, LinExpr] = {}
+        self._loadcost_cons: Dict[Tuple[str, str], Constraint] = {}
+        self._link_cons: Dict[Link, Constraint] = {}
+        self._load_cost_var: Optional[Variable] = None
 
     # -- model construction -------------------------------------------------
 
-    def build_model(self) -> Model:
-        """Construct (and cache) the LP; normally called via solve()."""
+    def _build(self, model: Model) -> None:
         state = self.state
-        model = Model(f"replication[{state.topology.name}]")
         mirror_sets = self.mirror_policy.mirror_sets(state)
         by_name = {cls.name: cls for cls in state.classes}
 
@@ -130,8 +154,10 @@ class ReplicationProblem:
             expr = lin_sum(terms)
             self._load_exprs[(resource, node)] = expr
             if self.load_weights is None:
-                model.add_constraint(load_cost >= expr,
-                                     name=f"loadcost[{resource},{node}]")
+                self._loadcost_cons[(resource, node)] = (
+                    model.add_constraint(
+                        load_cost >= expr,
+                        name=f"loadcost[{resource},{node}]"))
         if self.load_weights is not None:
             from repro.core.extensions import weighted_load_objective
 
@@ -159,7 +185,7 @@ class ReplicationProblem:
                 continue
             if self.link_cost_weight is None:
                 bound = max(self.max_link_load, bg)
-                model.add_constraint(
+                self._link_cons[link] = model.add_constraint(
                     expr <= bound, name=f"linkload[{link[0]},{link[1]}]")
             else:
                 from repro.core.extensions import piecewise_link_cost
@@ -173,22 +199,69 @@ class ReplicationProblem:
         else:
             model.minimize(load_cost +
                            self.link_cost_weight * lin_sum(penalty_terms))
-        self._model = model
         self._load_cost_var = load_cost
-        return model
+
+        if self._incremental_ok:
+            self._bind(("volumes",), self._patch_volume_terms)
+            self._bind(("max_link_load", "volumes"),
+                       self._patch_link_bounds)
+
+    # -- incremental patching ------------------------------------------------
+
+    def _patch_volume_terms(self) -> None:
+        """Rescale every ``|T_c|``-proportional coefficient in place."""
+        state = self.state
+        model = self._model
+        by_name = {cls.name: cls for cls in state.classes}
+        for cls in state.classes:
+            for resource in state.resources:
+                if cls.footprint(resource) == 0.0:
+                    continue
+                work = cls.footprint(resource) * cls.num_sessions
+                for node in cls.path:
+                    cap = state.capacity(resource, node)
+                    var = self._p[(cls.name, node)]
+                    model.set_coefficient(
+                        self._loadcost_cons[(resource, node)], var,
+                        -(work / cap))
+                    self._load_exprs[(resource, node)].coeffs[var] = (
+                        work / cap)
+        for (cls_name, node, mirror), var in self._o.items():
+            cls = by_name[cls_name]
+            for resource in state.resources:
+                if cls.footprint(resource) == 0.0:
+                    continue
+                work = cls.footprint(resource) * cls.num_sessions
+                cap = state.capacity(resource, mirror)
+                model.set_coefficient(
+                    self._loadcost_cons[(resource, mirror)], var,
+                    -(work / cap))
+                self._load_exprs[(resource, mirror)].coeffs[var] = (
+                    work / cap)
+            replicated_bytes = cls.num_sessions * cls.session_bytes
+            for link in state.routing.path_links(node, mirror):
+                coeff = replicated_bytes / state.link_capacity[link]
+                con = self._link_cons.get(link)
+                if con is not None:
+                    model.set_coefficient(con, var, coeff)
+                self._link_exprs[link].coeffs[var] = coeff
+
+    def _patch_link_bounds(self) -> None:
+        """Re-target ``max(MaxLinkLoad, BG_l)`` bounds and background
+        constants (BG changes whenever volumes do)."""
+        state = self.state
+        model = self._model
+        for link, expr in self._link_exprs.items():
+            bg = state.bg_load(link)
+            expr.constant = bg
+            con = self._link_cons.get(link)
+            if con is not None:
+                model.set_rhs(con, max(self.max_link_load, bg) - bg)
 
     # -- solving --------------------------------------------------------------
 
-    def solve(self) -> ReplicationResult:
-        """Solve the LP and unpack the solution.
-
-        Returns:
-            A :class:`ReplicationResult` with the optimal ``LoadCost``,
-            per-node loads, decision fractions, and link loads.
-        """
-        model = self._model or self.build_model()
-        solution = model.solve()
-
+    def _unpack(self, model: Model,
+                solution: Solution) -> ReplicationResult:
         node_loads = {
             resource: {
                 node: solution.value(
@@ -220,3 +293,12 @@ class ReplicationProblem:
                 num_constraints=model.num_constraints,
                 solve_seconds=solution.solve_seconds,
                 iterations=solution.iterations))
+
+    def solve(self) -> ReplicationResult:
+        """Solve the LP and unpack the solution.
+
+        Returns:
+            A :class:`ReplicationResult` with the optimal ``LoadCost``,
+            per-node loads, decision fractions, and link loads.
+        """
+        return super().solve()

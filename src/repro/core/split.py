@@ -13,15 +13,23 @@ mirror (``o_{c,j}`` rather than ``o_{c,j,j'}``). Each direction of a
 session carries half the session's footprint and half its bytes, so a
 session fully processed at one place costs exactly ``F_c`` as in
 Section 4.
+
+``max_link_load``, ``gamma`` and the per-class ``volumes`` are named
+:class:`~repro.core.formulation.Formulation` parameters and can be
+changed with ``resolve`` (the miss-mode extensions opt out of the
+incremental path and rebuild on every resolve).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.core.formulation import (Formulation, _check_max_link_load,
+                                    _check_non_negative)
 from repro.core.inputs import NetworkState
 from repro.core.results import LPStats, SplitTrafficResult
-from repro.lpsolve import LinExpr, Model, Variable, lin_sum
+from repro.lpsolve import (Constraint, LinExpr, Model, Solution,
+                           SolverBackend, Variable, lin_sum)
 from repro.topology.topology import Link
 
 # Weight that makes the solver prioritize coverage over load balance;
@@ -29,7 +37,7 @@ from repro.topology.topology import Link
 DEFAULT_GAMMA = 100.0
 
 
-class SplitTrafficProblem:
+class SplitTrafficProblem(Formulation):
     """Builds and solves the Section 5 formulation.
 
     Args:
@@ -43,17 +51,18 @@ class SplitTrafficProblem:
             entirely — this yields the "Path, no replicate" comparison
             architecture of Figures 16/17, where only ``P_common`` nodes
             can provide effective coverage.
+        backend: LP solver backend (name, instance, or None for the
+            process default).
     """
+
+    kind = "split"
 
     def __init__(self, state: NetworkState, max_link_load: float = 0.4,
                  gamma: float = DEFAULT_GAMMA,
                  allow_offload: bool = True,
                  miss_mode: str = "total",
-                 miss_weights: Optional[Dict[str, float]] = None):
-        if not 0.0 <= max_link_load <= 1.0:
-            raise ValueError("max_link_load must be in [0, 1]")
-        if gamma < 0:
-            raise ValueError("gamma must be non-negative")
+                 miss_weights: Optional[Dict[str, float]] = None,
+                 backend: Union[None, str, SolverBackend] = None):
         if allow_offload and state.dc_node is None:
             raise ValueError(
                 "split-traffic offloading needs a datacenter node; "
@@ -65,25 +74,43 @@ class SplitTrafficProblem:
                 "'weighted' (the Section 5 extensions)")
         if miss_mode == "weighted" and not miss_weights:
             raise ValueError("miss_mode='weighted' needs miss_weights")
-        self.state = state
-        self.max_link_load = max_link_load
-        self.gamma = gamma
+        super().__init__(state, backend=backend)
+        self._declare_param("max_link_load", max_link_load,
+                            _check_max_link_load)
+        self._declare_param("gamma", gamma,
+                            _check_non_negative("gamma"))
         self.allow_offload = allow_offload
         self.miss_mode = miss_mode
         self.miss_weights = dict(miss_weights or {})
-        self._model: Optional[Model] = None
+        if miss_mode != "total":
+            self._incremental_ok = False
+        self._reset()
+
+    @property
+    def max_link_load(self) -> float:
+        """``MaxLinkLoad`` (change it via ``resolve``)."""
+        return self._params["max_link_load"]
+
+    @property
+    def gamma(self) -> float:
+        """The miss-rate weight (change it via ``resolve``)."""
+        return self._params["gamma"]
+
+    def _reset(self) -> None:
         self._p: Dict[Tuple[str, str], Variable] = {}
         self._ofwd: Dict[Tuple[str, str], Variable] = {}
         self._orev: Dict[Tuple[str, str], Variable] = {}
         self._cov: Dict[str, Variable] = {}
         self._load_exprs: Dict[Tuple[str, str], LinExpr] = {}
         self._link_exprs: Dict[Link, LinExpr] = {}
+        self._loadcost_cons: Dict[Tuple[str, str], Constraint] = {}
+        self._link_cons: Dict[Link, Constraint] = {}
+        self._miss_expr: Optional[LinExpr] = None
+        self._load_cost_var: Optional[Variable] = None
 
-    def build_model(self) -> Model:
-        """Construct (and cache) the LP."""
+    def _build(self, model: Model) -> None:
         state = self.state
         dc = state.dc_node
-        model = Model(f"split[{state.topology.name}]")
 
         # Decision variables: local processing on common nodes, and
         # per-direction offloads to the datacenter from observer nodes.
@@ -150,8 +177,8 @@ class SplitTrafficProblem:
         for (resource, node), terms in load_terms.items():
             expr = lin_sum(terms)
             self._load_exprs[(resource, node)] = expr
-            model.add_constraint(load_cost >= expr,
-                                 name=f"loadcost[{resource},{node}]")
+            self._loadcost_cons[(resource, node)] = model.add_constraint(
+                load_cost >= expr, name=f"loadcost[{resource},{node}]")
 
         # Link loads from the per-direction replication tunnels.
         link_terms: Dict[Link, List[LinExpr]] = {
@@ -171,7 +198,7 @@ class SplitTrafficProblem:
             self._link_exprs[link] = expr
             if terms:
                 bound = max(self.max_link_load, bg)
-                model.add_constraint(
+                self._link_cons[link] = model.add_constraint(
                     expr <= bound, name=f"linkload[{link[0]},{link[1]}]")
 
         # The reported MissRate always follows Eq (11) (traffic-
@@ -202,15 +229,89 @@ class SplitTrafficProblem:
             objective_miss = weighted_miss_objective(
                 self._cov, self.miss_weights)
         model.minimize(load_cost + self.gamma * objective_miss)
-        self._model = model
         self._load_cost_var = load_cost
-        return model
 
-    def solve(self) -> SplitTrafficResult:
-        """Solve and unpack coverage, miss rate, loads, and fractions."""
-        model = self._model or self.build_model()
-        solution = model.solve()
+        if self._incremental_ok:
+            self._bind(("volumes",), self._patch_volume_terms)
+            self._bind(("max_link_load", "volumes"),
+                       self._patch_link_bounds)
+            self._bind(("gamma", "volumes"), self._patch_objective)
 
+    # -- incremental patching ------------------------------------------------
+
+    def _patch_volume_terms(self) -> None:
+        """Rescale load, link, and miss-rate coefficients in place."""
+        state = self.state
+        model = self._model
+        dc = state.dc_node
+        for cls in state.classes:
+            for resource in state.resources:
+                if cls.footprint(resource) == 0.0:
+                    continue
+                work = cls.footprint(resource) * cls.num_sessions
+                for node in cls.common_nodes:
+                    cap = state.capacity(resource, node)
+                    var = self._p[(cls.name, node)]
+                    model.set_coefficient(
+                        self._loadcost_cons[(resource, node)], var,
+                        -(work / cap))
+                    self._load_exprs[(resource, node)].coeffs[var] = (
+                        work / cap)
+                if self.allow_offload:
+                    cap = state.capacity(resource, dc)
+                    half = work / 2.0 / cap
+                    con = self._loadcost_cons[(resource, dc)]
+                    for node in cls.fwd_nodes:
+                        var = self._ofwd[(cls.name, node)]
+                        model.set_coefficient(con, var, -half)
+                        self._load_exprs[(resource, dc)].coeffs[var] = half
+                    for node in cls.rev_nodes:
+                        var = self._orev[(cls.name, node)]
+                        model.set_coefficient(con, var, -half)
+                        self._load_exprs[(resource, dc)].coeffs[var] = half
+        if self.allow_offload:
+            lookup = _class_lookup(state)
+            for offloads in (self._ofwd, self._orev):
+                for (cls_name, node), var in offloads.items():
+                    cls = lookup[cls_name]
+                    direction_bytes = (cls.num_sessions *
+                                       cls.session_bytes / 2.0)
+                    for link in state.routing.path_links(node, dc):
+                        coeff = direction_bytes / state.link_capacity[link]
+                        con = self._link_cons.get(link)
+                        if con is not None:
+                            model.set_coefficient(con, var, coeff)
+                        self._link_exprs[link].coeffs[var] = coeff
+        total_sessions = sum(cls.num_sessions for cls in state.classes)
+        self._miss_expr.constant = 1.0
+        for cls in state.classes:
+            self._miss_expr.coeffs[self._cov[cls.name]] = (
+                -(cls.num_sessions / total_sessions))
+
+    def _patch_link_bounds(self) -> None:
+        """Re-target ``max(MaxLinkLoad, BG_l)`` bounds and background
+        constants (BG changes whenever volumes do)."""
+        state = self.state
+        model = self._model
+        for link, expr in self._link_exprs.items():
+            bg = state.bg_load(link)
+            expr.constant = bg
+            con = self._link_cons.get(link)
+            if con is not None:
+                model.set_rhs(con, max(self.max_link_load, bg) - bg)
+
+    def _patch_objective(self) -> None:
+        """Rewrite the ``gamma * MissRate`` objective coefficients
+        (runs after the volume patch, so the miss weights are
+        current)."""
+        for cov in self._cov.values():
+            self._model.set_objective_coefficient(
+                cov, self.gamma * self._miss_expr.coeffs[cov])
+
+    # -- solving --------------------------------------------------------------
+
+    def _unpack(self, model: Model,
+                solution: Solution) -> SplitTrafficResult:
         node_loads = {
             resource: {
                 node: solution.value(self._load_exprs[(resource, node)])
@@ -246,6 +347,10 @@ class SplitTrafficProblem:
                 num_constraints=model.num_constraints,
                 solve_seconds=solution.solve_seconds,
                 iterations=solution.iterations))
+
+    def solve(self) -> SplitTrafficResult:
+        """Solve and unpack coverage, miss rate, loads, and fractions."""
+        return super().solve()
 
 
 def ingress_split_result(state: NetworkState) -> SplitTrafficResult:

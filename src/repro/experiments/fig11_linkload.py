@@ -46,11 +46,14 @@ def run_fig11(topologies: Optional[Sequence[str]] = None,
     for name in topologies or evaluation_topologies():
         setup = setup_topology(name,
                                dc_capacity_factor=dc_capacity_factor)
+        # One formulation per topology; each sweep step patches the
+        # link bounds of the compiled LP and re-solves warm.
+        problem = ReplicationProblem(
+            setup.state, mirror_policy=MirrorPolicy.datacenter(),
+            max_link_load=link_loads[0])
         maxima = []
         for limit in link_loads:
-            result = ReplicationProblem(
-                setup.state, mirror_policy=MirrorPolicy.datacenter(),
-                max_link_load=limit).solve()
+            result = problem.resolve(max_link_load=limit)
             maxima.append(result.load_cost)
         series.append(Fig11Series(name, list(link_loads), maxima))
     return series

@@ -64,11 +64,14 @@ def run_fig18(topologies: Optional[Sequence[str]] = None,
     series = []
     for name in topologies or evaluation_topologies():
         setup = setup_topology(name)
-        base = AggregationProblem(setup.state).suggested_beta()
+        problem = AggregationProblem(setup.state)
+        base = problem.suggested_beta()
         betas = beta_sweep_values(base, num_points)
         loads, comms = [], []
+        # Each sweep step rewrites only the beta-scaled objective
+        # coefficients of the compiled LP and re-solves warm.
         for beta in betas:
-            result = AggregationProblem(setup.state, beta=beta).solve()
+            result = problem.resolve(beta=beta)
             loads.append(result.load_cost)
             comms.append(result.comm_cost)
         series.append(Fig18Series(name, betas, loads, comms))

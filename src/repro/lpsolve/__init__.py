@@ -24,16 +24,30 @@ from repro.lpsolve.errors import (
     InfeasibleError,
     LPError,
     ModelError,
+    StructureError,
     UnboundedError,
 )
 from repro.lpsolve.expr import LinExpr, lin_sum
 from repro.lpsolve.variable import Variable
 from repro.lpsolve.constraint import Constraint, ConstraintSense
+from repro.lpsolve.compiled import CompiledLP
+from repro.lpsolve.backends import (
+    BackendResult,
+    SolverBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.lpsolve.model import Model
 from repro.lpsolve.solution import Solution, SolveStatus
 from repro.lpsolve.writer import lp_string, write_lp
 
 __all__ = [
+    "BackendResult",
+    "CompiledLP",
     "Constraint",
     "ConstraintSense",
     "InfeasibleError",
@@ -43,9 +57,17 @@ __all__ = [
     "ModelError",
     "Solution",
     "SolveStatus",
+    "SolverBackend",
+    "StructureError",
     "UnboundedError",
     "Variable",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
     "lin_sum",
     "lp_string",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
     "write_lp",
 ]

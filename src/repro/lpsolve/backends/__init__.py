@@ -1,0 +1,161 @@
+"""Pluggable solver backends for the LP substrate.
+
+A backend consumes a :class:`~repro.lpsolve.compiled.CompiledLP` (the
+sense-normalized *minimize* form with ``A_ub x <= b_ub`` rows) and
+returns a :class:`BackendResult`. Two backends ship with the
+reproduction:
+
+- ``scipy`` — :func:`scipy.optimize.linprog` with HiGHS, the default
+  and the stand-in for the paper's CPLEX.
+- ``dense`` — a dependency-light bounded-variable simplex on dense
+  numpy arrays, the fallback for environments where the compiled
+  HiGHS library is unavailable (and an independent cross-check).
+
+Selection precedence, most specific first:
+
+1. ``Model(backend=...)`` / ``Formulation(..., backend=...)``
+   (a name or a :class:`SolverBackend` instance);
+2. :func:`set_default_backend` (the CLI's ``--solver`` flag);
+3. the ``REPRO_SOLVER`` environment variable;
+4. ``scipy``.
+
+To add a backend: subclass :class:`SolverBackend`, implement
+:meth:`SolverBackend.solve`, and call :func:`register_backend` — see
+``docs/ARCHITECTURE.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.lpsolve.compiled import CompiledLP
+from repro.lpsolve.errors import LPError
+from repro.lpsolve.solution import SolveStatus
+
+ENV_VAR = "REPRO_SOLVER"
+
+
+@dataclass
+class BackendResult:
+    """Outcome of one backend solve, in the compiled (minimize) form.
+
+    Attributes:
+        status: terminal solve status.
+        x: primal values (undefined unless ``status`` is OPTIMAL).
+        objective: ``c @ x`` of the compiled minimize form.
+        iterations: solver iteration count.
+        ineq_marginals: duals ``d(objective)/d(b_ub)`` per inequality
+            row of the compiled form, or None when unavailable.
+        eq_marginals: duals per equality row, or None.
+        message: backend-specific diagnostic text.
+    """
+
+    status: SolveStatus
+    x: Optional[np.ndarray] = None
+    objective: float = float("nan")
+    iterations: int = 0
+    ineq_marginals: Optional[np.ndarray] = None
+    eq_marginals: Optional[np.ndarray] = None
+    message: str = ""
+
+
+class SolverBackend:
+    """Interface every solver backend implements."""
+
+    #: registry key; subclasses must override.
+    name: str = ""
+
+    def solve(self, compiled: CompiledLP) -> BackendResult:
+        """Solve the compiled minimize-form LP."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+_FACTORIES: Dict[str, Callable[[], SolverBackend]] = {}
+_INSTANCES: Dict[str, SolverBackend] = {}
+_default_name: Optional[str] = None
+
+
+def register_backend(name: str,
+                     factory: Callable[[], SolverBackend]) -> None:
+    """Register a backend factory under ``name`` (lower-cased)."""
+    _FACTORIES[name.lower()] = factory
+    _INSTANCES.pop(name.lower(), None)
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """The (cached) backend instance registered under ``name``."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise LPError(
+            f"unknown solver backend {name!r}; available: "
+            f"{', '.join(available_backends())}")
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend,
+    overriding the ``REPRO_SOLVER`` environment variable."""
+    global _default_name
+    if name is not None:
+        get_backend(name)  # validate eagerly
+    _default_name = name
+
+
+def default_backend_name() -> str:
+    """The name resolve_backend(None) would use right now."""
+    if _default_name is not None:
+        return _default_name
+    return os.environ.get(ENV_VAR, "scipy")
+
+
+def resolve_backend(spec: Union[None, str, SolverBackend]
+                    ) -> SolverBackend:
+    """Resolve a backend spec (instance, name, or None) to an
+    instance, applying the documented precedence."""
+    if isinstance(spec, SolverBackend):
+        return spec
+    if spec is None:
+        return get_backend(default_backend_name())
+    return get_backend(spec)
+
+
+def _make_scipy() -> SolverBackend:
+    from repro.lpsolve.backends.scipy_highs import ScipyHighsBackend
+
+    return ScipyHighsBackend()
+
+
+def _make_dense() -> SolverBackend:
+    from repro.lpsolve.backends.dense import DenseSimplexBackend
+
+    return DenseSimplexBackend()
+
+
+register_backend("scipy", _make_scipy)
+register_backend("dense", _make_dense)
+
+__all__ = [
+    "BackendResult",
+    "ENV_VAR",
+    "SolverBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,58 @@
+"""The default backend: :func:`scipy.optimize.linprog` with HiGHS."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lpsolve.backends import BackendResult, SolverBackend
+from repro.lpsolve.compiled import CompiledLP
+from repro.lpsolve.solution import SolveStatus
+
+# linprog status codes (see scipy docs).
+_LINPROG_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,  # numerical difficulties
+}
+
+
+class ScipyHighsBackend(SolverBackend):
+    """HiGHS via scipy — the reproduction's stand-in for CPLEX."""
+
+    name = "scipy"
+
+    def solve(self, compiled: CompiledLP) -> BackendResult:
+        result = linprog(
+            compiled.c,
+            A_ub=compiled.a_ub,
+            b_ub=compiled.b_ub if compiled.a_ub is not None else None,
+            A_eq=compiled.a_eq,
+            b_eq=compiled.b_eq if compiled.a_eq is not None else None,
+            bounds=compiled.bounds, method="highs")
+
+        status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
+        x = objective = None
+        ineq_marginals = eq_marginals = None
+        if status is SolveStatus.OPTIMAL:
+            x = np.asarray(result.x, dtype=float)
+            objective = float(result.fun)
+            ineq = getattr(result, "ineqlin", None)
+            if ineq is not None:
+                marginals = getattr(ineq, "marginals", None)
+                if marginals is not None:
+                    ineq_marginals = np.asarray(marginals, dtype=float)
+            eq = getattr(result, "eqlin", None)
+            if eq is not None:
+                marginals = getattr(eq, "marginals", None)
+                if marginals is not None:
+                    eq_marginals = np.asarray(marginals, dtype=float)
+        return BackendResult(
+            status=status, x=x,
+            objective=objective if objective is not None
+            else float("nan"),
+            iterations=int(getattr(result, "nit", 0) or 0),
+            ineq_marginals=ineq_marginals, eq_marginals=eq_marginals,
+            message=str(getattr(result, "message", "")))

@@ -14,6 +14,17 @@ class ModelError(LPError):
     """
 
 
+class StructureError(LPError):
+    """An incremental patch would change the compiled LP's structure.
+
+    Raised by :meth:`Model.set_coefficient` / :meth:`Model.set_rhs`
+    when the targeted entry does not exist in the compiled sparse
+    matrices (e.g., the coefficient was zero at compile time and was
+    therefore never stored). Callers should invalidate the compiled
+    structure and rebuild from scratch.
+    """
+
+
 class InfeasibleError(LPError):
     """The model has no feasible solution."""
 

@@ -1,8 +1,17 @@
 """The LP model: variable/constraint registry, compilation, solving.
 
 Compilation builds SciPy sparse matrices (``A_ub``, ``A_eq``) from the
-registered constraints and hands them to ``scipy.optimize.linprog`` with
-the HiGHS backend — the reproduction's stand-in for the paper's CPLEX.
+registered constraints; solving hands the compiled structure to a
+pluggable :mod:`~repro.lpsolve.backends` backend (HiGHS via scipy by
+default — the reproduction's stand-in for the paper's CPLEX).
+
+The compiled structure is cached between solves: re-solving an
+unchanged model skips compilation entirely, and the
+``set_rhs`` / ``set_coefficient`` / ``set_objective_coefficient``
+patch API edits individual entries of the cached matrices in place so
+parameter sweeps and controller refreshes pay only the solver cost.
+Any structural edit (new variable, new constraint, new objective)
+invalidates the cache.
 """
 
 from __future__ import annotations
@@ -12,28 +21,25 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
+from repro.lpsolve.backends import (
+    BackendResult,
+    SolverBackend,
+    resolve_backend,
+)
+from repro.lpsolve.compiled import CompiledLP
 from repro.lpsolve.constraint import Constraint, ConstraintSense
 from repro.obs import get_registry
 from repro.lpsolve.errors import (
     InfeasibleError,
     LPError,
     ModelError,
+    StructureError,
     UnboundedError,
 )
 from repro.lpsolve.expr import LinExpr, Operand, _as_expr
 from repro.lpsolve.solution import Solution, SolveStatus
 from repro.lpsolve.variable import Variable
-
-# linprog status codes (see scipy docs).
-_LINPROG_STATUS = {
-    0: SolveStatus.OPTIMAL,
-    1: SolveStatus.ERROR,  # iteration limit
-    2: SolveStatus.INFEASIBLE,
-    3: SolveStatus.UNBOUNDED,
-    4: SolveStatus.ERROR,  # numerical difficulties
-}
 
 
 class Model:
@@ -46,15 +52,25 @@ class Model:
         m.add_constraint(x >= 0.5)
         m.minimize(x)
         sol = m.solve()
+
+    Args:
+        name: human-readable label used in error messages.
+        backend: solver backend — a name (``"scipy"``, ``"dense"``), a
+            :class:`~repro.lpsolve.backends.SolverBackend` instance, or
+            ``None`` for the process default (``--solver`` flag /
+            ``REPRO_SOLVER`` env var / scipy).
     """
 
-    def __init__(self, name: str = "lp"):
+    def __init__(self, name: str = "lp",
+                 backend: Union[None, str, SolverBackend] = None):
         self.name = name
+        self.backend = backend
         self._variables: List[Variable] = []
         self._constraints: List[Constraint] = []
         self._objective: Optional[LinExpr] = None
         self._sense = 1.0  # +1 minimize, -1 maximize
         self._names_seen: Dict[str, int] = {}
+        self._compiled: Optional[CompiledLP] = None
 
     # -- construction ----------------------------------------------------
 
@@ -95,6 +111,7 @@ class Model:
             self._names_seen[name] = 0
         var = Variable(self, len(self._variables), name, lb=lb, ub=ub)
         self._variables.append(var)
+        self.invalidate()
         return var
 
     def add_variables(self, names: Iterable[str], lb: float = 0.0,
@@ -125,6 +142,7 @@ class Model:
         elif constraint.name is None:
             constraint.name = f"c{len(self._constraints)}"
         self._constraints.append(constraint)
+        self.invalidate()
         return constraint
 
     def add_constraints(self, constraints: Iterable[Constraint],
@@ -140,12 +158,14 @@ class Model:
         self._objective = _as_expr(objective)
         self._check_ownership(self._objective)
         self._sense = 1.0
+        self.invalidate()
 
     def maximize(self, objective: Operand) -> None:
         """Set a maximization objective."""
         self._objective = _as_expr(objective)
         self._check_ownership(self._objective)
         self._sense = -1.0
+        self.invalidate()
 
     def _check_ownership(self, expr: LinExpr) -> None:
         for var in expr.coeffs:
@@ -154,10 +174,19 @@ class Model:
                     f"variable {var.name!r} belongs to model "
                     f"{var.model.name!r}, not {self.name!r}")
 
-    # -- compilation and solving ------------------------------------------
+    # -- compilation -------------------------------------------------------
 
-    def _compile(self):
-        """Build (c, A_ub, b_ub, A_eq, b_eq, bounds) for linprog."""
+    def invalidate(self) -> None:
+        """Drop the cached compiled structure (next solve recompiles)."""
+        self._compiled = None
+
+    @property
+    def compiled(self) -> Optional[CompiledLP]:
+        """The cached compiled structure, if any."""
+        return self._compiled
+
+    def _compile(self) -> CompiledLP:
+        """Build the solver-ready sparse structure."""
         n = len(self._variables)
         c = np.zeros(n)
         for var, coeff in self._objective.coeffs.items():
@@ -166,8 +195,8 @@ class Model:
 
         ub_rows, ub_cols, ub_data, b_ub = [], [], [], []
         eq_rows, eq_cols, eq_data, b_eq = [], [], [], []
-        self._ub_row_constraints = []  # (constraint, sign) per row
-        self._eq_row_constraints = []
+        ub_row_constraints = []  # (constraint, sign) per row
+        eq_row_constraints = []
         for con in self._constraints:
             if con.sense is ConstraintSense.EQ:
                 row = len(b_eq)
@@ -177,7 +206,7 @@ class Model:
                         eq_cols.append(var.index)
                         eq_data.append(coeff)
                 b_eq.append(con.rhs)
-                self._eq_row_constraints.append(con)
+                eq_row_constraints.append(con)
             else:
                 # GE rows are negated into <= form.
                 sign = 1.0 if con.sense is ConstraintSense.LE else -1.0
@@ -188,7 +217,7 @@ class Model:
                         ub_cols.append(var.index)
                         ub_data.append(sign * coeff)
                 b_ub.append(sign * con.rhs)
-                self._ub_row_constraints.append((con, sign))
+                ub_row_constraints.append((con, sign))
 
         a_ub = a_eq = None
         if b_ub:
@@ -198,10 +227,58 @@ class Model:
             a_eq = sparse.csr_matrix(
                 (eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), n))
         bounds = [(v.lb, v.ub) for v in self._variables]
-        return c, a_ub, np.asarray(b_ub), a_eq, np.asarray(b_eq), bounds
+        return CompiledLP(c, a_ub, np.asarray(b_ub, dtype=float),
+                          a_eq, np.asarray(b_eq, dtype=float), bounds,
+                          ub_row_constraints, eq_row_constraints)
 
-    def _extract_duals(self, result) -> Dict[str, float]:
-        """Shadow prices per named constraint from HiGHS marginals.
+    # -- incremental patching ----------------------------------------------
+
+    def set_rhs(self, constraint: Constraint, rhs: float) -> None:
+        """Re-target a registered constraint's right-hand side.
+
+        Updates the symbolic constraint and, when a compiled structure
+        is cached, the corresponding ``b_ub`` / ``b_eq`` entry in place
+        — no recompilation.
+        """
+        constraint.expr.constant = -float(rhs)
+        if self._compiled is not None:
+            self._compiled.patch_rhs(constraint, float(rhs))
+
+    def set_coefficient(self, constraint: Constraint, var: Variable,
+                        coeff: float) -> None:
+        """Overwrite ``var``'s coefficient in a registered constraint.
+
+        ``coeff`` is the coefficient as it appears in the constraint's
+        normalized ``expr (<=|>=|==) 0`` form. Raises
+        :class:`StructureError` when the compiled structure has no
+        stored entry for this position (the coefficient was zero at
+        compile time); callers should :meth:`invalidate` and rebuild.
+        """
+        if var not in constraint.expr.coeffs:
+            raise StructureError(
+                f"constraint {constraint.name!r} has no term for "
+                f"variable {var.name!r}")
+        constraint.expr.coeffs[var] = float(coeff)
+        if self._compiled is not None:
+            self._compiled.patch_coefficient(constraint, var.index,
+                                             float(coeff))
+
+    def set_objective_coefficient(self, var: Variable,
+                                  coeff: float) -> None:
+        """Overwrite one objective coefficient (in the model's stated
+        min/max sense); the dense compiled ``c`` is patched in place."""
+        if self._objective is None:
+            raise ModelError(f"model {self.name!r} has no objective")
+        self._check_ownership(_as_expr(var))
+        self._objective.coeffs[var] = float(coeff)
+        if self._compiled is not None:
+            self._compiled.patch_objective(var.index, float(coeff),
+                                           self._sense)
+
+    # -- solving -----------------------------------------------------------
+
+    def _extract_duals(self, result: BackendResult) -> Dict[str, float]:
+        """Shadow prices per named constraint from backend marginals.
 
         Marginals are reported for the compiled (minimize, <=) form;
         signs are mapped back to each constraint's original sense and
@@ -209,20 +286,19 @@ class Model:
         d(objective)/d(rhs).
         """
         duals: Dict[str, float] = {}
-        ineq = getattr(result, "ineqlin", None)
-        if ineq is not None and getattr(ineq, "marginals", None) is not None:
-            for (con, sign), marginal in zip(self._ub_row_constraints,
-                                             ineq.marginals):
+        compiled = self._compiled
+        if result.ineq_marginals is not None:
+            for (con, sign), marginal in zip(
+                    compiled.ub_row_constraints, result.ineq_marginals):
                 duals[con.name] = float(marginal) * sign * self._sense
-        eq = getattr(result, "eqlin", None)
-        if eq is not None and getattr(eq, "marginals", None) is not None:
-            for con, marginal in zip(self._eq_row_constraints,
-                                     eq.marginals):
+        if result.eq_marginals is not None:
+            for con, marginal in zip(compiled.eq_row_constraints,
+                                     result.eq_marginals):
                 duals[con.name] = float(marginal) * self._sense
         return duals
 
     def solve(self, check: bool = True) -> Solution:
-        """Solve the model with HiGHS.
+        """Compile (or reuse the cached compilation) and solve.
 
         Args:
             check: when True (default), raise :class:`InfeasibleError`
@@ -239,24 +315,26 @@ class Model:
             raise ModelError(f"model {self.name!r} has no variables")
 
         metrics = get_registry()
-        with metrics.span("lp.build"):
-            c, a_ub, b_ub, a_eq, b_eq, bounds = self._compile()
+        if self._compiled is None:
+            with metrics.span("lp.build"):
+                self._compiled = self._compile()
+            metrics.inc("lp.compile_cache.misses")
+        else:
+            metrics.inc("lp.compile_cache.hits")
+
+        backend = resolve_backend(self.backend)
         start = time.perf_counter()
-        with metrics.span("lp.solve"):
-            result = linprog(
-                c,
-                A_ub=a_ub, b_ub=b_ub if a_ub is not None else None,
-                A_eq=a_eq, b_eq=b_eq if a_eq is not None else None,
-                bounds=bounds, method="highs")
+        result = backend.solve(self._compiled)
         elapsed = time.perf_counter() - start
+        metrics.observe("lp.solve.seconds", elapsed)
         metrics.inc("lp.solves")
         metrics.gauge("lp.num_variables", self.num_variables)
         metrics.gauge("lp.num_constraints", self.num_constraints)
 
-        status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
+        status = result.status
         duals = {}
         if status is SolveStatus.OPTIMAL:
-            objective = float(result.fun) * self._sense
+            objective = float(result.objective) * self._sense
             values = np.asarray(result.x, dtype=float)
             duals = self._extract_duals(result)
         else:
@@ -266,11 +344,11 @@ class Model:
         solution = Solution(
             status=status, values=values, objective_value=objective,
             solve_seconds=elapsed,
-            iterations=int(getattr(result, "nit", 0) or 0),
+            iterations=result.iterations,
             variables=self._variables, duals=duals)
 
         if check and status is not SolveStatus.OPTIMAL:
-            message = getattr(result, "message", "")
+            message = result.message
             if status is SolveStatus.INFEASIBLE:
                 raise InfeasibleError(
                     f"model {self.name!r} is infeasible: {message}")
