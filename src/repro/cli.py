@@ -67,26 +67,30 @@ _MIRROR_CHOICES = {
     "dc+one-hop": lambda: MirrorPolicy.datacenter_plus_neighbors(1),
 }
 
+# Every runner takes the --jobs value; only the sweep-style
+# experiments (fig10's architectures, fig15's topologies) fan out —
+# the rest ignore it.
 _EXPERIMENTS = {
-    "table1": lambda: format_table1(run_table1()),
-    "fig10": lambda: format_fig10(run_fig10()),
-    "fig11": lambda: format_fig11(run_fig11()),
-    "fig12": lambda: format_fig12(run_fig12()),
-    "fig13": lambda: format_fig13(run_fig13()),
-    "fig14": lambda: format_fig14(run_fig14()),
-    "fig15": lambda: format_fig15(run_fig15()),
-    "fig16": lambda: format_fig16(run_fig16_17()),
-    "fig17": lambda: format_fig17(run_fig16_17()),
-    "fig18": lambda: format_fig18(run_fig18()),
-    "fig19": lambda: format_fig19(run_fig19()),
-    "placement": lambda: format_placement(run_placement_ablation()),
-    "dc-capacity": lambda: format_dc_capacity(
+    "table1": lambda jobs: format_table1(run_table1()),
+    "fig10": lambda jobs: format_fig10(run_fig10(jobs=jobs)),
+    "fig11": lambda jobs: format_fig11(run_fig11()),
+    "fig12": lambda jobs: format_fig12(run_fig12()),
+    "fig13": lambda jobs: format_fig13(run_fig13()),
+    "fig14": lambda jobs: format_fig14(run_fig14()),
+    "fig15": lambda jobs: format_fig15(run_fig15(jobs=jobs)),
+    "fig16": lambda jobs: format_fig16(run_fig16_17()),
+    "fig17": lambda jobs: format_fig17(run_fig16_17()),
+    "fig18": lambda jobs: format_fig18(run_fig18()),
+    "fig19": lambda jobs: format_fig19(run_fig19()),
+    "placement": lambda jobs: format_placement(
+        run_placement_ablation()),
+    "dc-capacity": lambda jobs: format_dc_capacity(
         run_dc_capacity_ablation()),
-    "slack": lambda: _fmt_slack(),
-    "link-cost": lambda: _fmt_link_cost(),
-    "nips": lambda: _fmt_nips(),
-    "combined": lambda: _fmt_combined(),
-    "strategies": lambda: _fmt_strategies(),
+    "slack": lambda jobs: _fmt_slack(),
+    "link-cost": lambda jobs: _fmt_link_cost(),
+    "nips": lambda jobs: _fmt_nips(),
+    "combined": lambda jobs: _fmt_combined(),
+    "strategies": lambda jobs: _fmt_strategies(),
 }
 
 
@@ -164,6 +168,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name",
                             choices=sorted(_EXPERIMENTS) + ["all"])
+    experiment.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep-style experiments "
+             "(fig10, fig15); results are identical to --jobs 1")
 
     stats = sub.add_parser(
         "stats",
@@ -345,10 +353,10 @@ def _cmd_experiment(args) -> int:
     if args.name == "all":
         for name in sorted(_EXPERIMENTS):
             print(f"==== {name} ====")
-            print(_EXPERIMENTS[name]())
+            print(_EXPERIMENTS[name](args.jobs))
             print()
         return 0
-    print(_EXPERIMENTS[args.name]())
+    print(_EXPERIMENTS[args.name](args.jobs))
     return 0
 
 

@@ -38,6 +38,10 @@ from repro.experiments.fig15_variability import (
     format_fig15,
     run_fig15,
 )
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    run_scan_epoch_sweep,
+)
 from repro.experiments.fig16_17_asymmetry import (
     AsymmetryPoint,
     format_fig16,
@@ -114,6 +118,7 @@ __all__ = [
     "Fig15Row",
     "Fig18Series",
     "Fig19Row",
+    "ParallelSweepRunner",
     "PlacementRow",
     "Table1Row",
     "TopologySetup",
@@ -146,6 +151,7 @@ __all__ = [
     "run_fig18",
     "run_fig19",
     "run_placement_ablation",
+    "run_scan_epoch_sweep",
     "run_table1",
     "setup_topology",
 ]

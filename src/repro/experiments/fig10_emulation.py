@@ -12,14 +12,20 @@ halves the work on the maximally loaded non-DC node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mirrors import MirrorPolicy
 from repro.core.replication import ReplicationProblem
 from repro.experiments.common import format_table, setup_topology
+from repro.experiments.parallel import ParallelSweepRunner
 from repro.shim.config import build_replication_configs
 from repro.simulation.emulation import Emulation
 from repro.simulation.tracegen import TraceGenerator, TraceSpec
+
+_POLICIES = {
+    "no_replicate": MirrorPolicy.none,
+    "replicate": MirrorPolicy.datacenter,
+}
 
 
 @dataclass
@@ -42,32 +48,55 @@ class Fig10Result:
         return top_plain / top_repl if top_repl > 0 else float("inf")
 
 
-def run_fig10(total_sessions: int = 4000, seed: int = 7,
-              dc_capacity_factor: float = 8.0,
-              max_link_load: float = 0.4) -> Fig10Result:
-    """Run the Internet2 emulation for both architectures."""
+def _fig10_policy(args: Tuple[str, int, int, float, float, bool]
+                  ) -> Tuple[str, Dict[str, float], float, int]:
+    """One architecture's LP + replay, rebuilt from plain arguments
+    (a picklable sweep point for :class:`ParallelSweepRunner`)."""
+    (label, total_sessions, seed, dc_capacity_factor, max_link_load,
+     fast) = args
     setup = setup_topology("internet2",
                            dc_capacity_factor=dc_capacity_factor)
     state = setup.state
-    spec = TraceSpec(total_sessions=total_sessions)
-    generator = TraceGenerator(state.topology.nodes, state.classes,
-                               spec=spec, seed=seed)
+    generator = TraceGenerator(
+        state.topology.nodes, state.classes,
+        spec=TraceSpec(total_sessions=total_sessions), seed=seed)
     sessions = generator.generate(with_payloads=True)
+    result = ReplicationProblem(
+        state, mirror_policy=_POLICIES[label](),
+        max_link_load=max_link_load).solve()
+    configs = build_replication_configs(state, result)
+    emulation = Emulation(state, configs, generator.classifier)
+    report = emulation.run_signature(sessions, fast=fast)
+    return (label, report.work_units,
+            result.max_load(exclude_dc=True), report.alerts)
+
+
+def run_fig10(total_sessions: int = 4000, seed: int = 7,
+              dc_capacity_factor: float = 8.0,
+              max_link_load: float = 0.4,
+              jobs: Optional[int] = None,
+              fast: bool = True) -> Fig10Result:
+    """Run the Internet2 emulation for both architectures.
+
+    Args:
+        jobs: fan the two architectures across processes (``--jobs``
+            on the CLI); results are identical to the serial run.
+        fast: replay through the vectorized engine (bit-identical to
+            the scalar oracle; set False to force the scalar path).
+    """
+    points = [(label, total_sessions, seed, dc_capacity_factor,
+               max_link_load, fast) for label in _POLICIES]
+    results = ParallelSweepRunner(jobs).map(_fig10_policy, points)
 
     work: Dict[str, Dict[str, float]] = {}
     lp_max: Dict[str, float] = {}
     alerts: Dict[str, int] = {}
-    for label, policy in (("no_replicate", MirrorPolicy.none()),
-                          ("replicate", MirrorPolicy.datacenter())):
-        result = ReplicationProblem(
-            state, mirror_policy=policy,
-            max_link_load=max_link_load).solve()
-        configs = build_replication_configs(state, result)
-        emulation = Emulation(state, configs, generator.classifier)
-        report = emulation.run_signature(sessions)
-        work[label] = report.work_units
-        lp_max[label] = result.max_load(exclude_dc=True)
-        alerts[label] = report.alerts
+    for label, work_units, max_load, alert_count in results:
+        work[label] = work_units
+        lp_max[label] = max_load
+        alerts[label] = alert_count
+    state = setup_topology(
+        "internet2", dc_capacity_factor=dc_capacity_factor).state
 
     nodes = [n for n in state.nids_nodes if n != state.dc_node]
     return Fig10Result(

@@ -45,12 +45,41 @@ class Fig15Row:
     summary: Dict[str, float]  # min/q25/median/q75/max
 
 
+def _fig15_topology(args) -> List[Fig15Row]:
+    """One topology's full matrix sweep (a picklable sweep point).
+
+    The matrix RNG is seeded per topology, so evaluating topologies in
+    parallel produces exactly the rows the sequential loop does.
+    """
+    (name, kinds, num_matrices, dc_capacity_factor, max_link_load,
+     seed) = args
+    setup = setup_topology(name)
+    evaluator = ArchitectureEvaluator(
+        setup.topology, setup.classes,
+        dc_capacity_factor=dc_capacity_factor,
+        max_link_load=max_link_load)
+    model = TrafficVariabilityModel.default()
+    rng = np.random.default_rng(seed)
+    matrices = model.generate_matrices(setup.matrix, num_matrices, rng)
+    peaks: Dict[ArchitectureKind, List[float]] = {
+        kind: [] for kind in kinds}
+    for matrix in matrices:
+        classes = classes_from_matrix(setup.topology, matrix,
+                                      setup.routing)
+        for kind in kinds:
+            result = evaluator.evaluate(kind, classes=classes)
+            peaks[kind].append(result.load_cost)
+    return [Fig15Row(name, kind, quartiles(peaks[kind]))
+            for kind in kinds]
+
+
 def run_fig15(topologies: Optional[Sequence[str]] = None,
               num_matrices: Optional[int] = None,
               include_augmented: bool = False,
               dc_capacity_factor: float = 10.0,
               max_link_load: float = 0.4,
-              seed: int = 15) -> List[Fig15Row]:
+              seed: int = 15,
+              jobs: Optional[int] = None) -> List[Fig15Row]:
     """Evaluate peak load across time-varying matrices.
 
     Args:
@@ -58,6 +87,8 @@ def run_fig15(topologies: Optional[Sequence[str]] = None,
             default is 12, full scale uses 100.
         include_augmented: also evaluate PATH_AUGMENTED (the paper's
             "4x worse worst-case" aside).
+        jobs: fan topologies across worker processes (``--jobs`` on
+            the CLI); row order and contents match the serial run.
     """
     if num_matrices is None:
         num_matrices = 100 if full_scale() else 12
@@ -72,28 +103,13 @@ def run_fig15(topologies: Optional[Sequence[str]] = None,
     if include_augmented:
         kinds.append(ArchitectureKind.PATH_AUGMENTED)
 
-    model = TrafficVariabilityModel.default()
-    rows = []
-    for name in topologies:
-        setup = setup_topology(name)
-        evaluator = ArchitectureEvaluator(
-            setup.topology, setup.classes,
-            dc_capacity_factor=dc_capacity_factor,
-            max_link_load=max_link_load)
-        rng = np.random.default_rng(seed)
-        matrices = model.generate_matrices(setup.matrix, num_matrices,
-                                           rng)
-        peaks: Dict[ArchitectureKind, List[float]] = {
-            kind: [] for kind in kinds}
-        for matrix in matrices:
-            classes = classes_from_matrix(setup.topology, matrix,
-                                          setup.routing)
-            for kind in kinds:
-                result = evaluator.evaluate(kind, classes=classes)
-                peaks[kind].append(result.load_cost)
-        for kind in kinds:
-            rows.append(Fig15Row(name, kind, quartiles(peaks[kind])))
-    return rows
+    from repro.experiments.parallel import ParallelSweepRunner
+
+    points = [(name, kinds, num_matrices, dc_capacity_factor,
+               max_link_load, seed) for name in topologies]
+    per_topology = ParallelSweepRunner(jobs).map(_fig15_topology,
+                                                 points)
+    return [row for rows in per_topology for row in rows]
 
 
 def format_fig15(rows: Sequence[Fig15Row]) -> str:

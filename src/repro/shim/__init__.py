@@ -10,12 +10,20 @@ bidirectional consistency included); the Click data path is replaced by
 in-process Python objects driven by the trace simulator.
 """
 
+from repro.shim.batch import (
+    BatchShimKernel,
+    MirrorLinkIndex,
+    UnsupportedShimConfig,
+)
 from repro.shim.hashing import (
     FiveTuple,
     bob_hash,
+    bob_hash_batch,
     canonical_five_tuple,
     field_hash,
+    field_hash_batch,
     session_hash,
+    session_hash_batch,
 )
 from repro.shim.ranges import HashRange, compile_hash_ranges
 from repro.shim.config import (
@@ -29,19 +37,25 @@ from repro.shim.config import (
 from repro.shim.shim import Shim, ShimDecision
 
 __all__ = [
+    "BatchShimKernel",
     "FiveTuple",
     "HashRange",
+    "MirrorLinkIndex",
     "Shim",
     "ShimAction",
     "ShimConfig",
     "ShimDecision",
     "ShimRule",
+    "UnsupportedShimConfig",
     "bob_hash",
+    "bob_hash_batch",
     "build_aggregation_configs",
     "build_replication_configs",
     "build_split_configs",
     "canonical_five_tuple",
     "compile_hash_ranges",
     "field_hash",
+    "field_hash_batch",
     "session_hash",
+    "session_hash_batch",
 ]

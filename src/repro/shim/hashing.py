@@ -10,11 +10,22 @@ with the smaller endpoint first.
 For aggregation (Section 7.2, last paragraph), the hash is computed
 over the split field instead — the source address for a per-source
 split, the destination for a per-destination split.
+
+Two implementations share the algorithm: the scalar functions used by
+the per-packet :class:`~repro.shim.shim.Shim` (the correctness oracle),
+and ``*_batch`` variants that run the identical mixing rounds on whole
+``uint32`` numpy columns at once for the vectorized replay engine.
+The batch variants are bit-exact against the scalar ones — wrap-around
+arithmetic on ``uint32`` arrays is exactly the scalar ``& 0xFFFFFFFF``
+fold — and the property suite (`tests/test_batch_hashing.py`) pins
+that equivalence.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
 
 
 class FiveTuple(NamedTuple):
@@ -74,18 +85,23 @@ def bob_hash(*words: int, seed: int = 0) -> int:
         A 32-bit hash value.
     """
     a = b = c = (0xDEADBEEF + (len(words) << 2) + seed) & _MASK32
-    data = [w & _MASK32 for w in words]
-    while len(data) > 3:
-        a = (a + data.pop(0)) & _MASK32
-        b = (b + data.pop(0)) & _MASK32
-        c = (c + data.pop(0)) & _MASK32
+    # Index walk instead of data.pop(0): popping the head shifts the
+    # whole list, turning long inputs O(n^2).
+    count = len(words)
+    i = 0
+    while count - i > 3:
+        a = (a + (words[i] & _MASK32)) & _MASK32
+        b = (b + (words[i + 1] & _MASK32)) & _MASK32
+        c = (c + (words[i + 2] & _MASK32)) & _MASK32
         a, b, c = _mix(a, b, c)
-    if data:
-        a = (a + data[0]) & _MASK32
-    if len(data) > 1:
-        b = (b + data[1]) & _MASK32
-    if len(data) > 2:
-        c = (c + data[2]) & _MASK32
+        i += 3
+    rest = count - i
+    if rest > 0:
+        a = (a + (words[i] & _MASK32)) & _MASK32
+    if rest > 1:
+        b = (b + (words[i + 1] & _MASK32)) & _MASK32
+    if rest > 2:
+        c = (c + (words[i + 2] & _MASK32)) & _MASK32
     return _final(a, b, c)
 
 
@@ -119,3 +135,117 @@ def field_hash(value: int, seed: int = 0) -> float:
     per-source (or per-destination), not per-session.
     """
     return bob_hash(value, seed=seed) / 2.0 ** 32
+
+
+# -- vectorized (columnar) variants --------------------------------------
+#
+# uint32 numpy arithmetic wraps modulo 2^32, which is exactly the scalar
+# code's `& _MASK32` fold, so each helper below is the literal
+# transcription of its scalar twin onto whole columns.
+
+def _rot_batch(value: np.ndarray, bits: int) -> np.ndarray:
+    return (value << np.uint32(bits)) | (value >> np.uint32(32 - bits))
+
+
+def _mix_batch(a: np.ndarray, b: np.ndarray, c: np.ndarray):
+    """One lookup3 mixing round over uint32 columns."""
+    a = a - c; a ^= _rot_batch(c, 4);  c = c + b
+    b = b - a; b ^= _rot_batch(a, 6);  a = a + c
+    c = c - b; c ^= _rot_batch(b, 8);  b = b + a
+    a = a - c; a ^= _rot_batch(c, 16); c = c + b
+    b = b - a; b ^= _rot_batch(a, 19); a = a + c
+    c = c - b; c ^= _rot_batch(b, 4);  b = b + a
+    return a, b, c
+
+
+def _final_batch(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Final avalanche over uint32 columns."""
+    c ^= b; c = c - _rot_batch(b, 14)
+    a ^= c; a = a - _rot_batch(c, 11)
+    b ^= a; b = b - _rot_batch(a, 25)
+    c ^= b; c = c - _rot_batch(b, 16)
+    a ^= c; a = a - _rot_batch(c, 4)
+    b ^= a; b = b - _rot_batch(a, 14)
+    c ^= b; c = c - _rot_batch(b, 24)
+    return c
+
+
+def _as_u32(column: "np.ndarray") -> np.ndarray:
+    """Fold an integer column to uint32 (the scalar ``w & _MASK32``)."""
+    arr = np.asarray(column)
+    if arr.dtype == np.uint32:
+        return arr
+    return (arr.astype(np.int64) & _MASK32).astype(np.uint32)
+
+
+def bob_hash_batch(columns: Sequence["np.ndarray"], seed: int = 0,
+                   size: Optional[int] = None) -> np.ndarray:
+    """Vectorized :func:`bob_hash`: element ``i`` of the result equals
+    ``bob_hash(columns[0][i], ..., columns[k-1][i], seed=seed)``.
+
+    Args:
+        columns: one integer array per hash word, all the same length
+            (a struct-of-arrays row set).
+        seed: optional seed for independent hash functions.
+        size: row count, required only when ``columns`` is empty.
+
+    Returns:
+        A uint32 array of hash values.
+    """
+    cols = [_as_u32(c) for c in columns]
+    if size is None:
+        if not cols:
+            raise ValueError("size is required with no columns")
+        size = len(cols[0])
+    init = np.uint32((0xDEADBEEF + (len(cols) << 2) + seed) & _MASK32)
+    a = np.full(size, init, dtype=np.uint32)
+    b = a.copy()
+    c = a.copy()
+    count = len(cols)
+    i = 0
+    while count - i > 3:
+        a = a + cols[i]
+        b = b + cols[i + 1]
+        c = c + cols[i + 2]
+        a, b, c = _mix_batch(a, b, c)
+        i += 3
+    rest = count - i
+    if rest > 0:
+        a = a + cols[i]
+    if rest > 1:
+        b = b + cols[i + 1]
+    if rest > 2:
+        c = c + cols[i + 2]
+    return _final_batch(a, b, c)
+
+
+def session_hash_batch(proto: "np.ndarray", src_ip: "np.ndarray",
+                       src_port: "np.ndarray", dst_ip: "np.ndarray",
+                       dst_port: "np.ndarray", seed: int = 0
+                       ) -> np.ndarray:
+    """Vectorized :func:`session_hash` over 5-tuple columns.
+
+    Canonicalizes every row (smaller endpoint first) and returns
+    float64 hash values in [0, 1), bit-identical to the scalar path —
+    ``word / 2**32`` is exact for 32-bit words in either
+    implementation.
+    """
+    proto = _as_u32(proto)
+    src_ip, src_port = _as_u32(src_ip), _as_u32(src_port)
+    dst_ip, dst_port = _as_u32(dst_ip), _as_u32(dst_port)
+    swap = (src_ip > dst_ip) | ((src_ip == dst_ip) &
+                                (src_port > dst_port))
+    canon_src_ip = np.where(swap, dst_ip, src_ip)
+    canon_src_port = np.where(swap, dst_port, src_port)
+    canon_dst_ip = np.where(swap, src_ip, dst_ip)
+    canon_dst_port = np.where(swap, src_port, dst_port)
+    words = bob_hash_batch(
+        [proto, canon_src_ip, canon_src_port, canon_dst_ip,
+         canon_dst_port], seed=seed)
+    return words.astype(np.float64) / 2.0 ** 32
+
+
+def field_hash_batch(values: "np.ndarray", seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`field_hash`: float64 hashes in [0, 1)."""
+    words = bob_hash_batch([values], seed=seed)
+    return words.astype(np.float64) / 2.0 ** 32

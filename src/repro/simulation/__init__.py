@@ -9,6 +9,7 @@ mirrors, feeds the simulated NIDS engines, and collects per-node work
 units, detection outcomes, and replication byte counts.
 """
 
+from repro.simulation.batch import PacketBatch, SessionBatch
 from repro.simulation.packets import Packet, Session, pop_prefix_ip
 from repro.simulation.tracegen import (
     PrefixClassifier,
@@ -36,8 +37,10 @@ __all__ = [
     "Emulation",
     "EmulationReport",
     "Packet",
+    "PacketBatch",
     "PrefixClassifier",
     "ScanEmulationReport",
+    "SessionBatch",
     "ScheduledPacket",
     "Session",
     "StatefulEmulationReport",

@@ -1,0 +1,296 @@
+"""Columnar (struct-of-arrays) trace representation for batch replay.
+
+The scalar emulation walks Python ``Session``/``Packet`` objects one
+packet at a time. The vectorized fast path instead operates on two
+column stores:
+
+- :class:`SessionBatch` — one row per session: uint32 5-tuple columns
+  (forward-oriented, exactly what the scalar path feeds
+  ``Shim.handle``), class ids, path ids, and lazily cached per-mode
+  hash columns computed with the bit-exact ``*_batch`` hash functions.
+- :class:`PacketBatch` — one row per packet: owning session index,
+  direction, wire size, and all payloads packed into one contiguous
+  byte buffer with an offsets column.
+
+Both also precompute the *observation expansion* — the (packet,
+on-path node) pairs the scalar loops enumerate — grouped by path so
+the expansion itself is a handful of ``np.repeat``/``np.tile`` calls
+rather than a per-packet loop.
+
+Distinct-session accounting keys on the five-tuple *value*
+(``np.unique`` over the five columns), matching the scalar engines,
+which dedupe on the ``FiveTuple`` they are handed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.shim.config import HashMode
+from repro.shim.hashing import field_hash_batch, session_hash_batch
+from repro.simulation.packets import Session
+
+DIR_FWD = 0
+DIR_REV = 1
+
+_DIR_CODE = {"fwd": DIR_FWD, "rev": DIR_REV}
+
+
+class SessionBatch:
+    """Struct-of-arrays view of a session trace.
+
+    Build with :meth:`from_sessions`; all columns are aligned by
+    session row. ``class_id`` is what the *classifier* assigns (the
+    column the shim kernel consumes; -1 = unmonitored), while
+    ``trace_class_id`` is the session's declared ``class_name`` (the
+    column gateway lookup consumes) — the scalar path makes the same
+    distinction.
+    """
+
+    def __init__(self, proto: np.ndarray, src_ip: np.ndarray,
+                 src_port: np.ndarray, dst_ip: np.ndarray,
+                 dst_port: np.ndarray, class_id: np.ndarray,
+                 trace_class_id: np.ndarray,
+                 class_names: Tuple[str, ...],
+                 fwd_path_id: np.ndarray, rev_path_id: np.ndarray,
+                 paths: List[np.ndarray],
+                 node_order: Tuple[str, ...], hash_seed: int = 0):
+        self.proto = proto
+        self.src_ip = src_ip
+        self.src_port = src_port
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.class_id = class_id
+        self.trace_class_id = trace_class_id
+        self.class_names = class_names
+        self.fwd_path_id = fwd_path_id
+        self.rev_path_id = rev_path_id
+        self.paths = paths
+        self.node_order = node_order
+        self.hash_seed = hash_seed
+        self.num_sessions = len(proto)
+        tuples = np.stack([proto.astype(np.int64),
+                           src_ip.astype(np.int64),
+                           src_port.astype(np.int64),
+                           dst_ip.astype(np.int64),
+                           dst_port.astype(np.int64)], axis=1)
+        _, self.session_key = np.unique(tuples, axis=0,
+                                        return_inverse=True)
+        self.session_key = self.session_key.reshape(-1).astype(np.int64)
+        self.num_keys = (int(self.session_key.max()) + 1
+                         if self.num_sessions else 0)
+        self._hash_cache: Dict[HashMode, np.ndarray] = {}
+        self._flow_obs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def from_sessions(cls, sessions: Sequence[Session], classifier,
+                      node_order: Sequence[str], hash_seed: int = 0
+                      ) -> "SessionBatch":
+        """Columnarize ``sessions`` (packets are ignored here).
+
+        Args:
+            sessions: the trace.
+            classifier: the shims' packet-to-class mapping; applied to
+                each forward 5-tuple exactly as the scalar path does.
+            node_order: node-name universe; every path node must be in
+                it (the scalar path would KeyError on unknown
+                observers too).
+            hash_seed: network-wide hash seed for the hash columns.
+        """
+        count = len(sessions)
+        node_index = {name: i for i, name in enumerate(node_order)}
+        proto = np.zeros(count, dtype=np.uint32)
+        src_ip = np.zeros(count, dtype=np.uint32)
+        src_port = np.zeros(count, dtype=np.uint32)
+        dst_ip = np.zeros(count, dtype=np.uint32)
+        dst_port = np.zeros(count, dtype=np.uint32)
+        class_id = np.full(count, -1, dtype=np.int32)
+        trace_class_id = np.full(count, -1, dtype=np.int32)
+        fwd_path_id = np.zeros(count, dtype=np.int32)
+        rev_path_id = np.zeros(count, dtype=np.int32)
+
+        names = sorted({s.class_name for s in sessions} |
+                       {name for name in
+                        (classifier(s.five_tuple) for s in sessions)
+                        if name is not None})
+        name_index = {name: i for i, name in enumerate(names)}
+        paths: List[np.ndarray] = []
+        path_index: Dict[Tuple[str, ...], int] = {}
+
+        def path_id(path: Tuple[str, ...]) -> int:
+            pid = path_index.get(path)
+            if pid is None:
+                pid = len(paths)
+                path_index[path] = pid
+                paths.append(np.array([node_index[n] for n in path],
+                                      dtype=np.int64))
+            return pid
+
+        for row, session in enumerate(sessions):
+            tup = session.five_tuple
+            proto[row] = tup.proto
+            src_ip[row] = tup.src_ip
+            src_port[row] = tup.src_port
+            dst_ip[row] = tup.dst_ip
+            dst_port[row] = tup.dst_port
+            assigned = classifier(tup)
+            if assigned is not None:
+                class_id[row] = name_index[assigned]
+            trace_class_id[row] = name_index[session.class_name]
+            fwd_path_id[row] = path_id(tuple(session.fwd_path))
+            rev_path_id[row] = path_id(tuple(session.rev_path))
+
+        return cls(proto, src_ip, src_port, dst_ip, dst_port,
+                   class_id, trace_class_id, tuple(names),
+                   fwd_path_id, rev_path_id, paths,
+                   tuple(node_order), hash_seed)
+
+    def hash_column(self, mode: HashMode) -> np.ndarray:
+        """Per-session hash values in [0, 1) for one hash mode,
+        bit-exact against the scalar functions (cached)."""
+        column = self._hash_cache.get(mode)
+        if column is None:
+            if mode is HashMode.SESSION:
+                column = session_hash_batch(
+                    self.proto, self.src_ip, self.src_port,
+                    self.dst_ip, self.dst_port, seed=self.hash_seed)
+            elif mode is HashMode.SOURCE:
+                column = field_hash_batch(self.src_ip,
+                                          seed=self.hash_seed)
+            else:
+                column = field_hash_batch(self.dst_ip,
+                                          seed=self.hash_seed)
+            self._hash_cache[mode] = column
+        return column
+
+    def _expand_paths(self, row_ids: np.ndarray, path_ids: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """(row, on-path node) expansion, grouped by path id.
+
+        Returns observation-aligned ``(obs_row, obs_node)`` arrays; the
+        ordering is arbitrary (grouped by path), which is fine — every
+        consumer reduces with order-independent sums and sets.
+        """
+        if len(row_ids) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        order = np.argsort(path_ids, kind="stable")
+        sorted_paths = path_ids[order]
+        unique_paths, firsts = np.unique(sorted_paths,
+                                         return_index=True)
+        bounds = np.append(firsts, len(row_ids))
+        obs_rows: List[np.ndarray] = []
+        obs_nodes: List[np.ndarray] = []
+        for gi, pid in enumerate(unique_paths):
+            members = order[firsts[gi]:bounds[gi + 1]]
+            nodes = self.paths[int(pid)]
+            if len(nodes) == 0:
+                continue
+            obs_rows.append(np.repeat(members, len(nodes)))
+            obs_nodes.append(np.tile(nodes, len(members)))
+        if not obs_rows:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return (np.concatenate(obs_rows), np.concatenate(obs_nodes))
+
+    def flow_observers(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(session, forward-path node) expansion — what the scan and
+        flood replays enumerate (one shim call per session per
+        forward-path node). Cached."""
+        if self._flow_obs is None:
+            rows = np.arange(self.num_sessions, dtype=np.int64)
+            self._flow_obs = self._expand_paths(rows, self.fwd_path_id)
+        return self._flow_obs
+
+
+class PacketBatch:
+    """Struct-of-arrays view of a packet trace (plus its sessions)."""
+
+    def __init__(self, sessions: SessionBatch,
+                 session_of_packet: np.ndarray, direction: np.ndarray,
+                 size_bytes: np.ndarray, payload_buffer: bytes,
+                 payload_offsets: np.ndarray):
+        self.sessions = sessions
+        self.session_of_packet = session_of_packet
+        self.direction = direction
+        self.size_bytes = size_bytes
+        self.payload_buffer = payload_buffer
+        self.payload_offsets = payload_offsets
+        self.num_packets = len(session_of_packet)
+        self._packet_obs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def from_sessions(cls, sessions: Sequence[Session], classifier,
+                      node_order: Sequence[str], hash_seed: int = 0
+                      ) -> "PacketBatch":
+        """Columnarize a trace including per-packet payloads."""
+        batch = SessionBatch.from_sessions(sessions, classifier,
+                                           node_order, hash_seed)
+        session_of_packet: List[int] = []
+        direction: List[int] = []
+        size_bytes: List[float] = []
+        chunks: List[bytes] = []
+        offsets: List[int] = [0]
+        cursor = 0
+        for row, session in enumerate(sessions):
+            for packet in session.packets:
+                session_of_packet.append(row)
+                direction.append(_DIR_CODE[packet.direction])
+                size_bytes.append(packet.size_bytes)
+                chunks.append(packet.payload)
+                cursor += len(packet.payload)
+                offsets.append(cursor)
+        return cls(batch,
+                   np.array(session_of_packet, dtype=np.int64),
+                   np.array(direction, dtype=np.uint8),
+                   np.array(size_bytes, dtype=np.float64),
+                   b"".join(chunks),
+                   np.array(offsets, dtype=np.int64))
+
+    @property
+    def payload_lengths(self) -> np.ndarray:
+        """Per-packet payload size in bytes (int64)."""
+        return np.diff(self.payload_offsets)
+
+    def packet_observers(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(packet, on-path node) expansion for every packet, using
+        each packet's direction's path. Cached."""
+        if self._packet_obs is None:
+            sess = self.sessions
+            path_of_packet = np.where(
+                self.direction == DIR_FWD,
+                sess.fwd_path_id[self.session_of_packet],
+                sess.rev_path_id[self.session_of_packet])
+            packets = np.arange(self.num_packets, dtype=np.int64)
+            self._packet_obs = sess._expand_paths(
+                packets, path_of_packet.astype(np.int64))
+        return self._packet_obs
+
+    def payload_match_counts(self, patterns: Sequence[bytes]
+                             ) -> np.ndarray:
+        """Per-packet count of pattern occurrences, Aho-Corasick
+        semantics: every (pattern, end offset) occurrence counts, so
+        overlapping and repeated hits all count, exactly like
+        ``AhoCorasick.search``.
+
+        Scans the packed buffer with ``bytes.find`` per pattern (a C
+        loop), attributing each hit to the packet whose payload region
+        contains it and rejecting hits that straddle a packet boundary.
+        """
+        counts = np.zeros(self.num_packets, dtype=np.int64)
+        buffer = self.payload_buffer
+        offsets = self.payload_offsets
+        for pattern in patterns:
+            width = len(pattern)
+            if width == 0:
+                raise ValueError("empty patterns are not allowed")
+            pos = buffer.find(pattern)
+            while pos != -1:
+                packet = int(np.searchsorted(offsets, pos,
+                                             side="right")) - 1
+                if pos + width <= offsets[packet + 1]:
+                    counts[packet] += 1
+                pos = buffer.find(pattern, pos + 1)
+        return counts

@@ -227,6 +227,29 @@ class TraceGenerator:
         sessions.extend(self._scanner_sessions(rng, with_payloads))
         return sessions
 
+    def generate_batch(self, node_order: Sequence[str],
+                       with_payloads: bool = True, hash_seed: int = 0):
+        """Generate the trace directly as a columnar
+        :class:`~repro.simulation.batch.PacketBatch` for the
+        vectorized replay engine.
+
+        Same RNG stream as :meth:`generate` (the Session objects are
+        materialized then columnarized), so a batch and a Session list
+        from the same seed describe the identical trace.
+
+        Args:
+            node_order: node-name universe for observer indices —
+                pass the emulating network's ``state.nids_nodes``.
+            with_payloads: include payload bytes (needed for
+                signature replay).
+            hash_seed: network-wide hash seed for the hash columns.
+        """
+        from repro.simulation.batch import PacketBatch
+
+        return PacketBatch.from_sessions(
+            self.generate(with_payloads), self.classifier,
+            node_order, hash_seed)
+
     def _scanner_sessions(self, rng: np.random.Generator,
                           with_payloads: bool) -> List[Session]:
         """Scanners: one fixed source host contacting many distinct

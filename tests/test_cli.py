@@ -78,8 +78,8 @@ class TestExperiment:
         import repro.cli as cli
 
         monkeypatch.setattr(cli, "_EXPERIMENTS", {
-            "alpha": lambda: "ALPHA TABLE",
-            "beta": lambda: "BETA TABLE",
+            "alpha": lambda jobs: "ALPHA TABLE",
+            "beta": lambda jobs: "BETA TABLE",
         })
         assert main(["experiment", "all"]) == 0
         out = capsys.readouterr().out

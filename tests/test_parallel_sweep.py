@@ -1,0 +1,81 @@
+"""Parallel sweep executor: ordered fan-out with serial-identical
+results (single-CPU CI boxes assert determinism, not wall-clock)."""
+
+import pytest
+
+from repro.core import AggregationProblem, MirrorPolicy
+from repro.experiments import ParallelSweepRunner, run_scan_epoch_sweep
+from repro.experiments.fig10_emulation import run_fig10
+from repro.shim import build_aggregation_configs
+from repro.simulation import Emulation, TraceGenerator
+from repro.simulation.tracegen import TraceSpec
+
+
+def _square(value):
+    """Module-level so worker processes can unpickle it."""
+    return value * value
+
+
+class TestParallelSweepRunner:
+    def test_serial_when_jobs_is_one(self):
+        runner = ParallelSweepRunner(1)
+        assert runner.map(_square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_parallel_map_preserves_order(self):
+        runner = ParallelSweepRunner(2)
+        items = list(range(20))
+        assert runner.map(_square, items) == [i * i for i in items]
+
+    def test_single_item_stays_in_process(self):
+        # One item never pays the pool spin-up cost (and unpicklable
+        # callables therefore still work).
+        runner = ParallelSweepRunner(4)
+        assert runner.map(lambda x: x + 1, [41]) == [42]
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(0)
+
+    def test_default_is_serial(self):
+        assert ParallelSweepRunner(None).map(_square, [2, 3]) == [4, 9]
+
+
+class TestScanEpochSweep:
+    def test_matches_sequential_epochs(self, line_state):
+        lp = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, lp)
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=200, scanner_count=2,
+                           scanner_fanout=15), seed=29)
+        epochs = [generator.generate(with_payloads=False)
+                  for _ in range(3)]
+        emulation = Emulation(line_state, configs,
+                              generator.classifier)
+        sequential = emulation.run_scan_epochs(epochs, threshold=8)
+        swept = run_scan_epoch_sweep(
+            line_state, configs, generator.classifier, epochs,
+            threshold=8, jobs=2)
+        assert swept == sequential
+
+    def test_fast_flag_passes_through(self, line_state):
+        lp = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, lp)
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=200), seed=30)
+        epochs = [generator.generate(with_payloads=False)]
+        sequential = Emulation(
+            line_state, configs,
+            generator.classifier).run_scan_epochs(epochs, threshold=8)
+        swept = run_scan_epoch_sweep(
+            line_state, configs, generator.classifier, epochs,
+            threshold=8, jobs=2, fast=True)
+        assert swept == sequential
+
+
+class TestFig10Parallel:
+    def test_parallel_equals_serial(self):
+        serial = run_fig10(total_sessions=400, seed=7, jobs=1)
+        parallel = run_fig10(total_sessions=400, seed=7, jobs=2)
+        assert parallel == serial
