@@ -10,6 +10,9 @@ Commands:
 - ``experiment`` — regenerate one of the paper's tables/figures.
 - ``stats`` — run one instrumented controller cycle plus a trace
   replay and report the collected metrics (optionally as JSONL).
+- ``scenario`` — play a canned closed-loop scenario through the
+  discrete-event runtime and print the epoch timeline (optionally
+  writing the full report and a per-epoch timeline as JSON/JSONL).
 """
 
 from __future__ import annotations
@@ -189,6 +192,25 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--jsonl", default=None, metavar="PATH",
                        help="also write the metrics snapshot as "
                             "JSON lines to PATH")
+
+    from repro.runtime.scenario import CANNED_SCENARIOS
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="play a closed-loop runtime scenario and print the "
+             "per-epoch timeline")
+    scenario.add_argument("name", choices=sorted(CANNED_SCENARIOS))
+    scenario.add_argument("--topology", default="internet2",
+                          choices=builtin_topology_names())
+    scenario.add_argument("--epochs", type=int, default=None,
+                          help="override the scenario's epoch count")
+    scenario.add_argument("--seed", type=int, default=None,
+                          help="override the scenario's seed")
+    scenario.add_argument("--json", default=None, metavar="PATH",
+                          help="write the full ScenarioReport as JSON")
+    scenario.add_argument("--timeline", default=None, metavar="PATH",
+                          help="write the per-epoch metric timeline "
+                               "as JSON lines")
     return parser
 
 
@@ -349,6 +371,69 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from repro.obs import write_timeline_jsonl
+    from repro.runtime.scenario import CANNED_SCENARIOS, run_scenario
+
+    kwargs = {"topology": args.topology}
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    scenario = CANNED_SCENARIOS[args.name](**kwargs)
+    report = run_scenario(scenario)
+
+    rows = []
+    for rec in report.records:
+        rows.append([
+            rec.epoch,
+            rec.refresh_reason or "-",
+            "; ".join(rec.faults) or "-",
+            "ok" if rec.solve_ok else "FAIL",
+            f"{rec.lp_load_cost:.4f}" if rec.lp_load_cost is not None
+            else "-",
+            f"{rec.coverage_min:.3f}",
+            f"{rec.miss_rate:.4f}",
+            f"{rec.duplication_max:.3f}",
+            f"{rec.rollout_latency:.1f}s"
+            if rec.rollout_latency is not None else "-",
+            f"{rec.emulated_max_work:,.0f}",
+        ])
+    print(format_table(
+        ["Epoch", "Refresh", "Faults", "Solve", "LoadCost",
+         "MinCov", "Miss", "MaxDup", "Rollout", "MaxWork"],
+        rows,
+        title=f"scenario {scenario.name!r} on {scenario.topology} "
+              f"({scenario.epochs} epochs, seed {scenario.seed})"))
+    summary = report.summary()
+    print(f"  refreshes: {summary['refreshes']}  "
+          f"faults: {summary['faults_injected']}  "
+          f"min coverage: {summary['min_coverage']:.3f}  "
+          f"max duplication: {summary['max_duplication']:.3f}")
+    print(f"  fingerprint: {report.fingerprint()[:16]}")
+
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote report to {args.json}")
+    if args.timeline:
+        try:
+            count = write_timeline_jsonl(
+                report.timeline_rows(), args.timeline,
+                source=f"scenario:{scenario.name}")
+        except OSError as exc:
+            print(f"error: cannot write {args.timeline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {count} timeline records to {args.timeline}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     if args.name == "all":
         for name in sorted(_EXPERIMENTS):
@@ -375,6 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     return _cmd_experiment(args)
 
 

@@ -116,6 +116,7 @@ class NIDSController:
         """True when traffic drifted past the threshold (or no
         configuration has been computed yet)."""
         if self._current_configs is None:
+            get_registry().inc("controller.bootstrap_refreshes")
             return True
         triggered = self.traffic_drift(classes) > self.drift_threshold
         if triggered:

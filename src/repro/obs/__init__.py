@@ -30,9 +30,13 @@ from typing import Mapping, Optional
 from repro.obs.export import (
     SCHEMA_VERSION,
     read_jsonl,
+    read_timeline_jsonl,
     snapshot_records,
+    timeline_records,
     validate_record,
+    validate_timeline_record,
     write_jsonl,
+    write_timeline_jsonl,
 )
 from repro.obs.registry import (
     NULL_REGISTRY,
@@ -58,11 +62,15 @@ __all__ = [
     "get_registry",
     "percentile",
     "read_jsonl",
+    "read_timeline_jsonl",
     "set_registry",
     "snapshot_records",
+    "timeline_records",
     "use_registry",
     "validate_record",
+    "validate_timeline_record",
     "write_jsonl",
+    "write_timeline_jsonl",
 ]
 
 

@@ -11,9 +11,21 @@ JSON object per line:
   "min": number, "max": number, "mean": number, "p50": number,
   "p95": number, "p99": number}``
 
+A second, timeline-oriented flavor serves the runtime layer
+(:mod:`repro.runtime.scenario`): one record per simulation epoch, each
+carrying that epoch's metric values, so downstream tooling can plot
+per-epoch series without re-aggregating histograms:
+
+- ``{"type": "timeline-meta", "schema": 1, "ts": <unix seconds>,
+  "source": str}`` — always the first line.
+- ``{"type": "epoch", "epoch": int, "t": number,
+  "metrics": {str: number|null}}`` — one line per epoch, ``t`` is the
+  epoch's simulated start time in seconds.
+
 Non-finite numbers (empty-histogram NaNs) are serialized as ``null``
-so every line is strict RFC 8259 JSON. :func:`validate_record` is the
-authoritative schema check, shared by the test suite.
+so every line is strict RFC 8259 JSON. :func:`validate_record` /
+:func:`validate_timeline_record` are the authoritative schema checks,
+shared by the test suite.
 """
 
 from __future__ import annotations
@@ -116,5 +128,96 @@ def read_jsonl(lines: Iterable[str]) -> List[Dict]:
             continue
         record = json.loads(line)
         validate_record(record)
+        records.append(record)
+    return records
+
+
+# -- per-epoch timeline flavor ---------------------------------------------
+
+
+def timeline_records(rows: Iterable[Dict], source: str = "",
+                     timestamp: Optional[float] = None) -> List[Dict]:
+    """Build timeline records from per-epoch rows.
+
+    Each row must carry ``epoch`` (int), ``t`` (simulated seconds),
+    and ``metrics`` (name → number); metric values are cleaned to
+    strict JSON (NaN/inf → null).
+    """
+    records: List[Dict] = [{
+        "type": "timeline-meta",
+        "schema": SCHEMA_VERSION,
+        "ts": time.time() if timestamp is None else timestamp,
+        "source": source,
+    }]
+    for row in rows:
+        metrics = {
+            name: (_clean(float(value)) if value is not None else None)
+            for name, value in sorted(row["metrics"].items())
+        }
+        records.append({"type": "epoch",
+                        "epoch": int(row["epoch"]),
+                        "t": float(row["t"]),
+                        "metrics": metrics})
+    return records
+
+
+def write_timeline_jsonl(rows: Iterable[Dict],
+                         out: Union[str, TextIO], source: str = "",
+                         timestamp: Optional[float] = None) -> int:
+    """Write per-epoch rows as timeline JSONL to a path or stream;
+    returns the number of records written (epochs + the meta line)."""
+    records = timeline_records(rows, source=source,
+                               timestamp=timestamp)
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            return len(records)
+    for record in records:
+        out.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def validate_timeline_record(record: Dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the timeline
+    schema."""
+    kind = record.get("type")
+    if kind == "timeline-meta":
+        if record.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"bad schema version: {record!r}")
+        if not isinstance(record.get("ts"), (int, float)):
+            raise ValueError(f"meta record missing ts: {record!r}")
+        if not isinstance(record.get("source"), str):
+            raise ValueError(f"meta record missing source: {record!r}")
+        return
+    if kind == "epoch":
+        if not isinstance(record.get("epoch"), int):
+            raise ValueError(f"epoch record missing epoch: {record!r}")
+        if not isinstance(record.get("t"), (int, float)):
+            raise ValueError(f"epoch record missing t: {record!r}")
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError(
+                f"epoch record missing metrics: {record!r}")
+        for name, value in metrics.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"bad metric name: {record!r}")
+            if value is not None and \
+                    not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"non-numeric metric {name!r}: {record!r}")
+        return
+    raise ValueError(f"unknown timeline record type: {record!r}")
+
+
+def read_timeline_jsonl(lines: Iterable[str]) -> List[Dict]:
+    """Parse and validate timeline JSONL lines."""
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        validate_timeline_record(record)
         records.append(record)
     return records

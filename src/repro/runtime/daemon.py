@@ -1,0 +1,165 @@
+"""The long-running controller process (Figure 6, run over sim time).
+
+:class:`ControllerDaemon` wraps :class:`~repro.core.controller.NIDSController`
+with the operational policy the paper describes — "the optimization
+[...] will be run periodically (e.g., every few minutes), or triggered
+by routing and traffic changes" — and hands every refresh to a
+:class:`~repro.runtime.rollout.RolloutDriver` for coverage-safe
+distribution:
+
+- **bootstrap** — the very first cycle (no configs exist yet);
+- **periodic** — ``refresh_period`` simulated seconds elapsed;
+- **drift** — :meth:`NIDSController.needs_refresh` fired on the
+  traffic feed;
+- **structural** — the topology changed under it (node/link faults):
+  the warm incremental LP is useless because the variable universe
+  changed, so the daemon rebuilds a fresh controller on the surviving
+  state and pushes configs directly (there is no meaningful overlap
+  across different node sets).
+
+Within one topology epoch the controller's compiled LP stays warm, so
+periodic and drift refreshes ride the incremental ``resolve()`` path
+added in the formulation layer — the daemon measures and reports the
+wall-clock solve latency either way (``runtime.solve.seconds``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.controller import NIDSController, Rollout
+from repro.core.inputs import NetworkState
+from repro.core.mirrors import MirrorPolicy
+from repro.obs import get_registry
+from repro.runtime.agents import NodeAgent
+from repro.runtime.events import EventLoop
+from repro.runtime.rollout import RolloutDriver, RolloutSession
+from repro.traffic.classes import TrafficClass
+
+
+@dataclass
+class RefreshRecord:
+    """One completed daemon cycle (solve + rollout kickoff)."""
+
+    reason: str                     # bootstrap|periodic|drift|structural
+    time: float                     # sim time of the decision
+    rollout: Rollout
+    session: RolloutSession
+    solve_wall_seconds: float       # wall clock; NOT part of any
+                                    # reproducibility fingerprint
+
+
+class ControllerDaemon:
+    """Closed-loop refresh policy over a rollout driver.
+
+    Args:
+        state: the initial network state.
+        driver: distributes each refresh's configs to the agents.
+        mirror_policy / max_link_load / drift_threshold: forwarded to
+            the wrapped :class:`NIDSController`.
+        refresh_period: simulated seconds between unconditional
+            re-optimizations; ``None`` disables the periodic trigger
+            (drift/structural triggers still fire).
+    """
+
+    def __init__(self, state: NetworkState, driver: RolloutDriver,
+                 mirror_policy: Optional[MirrorPolicy] = None,
+                 max_link_load: float = 0.4,
+                 drift_threshold: float = 0.2,
+                 refresh_period: Optional[float] = None):
+        if refresh_period is not None and refresh_period <= 0:
+            raise ValueError("refresh_period must be positive")
+        self.driver = driver
+        self.mirror_policy = mirror_policy
+        self.max_link_load = max_link_load
+        self.drift_threshold = drift_threshold
+        self.refresh_period = refresh_period
+        self.controller = self._make_controller(state)
+        self.last_refresh_time: Optional[float] = None
+        self.refresh_records: list[RefreshRecord] = []
+
+    def _make_controller(self, state: NetworkState) -> NIDSController:
+        return NIDSController(
+            state, mirror_policy=self.mirror_policy,
+            max_link_load=self.max_link_load,
+            drift_threshold=self.drift_threshold)
+
+    # -- triggers ----------------------------------------------------------
+
+    def refresh_reason(self, now: float,
+                       classes: Sequence[TrafficClass]
+                       ) -> Optional[str]:
+        """Why a refresh should run right now, or ``None``.
+
+        Precedence: bootstrap (nothing deployed yet), then the
+        periodic timer, then the traffic-drift trigger.
+        """
+        if self.controller.current_configs is None:
+            # Let the controller count its own bootstrap trigger.
+            self.controller.needs_refresh(classes)
+            return "bootstrap"
+        if (self.refresh_period is not None and
+                self.last_refresh_time is not None and
+                now - self.last_refresh_time >=
+                self.refresh_period - 1e-9):
+            return "periodic"
+        if self.controller.needs_refresh(classes):
+            return "drift"
+        return None
+
+    # -- the cycle ---------------------------------------------------------
+
+    def replace_state(self, state: NetworkState) -> None:
+        """Structural change: rebuild the optimizer on a new topology.
+
+        The warm compiled LP is tied to the old variable universe
+        (per-node fractions for nodes that may no longer exist), so a
+        fresh controller is the honest restart. Previous configs are
+        abandoned — the next :meth:`step` pushes a direct rollout.
+        """
+        self.controller = self._make_controller(state)
+        get_registry().inc("runtime.structural_rebuilds")
+
+    def step(self, loop: EventLoop, agents: Dict[str, NodeAgent],
+             classes: Sequence[TrafficClass],
+             reason: Optional[str] = None
+             ) -> Optional[RefreshRecord]:
+        """Run one daemon cycle at the loop's current instant.
+
+        Args:
+            loop: the event loop (rollout messages schedule into it).
+            agents: the nodes to distribute configs to.
+            classes: the epoch's observed traffic feed.
+            reason: force a refresh with this label (the scenario
+                passes ``"structural"`` after :meth:`replace_state`);
+                ``None`` consults :meth:`refresh_reason`.
+
+        Returns:
+            The :class:`RefreshRecord`, or ``None`` when no trigger
+            fired.
+        """
+        if reason is None:
+            reason = self.refresh_reason(loop.now, classes)
+        if reason is None:
+            return None
+        metrics = get_registry()
+        start = time.perf_counter()
+        if reason == "structural":
+            # The fresh controller already carries the new traffic.
+            rollout = self.controller.refresh()
+        else:
+            rollout = self.controller.refresh(classes)
+        solve_wall = time.perf_counter() - start
+        metrics.observe("runtime.solve.seconds", solve_wall)
+        metrics.inc(f"runtime.refresh.{reason}")
+
+        session = self.driver.start(loop, agents, rollout.configs,
+                                    rollout.transition)
+        self.last_refresh_time = loop.now
+        record = RefreshRecord(reason=reason, time=loop.now,
+                               rollout=rollout, session=session,
+                               solve_wall_seconds=solve_wall)
+        self.refresh_records.append(record)
+        return record

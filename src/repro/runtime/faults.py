@@ -1,0 +1,232 @@
+"""Fault injection for scenario runs.
+
+The paper motivates the whole controller loop with exactly these
+events — routing changes, traffic shifts, appliance overload/failure
+(Section 9). This module turns them into a declarative, seeded
+schedule the runtime replays:
+
+- ``NODE_DOWN`` / ``NODE_UP`` — an appliance dies (its classes are
+  rerouted or dropped via :func:`repro.core.failures.fail_node`) and
+  later recovers clean.
+- ``DC_OUTAGE`` — the datacenter node dies: every mirror target
+  vanishes at once, the worst case for replication architectures.
+- ``LINK_CUT`` — a link is removed and its classes rerouted
+  (:func:`repro.core.failures.fail_link`).
+- ``TRAFFIC_SURGE`` — a flash crowd: classes matching a name prefix
+  are scaled by a factor for a bounded number of epochs (the
+  operational counterpart of the Section 9 slack discussion in
+  :mod:`repro.core.robustness`).
+
+:class:`NetworkFaultState` folds the currently active faults over a
+baseline :class:`~repro.core.inputs.NetworkState`; the daemon detects
+*structural* changes (node/link set changed) through
+:meth:`NetworkFaultState.structural_signature` and rebuilds its
+optimizer accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.failures import FailureImpact, fail_link, fail_node
+from repro.core.inputs import NetworkState
+from repro.topology.topology import canonical_link
+from repro.traffic.classes import TrafficClass
+
+
+class FaultKind(enum.Enum):
+    """Supported injected events."""
+
+    NODE_DOWN = "node-down"
+    NODE_UP = "node-up"
+    DC_OUTAGE = "dc-outage"
+    LINK_CUT = "link-cut"
+    TRAFFIC_SURGE = "traffic-surge"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Args:
+        epoch: epoch index at whose start the fault fires.
+        kind: what happens.
+        target: node name (``NODE_DOWN``/``NODE_UP``), ``"A|B"`` link
+            spec (``LINK_CUT``), or a class-name prefix — ``"*"`` for
+            all classes — (``TRAFFIC_SURGE``). ``DC_OUTAGE`` needs no
+            target.
+        factor: surge multiplier (> 0).
+        duration_epochs: surge lifetime; 0 means until the run ends.
+    """
+
+    epoch: int
+    kind: FaultKind
+    target: Optional[str] = None
+    factor: float = 1.0
+    duration_epochs: int = 0
+
+    def __post_init__(self):
+        if self.epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        if self.kind is FaultKind.TRAFFIC_SURGE and self.factor <= 0:
+            raise ValueError("surge factor must be positive")
+        if self.kind in (FaultKind.NODE_DOWN, FaultKind.NODE_UP,
+                         FaultKind.LINK_CUT) and not self.target:
+            raise ValueError(f"{self.kind.value} needs a target")
+
+    def describe(self) -> str:
+        if self.kind is FaultKind.TRAFFIC_SURGE:
+            scope = self.target or "*"
+            life = (f" for {self.duration_epochs} epochs"
+                    if self.duration_epochs else "")
+            return f"surge x{self.factor:g} on {scope!r}{life}"
+        if self.kind is FaultKind.DC_OUTAGE:
+            return "datacenter outage"
+        return f"{self.kind.value} {self.target}"
+
+
+class FaultSchedule:
+    """An ordered list of fault events, indexed by epoch."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self.events = sorted(events, key=lambda e: e.epoch)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def at_epoch(self, epoch: int) -> List[FaultEvent]:
+        """Events firing at the start of ``epoch`` (stable order)."""
+        return [e for e in self.events if e.epoch == epoch]
+
+    def last_epoch(self) -> int:
+        return self.events[-1].epoch if self.events else 0
+
+
+@dataclass
+class _Surge:
+    target: str
+    factor: float
+    until_epoch: Optional[int]  # exclusive; None = forever
+
+
+@dataclass
+class NetworkFaultState:
+    """The cumulative effect of fired faults, foldable over a baseline."""
+
+    dead_nodes: List[str] = field(default_factory=list)
+    cut_links: List[Tuple[str, str]] = field(default_factory=list)
+    surges: List[_Surge] = field(default_factory=list)
+
+    def apply(self, fault: FaultEvent,
+              baseline: NetworkState) -> None:
+        """Fold one fired fault into the state."""
+        if fault.kind is FaultKind.NODE_DOWN:
+            if fault.target not in self.dead_nodes:
+                self.dead_nodes.append(fault.target)
+        elif fault.kind is FaultKind.DC_OUTAGE:
+            dc = baseline.dc_node
+            if dc is None:
+                raise ValueError(
+                    "DC_OUTAGE on a state with no datacenter")
+            if dc not in self.dead_nodes:
+                self.dead_nodes.append(dc)
+        elif fault.kind is FaultKind.NODE_UP:
+            if fault.target in self.dead_nodes:
+                self.dead_nodes.remove(fault.target)
+        elif fault.kind is FaultKind.LINK_CUT:
+            a, _, b = fault.target.partition("|")
+            link = canonical_link(a, b)
+            if link not in self.cut_links:
+                self.cut_links.append(link)
+        elif fault.kind is FaultKind.TRAFFIC_SURGE:
+            until = (fault.epoch + fault.duration_epochs
+                     if fault.duration_epochs else None)
+            self.surges.append(_Surge(fault.target or "*",
+                                      fault.factor, until))
+        else:
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+    def expire(self, epoch: int) -> None:
+        """Drop surges whose lifetime ended before ``epoch``."""
+        self.surges = [s for s in self.surges
+                       if s.until_epoch is None or
+                       epoch < s.until_epoch]
+
+    def structural_signature(self
+                             ) -> Tuple[FrozenSet[str],
+                                        FrozenSet[Tuple[str, str]]]:
+        """Changes iff the surviving node/link set changes — the
+        daemon's trigger for a full optimizer rebuild."""
+        return frozenset(self.dead_nodes), frozenset(self.cut_links)
+
+    # -- folding over a baseline ------------------------------------------
+
+    def surge_factor(self, class_name: str) -> float:
+        factor = 1.0
+        for surge in self.surges:
+            if surge.target == "*" or \
+                    class_name.startswith(surge.target):
+                factor *= surge.factor
+        return factor
+
+    def scale_classes(self, classes: Sequence[TrafficClass]
+                      ) -> List[TrafficClass]:
+        """Apply active surge multipliers to a class list."""
+        if not self.surges:
+            return list(classes)
+        return [cls.scaled(self.surge_factor(cls.name))
+                for cls in classes]
+
+    def materialize(self, state: NetworkState
+                    ) -> Tuple[NetworkState, List[FailureImpact]]:
+        """Fold dead nodes and cut links over ``state``.
+
+        ``state`` should already carry the epoch's traffic (drift and
+        surge applied), so the dropped/rerouted class accounting in the
+        returned impacts reflects current volumes.
+
+        Raises:
+            ValueError: when a failure disconnects a class — the
+                scenario is infeasible and should be redesigned.
+        """
+        impacts: List[FailureImpact] = []
+        for node in sorted(self.dead_nodes):
+            if node not in state.topology.nodes:
+                continue
+            state, impact = fail_node(state, node)
+            impacts.append(impact)
+        for link in sorted(self.cut_links):
+            if link not in state.topology.links:
+                continue
+            state, impact = fail_link(state, *link)
+            impacts.append(impact)
+        return state, impacts
+
+
+# -- canned schedule builders ----------------------------------------------
+
+
+def cascading_failure_schedule(nodes: Sequence[str],
+                               start_epoch: int = 2,
+                               spacing: int = 2,
+                               recover_epoch: Optional[int] = None
+                               ) -> FaultSchedule:
+    """Nodes dying one after another, optionally all recovering later."""
+    events = [FaultEvent(start_epoch + i * spacing,
+                         FaultKind.NODE_DOWN, node)
+              for i, node in enumerate(nodes)]
+    if recover_epoch is not None:
+        events.extend(FaultEvent(recover_epoch, FaultKind.NODE_UP,
+                                 node) for node in nodes)
+    return FaultSchedule(events)
+
+
+def flash_crowd_schedule(prefix: str, factor: float,
+                         start_epoch: int,
+                         duration_epochs: int) -> FaultSchedule:
+    """A bounded traffic surge on classes matching ``prefix``."""
+    return FaultSchedule([FaultEvent(
+        start_epoch, FaultKind.TRAFFIC_SURGE, prefix,
+        factor=factor, duration_epochs=duration_epochs)])

@@ -1,0 +1,427 @@
+"""Config distribution: lossy delayed channel + staged rollouts.
+
+Pushing a new assignment to every shim is not atomic (Section 9). This
+module models the push: a :class:`ConfigChannel` with per-message
+propagation delay, jitter-induced reordering, loss, and
+timeout-retransmission; and a :class:`RolloutDriver` that moves a
+controller refresh through one of three strategies:
+
+- ``overlap`` — the paper's preferred transition: ship
+  ``OVERLAP_INSTALL`` (node runs old+new union), and once every node
+  acknowledged, ship ``RETIRE``. Coverage never drops; duplicated work
+  during the transient is measured, not assumed.
+- ``two-phase`` — classic 2PC (``PREPARE``/``COMMIT``): no duplicated
+  work, but per-node commit instants differ, so hash ranges that moved
+  between nodes are transiently unowned — the coverage gap the paper
+  warns about, made observable.
+- ``direct`` — fire-and-forget ``INSTALL``, used for bootstrap and
+  structural (node-set-changing) rollouts where there is no old
+  configuration worth honoring.
+
+:func:`coverage_report` is the accounting half: given the *actually
+installed* per-node configs at any instant, it computes each class's
+covered fraction of hash space and the duplicated-work fraction, both
+traffic-weighted — the quantities the scenario timeline records during
+transient windows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.transitions import OverlapTransition, TransitionPhase
+from repro.obs import get_registry
+from repro.runtime.agents import (
+    Ack,
+    ConfigMessage,
+    MessageKind,
+    NodeAgent,
+)
+from repro.runtime.events import EventLoop
+from repro.shim.config import ShimConfig
+from repro.traffic.classes import TrafficClass
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Propagation model for the controller-to-shim channel.
+
+    Args:
+        base_delay: minimum one-way latency in simulated seconds.
+        jitter: extra uniform latency in ``[0, jitter)`` — unequal
+            draws reorder messages sent back-to-back.
+        loss: per-message drop probability (forward path; acks ride a
+            reliable path, retransmission covers lost installs).
+        retransmit_timeout: how long the sender waits for an ack
+            before re-sending.
+        max_retries: retransmissions per message before giving up
+            (a node dead longer than ``max_retries * timeout`` misses
+            the rollout; the next refresh will cover it).
+    """
+
+    base_delay: float = 1.0
+    jitter: float = 0.0
+    loss: float = 0.0
+    retransmit_timeout: float = 10.0
+    max_retries: int = 50
+
+    def __post_init__(self):
+        if self.base_delay < 0 or self.jitter < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
+
+
+class ConfigChannel:
+    """Seeded message transport between controller and agents.
+
+    All randomness (latency draws, loss coin-flips) comes from one
+    ``numpy`` generator consumed in event order, so a scenario replay
+    with the same seed produces the identical delivery schedule.
+    """
+
+    def __init__(self, spec: ChannelSpec, seed: int = 0):
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self.sent = 0
+        self.lost = 0
+        self.retransmits = 0
+
+    def _latency(self) -> float:
+        if self.spec.jitter <= 0:
+            return self.spec.base_delay
+        return self.spec.base_delay + float(
+            self._rng.uniform(0.0, self.spec.jitter))
+
+    def send(self, loop: EventLoop, agent: NodeAgent,
+             message: ConfigMessage,
+             on_ack: Callable[[Ack], None],
+             _attempt: int = 0) -> None:
+        """Ship one message; ``on_ack`` fires when the ack returns.
+
+        Lost messages and deliveries to dead nodes are retransmitted
+        after the timeout, up to ``max_retries`` attempts.
+        """
+        self.sent += 1
+        if _attempt > 0:
+            self.retransmits += 1
+            get_registry().inc("runtime.channel.retransmits")
+
+        dropped = (self.spec.loss > 0 and
+                   float(self._rng.random()) < self.spec.loss)
+        latency = self._latency()
+
+        def _retry() -> None:
+            if _attempt < self.spec.max_retries:
+                self.send(loop, agent, message, on_ack,
+                          _attempt=_attempt + 1)
+
+        if dropped:
+            self.lost += 1
+            get_registry().inc("runtime.channel.lost")
+            loop.schedule_in(self.spec.retransmit_timeout, _retry)
+            return
+
+        def _deliver() -> None:
+            ack = agent.deliver(message, loop.now)
+            if ack is None:  # dead node: wait and re-send
+                loop.schedule_in(self.spec.retransmit_timeout, _retry)
+                return
+            ack_latency = self._latency()
+            loop.schedule_in(ack_latency, lambda: on_ack(ack))
+
+        loop.schedule_in(latency, _deliver)
+
+
+class RolloutOutcome(enum.Enum):
+    IN_FLIGHT = "in-flight"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class RolloutSession:
+    """Progress record of one rollout through the channel."""
+
+    version: int
+    strategy: str
+    started_at: float
+    completed_at: Optional[float] = None
+    retired_at: Optional[float] = None
+    outcome: RolloutOutcome = RolloutOutcome.IN_FLIGHT
+    acked_nodes: Set[str] = field(default_factory=set)
+    refused_nodes: Set[str] = field(default_factory=set)
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Simulated seconds from start to completion."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class RolloutDriver:
+    """Runs rollouts over a channel, one strategy per driver."""
+
+    STRATEGIES = ("overlap", "two-phase", "direct")
+
+    def __init__(self, channel: ConfigChannel,
+                 strategy: str = "overlap"):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"choose from {self.STRATEGIES}")
+        self.channel = channel
+        self.strategy = strategy
+        self._version = 0
+
+    def start(self, loop: EventLoop, agents: Dict[str, NodeAgent],
+              configs: Dict[str, ShimConfig],
+              transition: Optional[OverlapTransition] = None,
+              on_complete: Optional[Callable[[RolloutSession],
+                                             None]] = None
+              ) -> RolloutSession:
+        """Begin distributing ``configs`` to ``agents``.
+
+        ``transition`` (from :meth:`NIDSController.refresh`) selects
+        the overlap protocol when the driver's strategy is ``overlap``
+        and there is an old configuration; bootstrap/structural pushes
+        (``transition is None``) always go direct.
+        """
+        self._version += 1
+        strategy = self.strategy
+        if transition is None and strategy == "overlap":
+            strategy = "direct"
+        session = RolloutSession(version=self._version,
+                                 strategy=strategy,
+                                 started_at=loop.now)
+        targets = sorted(set(configs) & set(agents))
+
+        def _finish(outcome: RolloutOutcome) -> None:
+            session.outcome = outcome
+            session.completed_at = loop.now
+            metrics = get_registry()
+            metrics.observe("runtime.rollout.seconds",
+                            session.completed_at - session.started_at)
+            metrics.inc("runtime.rollouts")
+            if on_complete is not None:
+                on_complete(session)
+
+        if strategy == "direct":
+            self._run_direct(loop, agents, configs, targets, session,
+                             _finish)
+        elif strategy == "overlap":
+            assert transition is not None
+            self._run_overlap(loop, agents, configs, targets, session,
+                              transition, _finish)
+        else:
+            self._run_two_phase(loop, agents, configs, targets,
+                                session, _finish)
+        return session
+
+    # -- strategies -------------------------------------------------------
+
+    def _run_direct(self, loop, agents, configs, targets, session,
+                    finish) -> None:
+        pending = set(targets)
+
+        def on_ack(ack: Ack) -> None:
+            if not ack.ok:
+                session.refused_nodes.add(ack.node)
+            session.acked_nodes.add(ack.node)
+            pending.discard(ack.node)
+            if not pending and session.completed_at is None:
+                finish(RolloutOutcome.COMPLETED)
+
+        for node in targets:
+            self.channel.send(loop, agents[node], ConfigMessage(
+                MessageKind.INSTALL, session.version, node,
+                configs[node]), on_ack)
+        if not targets:
+            finish(RolloutOutcome.COMPLETED)
+
+    def _run_overlap(self, loop, agents, configs, targets, session,
+                     transition, finish) -> None:
+        if transition.phase is TransitionPhase.IDLE:
+            transition.begin()
+
+        def on_retire_ack(ack: Ack) -> None:
+            session.acked_nodes.discard(ack.node)
+            if not session.acked_nodes and session.retired_at is None:
+                session.retired_at = loop.now
+
+        def on_ack(ack: Ack) -> None:
+            if not ack.ok:
+                session.refused_nodes.add(ack.node)
+                return  # refused installs keep the transition open
+            if ack.node in session.acked_nodes:
+                return
+            session.acked_nodes.add(ack.node)
+            if ack.node in transition.pending_nodes:
+                transition.acknowledge(ack.node)
+            if transition.phase is TransitionPhase.COMPLETE and \
+                    session.completed_at is None:
+                finish(RolloutOutcome.COMPLETED)
+                # Every node confirmed the new config; old rules can
+                # now be dropped everywhere.
+                for node in sorted(session.acked_nodes):
+                    self.channel.send(loop, agents[node], ConfigMessage(
+                        MessageKind.RETIRE, session.version, node),
+                        on_retire_ack)
+
+        for node in targets:
+            self.channel.send(loop, agents[node], ConfigMessage(
+                MessageKind.OVERLAP_INSTALL, session.version, node,
+                configs[node]), on_ack)
+
+    def _run_two_phase(self, loop, agents, configs, targets, session,
+                       finish) -> None:
+        votes: Dict[str, bool] = {}
+        committed: Set[str] = set()
+
+        def on_commit_ack(ack: Ack) -> None:
+            committed.add(ack.node)
+            session.acked_nodes.add(ack.node)
+            if len(committed) == len(targets) and \
+                    session.completed_at is None:
+                finish(RolloutOutcome.COMPLETED)
+
+        def on_abort_ack(ack: Ack) -> None:
+            return None
+
+        def on_vote(ack: Ack) -> None:
+            if ack.node in votes:
+                return
+            votes[ack.node] = ack.ok
+            if not ack.ok:
+                session.refused_nodes.add(ack.node)
+            if len(votes) < len(targets):
+                return
+            if all(votes.values()):
+                for node in targets:
+                    self.channel.send(loop, agents[node],
+                                      ConfigMessage(MessageKind.COMMIT,
+                                                    session.version,
+                                                    node),
+                                      on_commit_ack)
+            else:
+                for node in targets:
+                    self.channel.send(loop, agents[node],
+                                      ConfigMessage(MessageKind.ABORT,
+                                                    session.version,
+                                                    node),
+                                      on_abort_ack)
+                finish(RolloutOutcome.ABORTED)
+
+        for node in targets:
+            self.channel.send(loop, agents[node], ConfigMessage(
+                MessageKind.PREPARE, session.version, node,
+                configs[node]), on_vote)
+        if not targets:
+            finish(RolloutOutcome.COMPLETED)
+
+
+# -- coverage accounting ---------------------------------------------------
+
+
+@dataclass
+class CoverageReport:
+    """Hash-space ownership at one instant, per class and aggregate.
+
+    ``coverage`` is the traffic-weighted fraction of (class, hash)
+    space owned by at least one on-path rule; ``duplication`` the
+    traffic-weighted fraction owned more than once (extra work beyond
+    single ownership, e.g. during an overlap transient).
+    """
+
+    class_coverage: Dict[str, float]
+    class_duplication: Dict[str, float]
+    coverage: float
+    duplication: float
+
+    @property
+    def gap(self) -> float:
+        """1 - coverage: the transiently unprotected traffic share."""
+        return 1.0 - self.coverage
+
+
+def _class_intervals(cls: TrafficClass,
+                     node_configs: Dict[str, Optional[ShimConfig]]
+                     ) -> List[Tuple[float, float]]:
+    """Hash intervals owned for one class by its on-path nodes.
+
+    Only nodes that actually observe the class's packets count
+    (forward or reverse path); a mirror's PROCESS rule over a
+    replicated range is backed by the on-path REPLICATE rule that
+    feeds it, which is already included.
+    """
+    observers = set(cls.path) | set(cls.rev_nodes)
+    intervals: List[Tuple[float, float]] = []
+    for node in observers:
+        config = node_configs.get(node)
+        if config is None:
+            continue
+        for rule in config.rules_for(cls.name):
+            if rule.hash_range.width > 0:
+                intervals.append((rule.hash_range.start,
+                                  rule.hash_range.end))
+    return intervals
+
+
+def _union_length(intervals: Sequence[Tuple[float, float]]) -> float:
+    if not intervals:
+        return 0.0
+    ordered = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = ordered[0]
+    for start, end in ordered[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    total += cur_end - cur_start
+    return min(total, 1.0)
+
+
+def coverage_report(classes: Sequence[TrafficClass],
+                    node_configs: Dict[str, Optional[ShimConfig]]
+                    ) -> CoverageReport:
+    """Measure ownership of the hash space under installed configs.
+
+    Args:
+        classes: current traffic classes (weights = session counts).
+        node_configs: what each node is *actually* running right now
+            (``NodeAgent.effective_config()``; ``None`` = dead node).
+    """
+    class_cov: Dict[str, float] = {}
+    class_dup: Dict[str, float] = {}
+    weighted_cov = 0.0
+    weighted_dup = 0.0
+    total_weight = 0.0
+    for cls in classes:
+        intervals = _class_intervals(cls, node_configs)
+        union = _union_length(intervals)
+        total = sum(end - start for start, end in intervals)
+        duplication = max(0.0, total - union)
+        class_cov[cls.name] = union
+        class_dup[cls.name] = duplication
+        weight = cls.num_sessions
+        weighted_cov += weight * union
+        weighted_dup += weight * duplication
+        total_weight += weight
+    if total_weight > 0:
+        coverage = weighted_cov / total_weight
+        duplication = weighted_dup / total_weight
+    else:
+        coverage, duplication = 1.0, 0.0
+    return CoverageReport(class_coverage=class_cov,
+                          class_duplication=class_dup,
+                          coverage=coverage,
+                          duplication=duplication)

@@ -137,3 +137,59 @@ class TestStats:
                      "--jsonl", "/nonexistent-dir/x.jsonl"]) == 1
         err = capsys.readouterr().err
         assert "cannot write" in err
+
+
+class TestScenario:
+    def test_flash_crowd_prints_timeline(self, capsys):
+        assert main(["scenario", "flash-crowd", "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'flash-crowd'" in out
+        assert "bootstrap" in out
+        assert "surge" in out
+        assert "fingerprint:" in out
+
+    def test_report_json_and_timeline_written(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import read_timeline_jsonl
+
+        json_path = tmp_path / "report.json"
+        timeline_path = tmp_path / "timeline.jsonl"
+        assert main(["scenario", "steady-drift", "--epochs", "3",
+                     "--seed", "5", "--json", str(json_path),
+                     "--timeline", str(timeline_path)]) == 0
+        report = json.loads(json_path.read_text())
+        assert report["schema"] == 1
+        assert len(report["epochs"]) == 3
+        assert report["scenario"]["seed"] == 5
+        records = read_timeline_jsonl(
+            timeline_path.read_text().splitlines())
+        assert records[0]["type"] == "timeline-meta"
+        assert records[0]["source"] == "scenario:steady-drift"
+        assert [r["epoch"] for r in records[1:]] == [0, 1, 2]
+
+    def test_seed_override_changes_fingerprint(self, capsys):
+        assert main(["scenario", "steady-drift", "--epochs", "2",
+                     "--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["scenario", "steady-drift", "--epochs", "2",
+                     "--seed", "2"]) == 0
+        second = capsys.readouterr().out
+
+        def fingerprint(out):
+            for line in out.splitlines():
+                if "fingerprint:" in line:
+                    return line.split("fingerprint:")[1].strip()
+            raise AssertionError("no fingerprint printed")
+
+        assert fingerprint(first) != fingerprint(second)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "meteor-strike"])
+
+    def test_unwritable_json_is_clean_error(self, capsys):
+        assert main(["scenario", "steady-drift", "--epochs", "2",
+                     "--json", "/nonexistent-dir/x.json"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot write" in err

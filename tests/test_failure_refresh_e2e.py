@@ -1,0 +1,92 @@
+"""End-to-end: node failure -> controller refresh on a real topology.
+
+Runs the full operational loop on tinet (41 PoPs, ~1600 classes): a
+calibrated DC deployment is solved, a busy PoP dies, the state is
+rebuilt via :func:`repro.core.failures.fail_node`, and a fresh
+controller re-solves. The re-solved configs must cover every surviving
+class — including every rerouted one — and the reported
+``FailureImpact.lost_fraction`` must equal the session mass of the
+classes that terminated at the dead PoP.
+"""
+
+import pytest
+
+from repro.core import MirrorPolicy
+from repro.core.controller import NIDSController
+from repro.core.failures import fail_node
+from repro.experiments.common import setup_topology
+from repro.runtime.rollout import coverage_report
+
+
+@pytest.fixture(scope="module")
+def tinet_state():
+    return setup_topology("tinet", dc_capacity_factor=10.0).state
+
+
+def _pick_victim(state):
+    """The busiest-transit PoP whose death keeps every surviving class
+    routable and the datacenter reachable."""
+    by_transit = sorted(
+        (n for n in state.topology.nodes if n != state.dc_node),
+        key=lambda node: -sum(cls.num_sessions
+                              for cls in state.classes
+                              if node in cls.path and
+                              node not in (cls.source, cls.target)))
+    for node in by_transit:
+        try:
+            new_state, impact = fail_node(state, node)
+        except ValueError:
+            continue
+        try:
+            for survivor in new_state.topology.nodes:
+                new_state.routing.path(survivor, new_state.dc_node)
+        except KeyError:
+            continue
+        if impact.rerouted_classes and impact.dropped_classes:
+            return node, new_state, impact
+    raise AssertionError("no suitable victim on tinet")
+
+
+def test_failure_then_refresh_keeps_rerouted_classes_covered(
+        tinet_state):
+    controller = NIDSController(
+        tinet_state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4)
+    first = controller.refresh()
+    assert coverage_report(
+        tinet_state.classes, dict(first.configs)).coverage == \
+        pytest.approx(1.0)
+
+    victim, new_state, impact = _pick_victim(tinet_state)
+
+    # lost_fraction is exactly the dropped classes' session mass.
+    dropped_mass = sum(cls.num_sessions for cls in tinet_state.classes
+                       if victim in (cls.source, cls.target))
+    total_mass = sum(cls.num_sessions for cls in tinet_state.classes)
+    assert impact.lost_fraction == pytest.approx(
+        dropped_mass / total_mass)
+    assert sorted(impact.dropped_classes) == sorted(
+        cls.name for cls in tinet_state.classes
+        if victim in (cls.source, cls.target))
+
+    # The rebuilt state re-solves...
+    rebuilt = NIDSController(
+        new_state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4)
+    rollout = rebuilt.refresh()
+    assert rebuilt.current_result is not None
+    assert rebuilt.current_result.load_cost > 0
+
+    # ...and every surviving class, rerouted ones included, is fully
+    # covered by the new configs.
+    report = coverage_report(new_state.classes, dict(rollout.configs))
+    assert report.coverage == pytest.approx(1.0)
+    rerouted = set(impact.rerouted_classes)
+    assert rerouted
+    for name in rerouted:
+        assert report.class_coverage[name] == pytest.approx(1.0), name
+
+    # Rerouted paths avoid the dead node.
+    by_name = {cls.name: cls for cls in new_state.classes}
+    for name in rerouted:
+        assert victim not in by_name[name].path

@@ -214,3 +214,61 @@ class TestJsonlExport:
                     {"type": "mystery", "name": "x"}):
             with pytest.raises(ValueError):
                 validate_record(bad)
+
+
+class TestTimelineExport:
+    ROWS = [
+        {"epoch": 0, "t": 0.0,
+         "metrics": {"coverage": 1.0, "miss_rate": 0.0}},
+        {"epoch": 1, "t": 300.0,
+         "metrics": {"coverage": 0.9, "miss_rate": float("nan")}},
+    ]
+
+    def test_meta_record_first_with_source(self):
+        from repro.obs import timeline_records
+
+        records = timeline_records(self.ROWS, source="unit",
+                                   timestamp=7.0)
+        assert records[0] == {"type": "timeline-meta",
+                              "schema": SCHEMA_VERSION, "ts": 7.0,
+                              "source": "unit"}
+        assert [r["epoch"] for r in records[1:]] == [0, 1]
+
+    def test_round_trip_and_nan_cleaning(self):
+        import io as io_
+
+        from repro.obs import read_timeline_jsonl, write_timeline_jsonl
+
+        buffer = io_.StringIO()
+        count = write_timeline_jsonl(self.ROWS, buffer, source="unit")
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == count == 3
+        records = read_timeline_jsonl(lines)
+        assert records[2]["metrics"]["miss_rate"] is None  # NaN -> null
+        assert records[1]["metrics"]["coverage"] == 1.0
+        for line in lines:
+            assert json.loads(line)  # strict JSON, no bare NaN
+
+    def test_write_to_path(self, tmp_path):
+        from repro.obs import read_timeline_jsonl, write_timeline_jsonl
+
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(self.ROWS, str(path), source="unit")
+        records = read_timeline_jsonl(path.read_text().splitlines())
+        assert len(records) == 3
+
+    def test_validate_rejects_bad_timeline_records(self):
+        from repro.obs import validate_timeline_record
+
+        for bad in ({"type": "timeline-meta", "schema": 99, "ts": 1.0,
+                     "source": "x"},
+                    {"type": "timeline-meta", "schema": SCHEMA_VERSION,
+                     "ts": 1.0},
+                    {"type": "epoch", "t": 0.0, "metrics": {}},
+                    {"type": "epoch", "epoch": 0, "metrics": {}},
+                    {"type": "epoch", "epoch": 0, "t": 0.0},
+                    {"type": "epoch", "epoch": 0, "t": 0.0,
+                     "metrics": {"m": "high"}},
+                    {"type": "mystery"}):
+            with pytest.raises(ValueError):
+                validate_timeline_record(bad)

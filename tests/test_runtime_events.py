@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event core (clock, queue, loop)."""
+
+import pytest
+
+from repro.runtime.events import EventLoop, EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advances_forward(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_rejects_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(3.0)
+
+    def test_same_instant_ok(self):
+        clock = SimClock(4.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+
+class TestEventQueue:
+    def test_pop_order_is_time_then_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("late"))
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["first", "second", "late"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+        queue.pop().action()
+        assert fired == ["b"]
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestEventLoop:
+    def test_run_until_fires_in_order_and_advances_clock(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(3.0, lambda: seen.append(("a", loop.now)))
+        loop.schedule_at(1.0, lambda: seen.append(("b", loop.now)))
+        fired = loop.run_until(5.0)
+        assert fired == 2
+        assert seen == [("b", 1.0), ("a", 3.0)]
+        assert loop.now == 5.0
+
+    def test_run_until_leaves_future_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(10.0, lambda: seen.append("late"))
+        assert loop.run_until(5.0) == 0
+        assert seen == []
+        assert loop.queue.peek_time() == 10.0
+
+    def test_actions_can_schedule_actions(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain():
+            seen.append(loop.now)
+            if loop.now < 3.0:
+                loop.schedule_in(1.0, chain)
+
+        loop.schedule_at(1.0, chain)
+        loop.run_until(10.0)
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start=5.0)
+        with pytest.raises(ValueError):
+            loop.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_run_all_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(1.0, forever)
+
+        loop.schedule_in(1.0, forever)
+        with pytest.raises(RuntimeError):
+            loop.run_all(max_events=100)
+
+    def test_deterministic_replay(self):
+        """Two loops fed the same schedule fire identically."""
+
+        def run():
+            loop = EventLoop()
+            trace = []
+            for i in range(20):
+                t = (i * 7) % 5 + 0.5
+                loop.schedule_at(t, lambda i=i: trace.append(
+                    (loop.now, i)))
+            loop.run_until(10.0)
+            return trace
+
+        assert run() == run()

@@ -1,0 +1,152 @@
+"""Tests for the fault-injection schedule and cumulative fault state."""
+
+import pytest
+
+from repro.runtime.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    NetworkFaultState,
+    cascading_failure_schedule,
+    flash_crowd_schedule,
+)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1, FaultKind.NODE_DOWN, "A")
+        with pytest.raises(ValueError):
+            FaultEvent(0, FaultKind.NODE_DOWN)  # no target
+        with pytest.raises(ValueError):
+            FaultEvent(0, FaultKind.TRAFFIC_SURGE, "*", factor=0.0)
+
+    def test_describe(self):
+        assert "node-down A" in FaultEvent(
+            0, FaultKind.NODE_DOWN, "A").describe()
+        assert "surge" in FaultEvent(
+            0, FaultKind.TRAFFIC_SURGE, "A->", factor=2.0,
+            duration_epochs=3).describe()
+
+
+class TestFaultSchedule:
+    def test_at_epoch_and_ordering(self):
+        schedule = FaultSchedule([
+            FaultEvent(4, FaultKind.NODE_UP, "A"),
+            FaultEvent(1, FaultKind.NODE_DOWN, "A"),
+            FaultEvent(1, FaultKind.NODE_DOWN, "B"),
+        ])
+        assert len(schedule) == 3
+        assert [e.target for e in schedule.at_epoch(1)] == ["A", "B"]
+        assert schedule.at_epoch(2) == []
+        assert schedule.last_epoch() == 4
+
+    def test_builders(self):
+        cascade = cascading_failure_schedule(
+            ["A", "B"], start_epoch=2, spacing=3, recover_epoch=9)
+        downs = [e for e in cascade.events
+                 if e.kind is FaultKind.NODE_DOWN]
+        ups = [e for e in cascade.events if e.kind is FaultKind.NODE_UP]
+        assert [(e.epoch, e.target) for e in downs] == [(2, "A"),
+                                                        (5, "B")]
+        assert {e.epoch for e in ups} == {9}
+
+        crowd = flash_crowd_schedule("A->", 4.0, start_epoch=1,
+                                     duration_epochs=2)
+        (event,) = crowd.events
+        assert event.kind is FaultKind.TRAFFIC_SURGE
+        assert event.factor == 4.0
+
+
+class TestNetworkFaultState:
+    def test_node_down_then_up(self, line_state):
+        fault_state = NetworkFaultState()
+        fault_state.apply(FaultEvent(0, FaultKind.NODE_DOWN, "B"),
+                          line_state)
+        assert fault_state.dead_nodes == ["B"]
+        sig_down = fault_state.structural_signature()
+        fault_state.apply(FaultEvent(1, FaultKind.NODE_UP, "B"),
+                          line_state)
+        assert fault_state.dead_nodes == []
+        assert fault_state.structural_signature() != sig_down
+
+    def test_dc_outage_targets_the_dc(self, line_state_dc):
+        fault_state = NetworkFaultState()
+        fault_state.apply(FaultEvent(0, FaultKind.DC_OUTAGE),
+                          line_state_dc)
+        assert fault_state.dead_nodes == [line_state_dc.dc_node]
+
+    def test_dc_outage_without_dc_rejected(self, line_state):
+        with pytest.raises(ValueError):
+            NetworkFaultState().apply(
+                FaultEvent(0, FaultKind.DC_OUTAGE), line_state)
+
+    def test_surge_scales_matching_classes(self, line_state):
+        fault_state = NetworkFaultState()
+        fault_state.apply(FaultEvent(
+            0, FaultKind.TRAFFIC_SURGE, "A->", factor=3.0,
+            duration_epochs=2), line_state)
+        scaled = fault_state.scale_classes(line_state.classes)
+        by_name = {cls.name: cls for cls in scaled}
+        base = {cls.name: cls for cls in line_state.classes}
+        assert by_name["A->D"].num_sessions == pytest.approx(
+            3.0 * base["A->D"].num_sessions)
+        assert by_name["B->C"].num_sessions == pytest.approx(
+            base["B->C"].num_sessions)
+
+    def test_surge_expiry(self, line_state):
+        fault_state = NetworkFaultState()
+        fault_state.apply(FaultEvent(
+            1, FaultKind.TRAFFIC_SURGE, "*", factor=2.0,
+            duration_epochs=2), line_state)
+        fault_state.expire(2)  # still active (until epoch 3)
+        assert fault_state.surges
+        fault_state.expire(3)
+        assert not fault_state.surges
+
+    def test_materialize_folds_failures(self, diamond_topology):
+        from repro.core.inputs import NetworkState
+        from repro.topology.routing import shortest_path_routing
+        from repro.traffic.classes import TrafficClass
+
+        routing = shortest_path_routing(diamond_topology)
+        classes = [TrafficClass(
+            name="A->D", source="A", target="D",
+            path=routing.path("A", "D"),
+            num_sessions=100.0, session_bytes=1000.0)]
+        state = NetworkState.calibrated(diamond_topology, classes)
+
+        fault_state = NetworkFaultState()
+        transit = classes[0].path[1]  # the middle hop
+        fault_state.apply(FaultEvent(
+            0, FaultKind.NODE_DOWN, transit), state)
+        new_state, impacts = fault_state.materialize(state)
+        assert transit not in new_state.topology.nodes
+        (impact,) = impacts
+        assert impact.rerouted_classes == ["A->D"]
+        assert impact.lost_fraction == pytest.approx(0.0)
+        # The surviving class routes around the dead hop.
+        (survivor,) = new_state.classes
+        assert transit not in survivor.path
+
+    def test_materialize_link_cut(self, diamond_topology):
+        from repro.core.inputs import NetworkState
+        from repro.topology.routing import shortest_path_routing
+        from repro.traffic.classes import TrafficClass
+
+        routing = shortest_path_routing(diamond_topology)
+        classes = [TrafficClass(
+            name="A->D", source="A", target="D",
+            path=routing.path("A", "D"),
+            num_sessions=100.0, session_bytes=1000.0)]
+        state = NetworkState.calibrated(diamond_topology, classes)
+
+        path = classes[0].path
+        fault_state = NetworkFaultState()
+        fault_state.apply(FaultEvent(
+            0, FaultKind.LINK_CUT, f"{path[0]}|{path[1]}"), state)
+        new_state, impacts = fault_state.materialize(state)
+        (impact,) = impacts
+        assert impact.rerouted_classes == ["A->D"]
+        (survivor,) = new_state.classes
+        assert survivor.path != path

@@ -1,0 +1,307 @@
+"""Tests for node agents, the lossy config channel, and rollout
+strategies (overlap / two-phase / direct) with coverage accounting."""
+
+import pytest
+
+from repro.core import MirrorPolicy, ReplicationProblem
+from repro.runtime.agents import (
+    ConfigMessage,
+    MessageKind,
+    NodeAgent,
+    build_agents,
+)
+from repro.runtime.events import EventLoop
+from repro.runtime.rollout import (
+    ChannelSpec,
+    ConfigChannel,
+    RolloutDriver,
+    RolloutOutcome,
+    coverage_report,
+)
+from repro.shim import build_replication_configs
+from repro.shim.config import ShimConfig
+
+
+@pytest.fixture
+def two_configs(line_state_dc):
+    old = ReplicationProblem(
+        line_state_dc, mirror_policy=MirrorPolicy.none()).solve()
+    new = ReplicationProblem(
+        line_state_dc, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4).solve()
+    return (build_replication_configs(line_state_dc, old),
+            build_replication_configs(line_state_dc, new))
+
+
+@pytest.fixture
+def agents(line_state_dc):
+    return build_agents(line_state_dc.node_capacity)
+
+
+class TestNodeAgent:
+    def test_install_and_ack(self, two_configs, agents):
+        old, _ = two_configs
+        ack = agents["B"].deliver(ConfigMessage(
+            MessageKind.INSTALL, 1, "B", old["B"]), now=1.0)
+        assert ack.ok
+        assert agents["B"].effective_config() is old["B"]
+
+    def test_duplicate_delivery_idempotent(self, two_configs, agents):
+        old, _ = two_configs
+        msg = ConfigMessage(MessageKind.INSTALL, 1, "B", old["B"])
+        agents["B"].deliver(msg, now=1.0)
+        ack = agents["B"].deliver(msg, now=2.0)
+        assert ack.ok
+        assert agents["B"].installs == 1
+
+    def test_dead_agent_acks_nothing(self, two_configs, agents):
+        old, _ = two_configs
+        agents["B"].fail()
+        ack = agents["B"].deliver(ConfigMessage(
+            MessageKind.INSTALL, 1, "B", old["B"]), now=1.0)
+        assert ack is None
+        assert agents["B"].effective_config() is None
+
+    def test_overlap_then_retire(self, two_configs, agents):
+        old, new = two_configs
+        agent = agents["B"]
+        agent.deliver(ConfigMessage(MessageKind.INSTALL, 1, "B",
+                                    old["B"]), now=0.0)
+        agent.deliver(ConfigMessage(MessageKind.OVERLAP_INSTALL, 2,
+                                    "B", new["B"]), now=1.0)
+        union = agent.effective_config()
+        assert union.num_rules == (old["B"].num_rules +
+                                   new["B"].num_rules)
+        agent.deliver(ConfigMessage(MessageKind.RETIRE, 2, "B"),
+                      now=2.0)
+        assert agent.effective_config() is new["B"]
+
+    def test_rule_capacity_refusal(self, two_configs):
+        old, new = two_configs
+        agent = NodeAgent("B", {"cpu": 1.0}, config=old["B"],
+                          rule_capacity=old["B"].num_rules)
+        ack = agent.deliver(ConfigMessage(
+            MessageKind.OVERLAP_INSTALL, 2, "B", new["B"]), now=1.0)
+        assert not ack.ok  # union would not fit
+        assert agent.effective_config() is old["B"]
+
+    def test_two_phase_stages_then_commits(self, two_configs, agents):
+        _, new = two_configs
+        agent = agents["B"]
+        agent.deliver(ConfigMessage(MessageKind.PREPARE, 1, "B",
+                                    new["B"]), now=0.0)
+        assert agent.effective_config() is None  # not yet active
+        agent.deliver(ConfigMessage(MessageKind.COMMIT, 1, "B"),
+                      now=1.0)
+        assert agent.effective_config() is new["B"]
+
+    def test_abort_clears_staged(self, two_configs, agents):
+        _, new = two_configs
+        agent = agents["B"]
+        agent.deliver(ConfigMessage(MessageKind.PREPARE, 1, "B",
+                                    new["B"]), now=0.0)
+        agent.deliver(ConfigMessage(MessageKind.ABORT, 1, "B"),
+                      now=1.0)
+        ack = agent.deliver(ConfigMessage(MessageKind.COMMIT, 2, "B"),
+                            now=2.0)
+        assert not ack.ok  # nothing staged anymore
+
+    def test_wrong_node_rejected(self, two_configs, agents):
+        old, _ = two_configs
+        with pytest.raises(ValueError):
+            agents["B"].deliver(ConfigMessage(
+                MessageKind.INSTALL, 1, "C", old["C"]), now=0.0)
+
+
+class TestConfigChannel:
+    def test_delivery_latency(self, two_configs, agents):
+        old, _ = two_configs
+        loop = EventLoop()
+        channel = ConfigChannel(ChannelSpec(base_delay=2.0), seed=1)
+        acks = []
+        channel.send(loop, agents["B"], ConfigMessage(
+            MessageKind.INSTALL, 1, "B", old["B"]), acks.append)
+        loop.run_until(10.0)
+        assert len(acks) == 1
+        assert acks[0].time == 2.0  # delivered after base_delay
+
+    def test_loss_triggers_retransmit(self, two_configs, agents):
+        old, _ = two_configs
+        loop = EventLoop()
+        channel = ConfigChannel(
+            ChannelSpec(base_delay=1.0, loss=0.9,
+                        retransmit_timeout=5.0, max_retries=200),
+            seed=3)
+        acks = []
+        channel.send(loop, agents["B"], ConfigMessage(
+            MessageKind.INSTALL, 1, "B", old["B"]), acks.append)
+        loop.run_until(2000.0)
+        assert len(acks) == 1  # eventually delivered
+        assert channel.lost > 0
+        assert channel.retransmits == channel.lost
+
+    def test_dead_node_retried_until_recovery(self, two_configs,
+                                              agents):
+        old, _ = two_configs
+        loop = EventLoop()
+        channel = ConfigChannel(
+            ChannelSpec(base_delay=1.0, retransmit_timeout=4.0),
+            seed=0)
+        agents["B"].fail()
+        loop.schedule_at(10.0, agents["B"].recover)
+        acks = []
+        channel.send(loop, agents["B"], ConfigMessage(
+            MessageKind.INSTALL, 1, "B", old["B"]), acks.append)
+        loop.run_until(100.0)
+        assert len(acks) == 1
+        assert acks[0].time > 10.0
+
+    def test_seeded_channel_is_deterministic(self, two_configs,
+                                             line_state_dc):
+        old, _ = two_configs
+
+        def run():
+            loop = EventLoop()
+            agents = build_agents(line_state_dc.node_capacity)
+            channel = ConfigChannel(
+                ChannelSpec(base_delay=1.0, jitter=4.0, loss=0.3,
+                            retransmit_timeout=3.0), seed=42)
+            times = []
+            for node in sorted(old):
+                channel.send(loop, agents[node], ConfigMessage(
+                    MessageKind.INSTALL, 1, node, old[node]),
+                    lambda ack: times.append((ack.node, ack.time)))
+            loop.run_until(500.0)
+            return times
+
+        assert run() == run()
+
+
+def _drive(strategy, configs, agents, transition=None, spec=None,
+           horizon=500.0):
+    loop = EventLoop()
+    channel = ConfigChannel(spec or ChannelSpec(base_delay=1.0),
+                            seed=5)
+    driver = RolloutDriver(channel, strategy)
+    session = driver.start(loop, agents, configs, transition)
+    loop.run_until(horizon)
+    return session, loop
+
+
+class TestRolloutDriver:
+    def test_direct_completes(self, two_configs, agents):
+        old, _ = two_configs
+        session, _ = _drive("direct", old, agents)
+        assert session.outcome is RolloutOutcome.COMPLETED
+        assert session.latency is not None and session.latency > 0
+        for node in old:
+            assert agents[node].effective_config() is old[node]
+
+    def test_overlap_without_transition_goes_direct(self, two_configs,
+                                                    agents):
+        old, _ = two_configs
+        session, _ = _drive("overlap", old, agents, transition=None)
+        assert session.strategy == "direct"
+        assert session.outcome is RolloutOutcome.COMPLETED
+
+    def test_overlap_retires_old_config(self, two_configs, agents):
+        from repro.core import OverlapTransition
+
+        old, new = two_configs
+        for node in old:
+            agents[node].deliver(ConfigMessage(
+                MessageKind.INSTALL, 1, node, old[node]), now=0.0)
+        session, _ = _drive("overlap", new, agents,
+                            transition=OverlapTransition(old, new))
+        assert session.outcome is RolloutOutcome.COMPLETED
+        assert session.retired_at is not None
+        for node in new:
+            assert agents[node].effective_config() is new[node]
+
+    def test_two_phase_commits_everywhere(self, two_configs, agents):
+        _, new = two_configs
+        session, _ = _drive("two-phase", new, agents)
+        assert session.outcome is RolloutOutcome.COMPLETED
+        for node in new:
+            assert agents[node].effective_config() is new[node]
+
+    def test_two_phase_one_no_vote_aborts_all(self, two_configs,
+                                              line_state_dc):
+        _, new = two_configs
+        agents = build_agents(line_state_dc.node_capacity)
+        # One agent cannot fit the new config: global abort.
+        victim = sorted(new)[0]
+        agents[victim].rule_capacity = new[victim].num_rules - 1
+        session, _ = _drive("two-phase", new, agents)
+        assert session.outcome is RolloutOutcome.ABORTED
+        assert victim in session.refused_nodes
+        for node in new:
+            assert agents[node].effective_config() is None
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            RolloutDriver(ConfigChannel(ChannelSpec()), "magic")
+
+
+class TestCoverageReport:
+    def test_full_assignment_covers_everything(self, line_state_dc,
+                                               two_configs):
+        old, _ = two_configs
+        report = coverage_report(line_state_dc.classes, dict(old))
+        assert report.coverage == pytest.approx(1.0)
+        assert report.duplication == pytest.approx(0.0)
+        assert report.gap == pytest.approx(0.0)
+
+    def test_empty_configs_cover_nothing(self, line_state_dc):
+        empty = {node: ShimConfig(node=node, rules={})
+                 for node in line_state_dc.nids_nodes}
+        report = coverage_report(line_state_dc.classes, empty)
+        assert report.coverage == pytest.approx(0.0)
+        assert report.gap == pytest.approx(1.0)
+
+    def test_union_doubles_duplication_not_coverage(self,
+                                                    line_state_dc,
+                                                    two_configs):
+        from repro.core import union_config
+
+        old, new = two_configs
+        union = {node: union_config(old[node], new[node])
+                 for node in old}
+        report = coverage_report(line_state_dc.classes, union)
+        assert report.coverage == pytest.approx(1.0)
+        assert report.duplication == pytest.approx(1.0)
+
+    def test_dead_node_creates_gap(self, line_state_dc, two_configs):
+        old, _ = two_configs
+        installed = dict(old)
+        installed["B"] = None  # B is dead
+        report = coverage_report(line_state_dc.classes, installed)
+        assert report.coverage < 1.0
+
+    def test_coverage_never_drops_during_lossy_overlap(
+            self, line_state_dc, two_configs):
+        """The satellite invariant: at every instant of an overlap
+        rollout over a delayed, lossy, jittery channel, every class
+        keeps full hash-space coverage."""
+        from repro.core import OverlapTransition
+
+        old, new = two_configs
+        agents = build_agents(line_state_dc.node_capacity)
+        for node in old:
+            agents[node].deliver(ConfigMessage(
+                MessageKind.INSTALL, 1, node, old[node]), now=0.0)
+        loop = EventLoop()
+        channel = ConfigChannel(
+            ChannelSpec(base_delay=1.0, jitter=5.0, loss=0.3,
+                        retransmit_timeout=4.0), seed=9)
+        driver = RolloutDriver(channel, "overlap")
+        session = driver.start(loop, agents, new,
+                               OverlapTransition(old, new))
+        while loop.queue.peek_time() is not None:
+            loop.run_until(loop.queue.peek_time())
+            installed = {node: agents[node].effective_config()
+                         for node in line_state_dc.nids_nodes}
+            report = coverage_report(line_state_dc.classes, installed)
+            assert report.coverage == pytest.approx(1.0), loop.now
+        assert session.outcome is RolloutOutcome.COMPLETED
+        assert session.retired_at is not None

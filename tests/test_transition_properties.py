@@ -1,0 +1,109 @@
+"""Property-based tests for consistent reconfiguration (Section 9).
+
+For arbitrary old/new LP-style fraction layouts and arbitrary
+acknowledgement orders, an :class:`OverlapTransition` must leave no
+point of any class's hash space unowned at any step, and the overlap's
+union may only *add* work (duplication), never subtract coverage —
+the paper's correctness requirement for zero-gap reconfiguration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transitions import OverlapTransition, union_config
+from repro.runtime.rollout import coverage_report
+from repro.shim.config import ShimAction, ShimConfig, ShimRule
+from repro.shim.ranges import compile_hash_ranges
+from repro.traffic.classes import TrafficClass
+
+NODES = ["N0", "N1", "N2", "N3", "N4"]
+
+CLASS = TrafficClass(
+    name="N0->N4", source="N0", target="N4", path=list(NODES),
+    num_sessions=100.0, session_bytes=1000.0)
+
+EPS = 1e-9
+
+
+def _configs_from_weights(weights) -> dict:
+    """Compile a per-node weight vector into per-node shim configs
+    (the Section 7.1 layout over the class's path)."""
+    total = sum(weights)
+    fractions = [w / total for w in weights]
+    fractions[-1] = 1.0 - sum(fractions[:-1])  # exact unit sum
+    entries = [(("process", node), fraction)
+               for node, fraction in zip(NODES, fractions)]
+    configs = {node: ShimConfig(node=node, rules={})
+               for node in NODES}
+    for rng in compile_hash_ranges(entries):
+        _, node = rng.key
+        configs[node].rules.setdefault(CLASS.name, []).append(
+            ShimRule(CLASS.name, rng, ShimAction.PROCESS))
+    return configs
+
+
+def _masses(configs):
+    """(union coverage, total owned mass) across on-path rules."""
+    report = coverage_report([CLASS], dict(configs))
+    union = report.class_coverage[CLASS.name]
+    total = union + report.class_duplication[CLASS.name]
+    return union, total
+
+
+weight_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=len(NODES), max_size=len(NODES),
+).filter(lambda ws: sum(ws) > 0.01)
+
+
+class TestOverlapNeverUncovers:
+    @settings(max_examples=60, deadline=None)
+    @given(old_weights=weight_vectors, new_weights=weight_vectors,
+           order=st.permutations(NODES))
+    def test_no_unowned_point_at_any_step(self, old_weights,
+                                          new_weights, order):
+        """At every transition step — before begin, during overlap
+        after each ack (in any order), and after completion — the
+        class's full hash space stays owned, and ownership never
+        exceeds old+new mass (duplication only adds work)."""
+        old = _configs_from_weights(old_weights)
+        new = _configs_from_weights(new_weights)
+        transition = OverlapTransition(old, new)
+
+        union, total = _masses(transition.active_configs())
+        assert union >= 1.0 - EPS          # before: old covers all
+        assert total <= 1.0 + EPS          # ... exactly once
+
+        transition.begin()
+        for node in order:
+            union, total = _masses(transition.active_configs())
+            assert union >= 1.0 - EPS      # never a gap mid-rollout
+            assert total <= 2.0 + EPS      # at most old+new work
+            assert total >= union - EPS
+            transition.acknowledge(node)
+
+        union, total = _masses(transition.active_configs())
+        assert union >= 1.0 - EPS          # after: new covers all
+        assert total <= 1.0 + EPS
+
+    @settings(max_examples=60, deadline=None)
+    @given(old_weights=weight_vectors, new_weights=weight_vectors)
+    def test_union_config_mass_is_additive(self, old_weights,
+                                           new_weights):
+        """union_config keeps every rule of both configs: per node the
+        merged mass equals the sum of the parts (work is duplicated,
+        never dropped)."""
+        old = _configs_from_weights(old_weights)
+        new = _configs_from_weights(new_weights)
+        for node in NODES:
+            merged = union_config(old[node], new[node])
+            assert merged.num_rules == (old[node].num_rules +
+                                        new[node].num_rules)
+            merged_mass = sum(
+                rule.hash_range.width
+                for rule in merged.rules_for(CLASS.name))
+            parts_mass = sum(
+                rule.hash_range.width
+                for cfg in (old[node], new[node])
+                for rule in cfg.rules_for(CLASS.name))
+            assert abs(merged_mass - parts_mass) <= EPS
