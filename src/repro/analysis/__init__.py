@@ -1,0 +1,65 @@
+"""Domain-aware static analysis for the reproduction.
+
+Two complementary layers:
+
+- the **AST lint engine** (:mod:`~repro.analysis.engine` plus the
+  rule packs in :mod:`~repro.analysis.rules`) — scans source files
+  for violations of the codebase's load-bearing invariants:
+  determinism of the runtime/simulation layers, uint32 discipline on
+  the hash path, float-comparison hygiene on solver outputs, metric
+  namespace vs the documented table, and general code health;
+- the **model verifier** (:mod:`~repro.analysis.modelcheck`) — checks
+  built LPs, solved results and compiled shim range tables against
+  the paper's structural invariants (fractions partition a class;
+  hash ranges tile [0, 2^32) without overlap).
+
+Front ends: ``repro lint`` on the command line (what CI runs on the
+repo itself) and :func:`~repro.analysis.modelcheck.precheck` as a
+library pre-solve guard (enabled globally with
+``REPRO_VERIFY_MODELS=1``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    ProjectRule,
+    Rule,
+    Severity,
+    filter_baseline,
+    iter_python_files,
+    render_json,
+    render_text,
+)
+from repro.analysis.modelcheck import (
+    ModelCheckError,
+    check_model,
+    check_result,
+    check_shim_configs,
+    precheck,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "ModelCheckError",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "check_model",
+    "check_result",
+    "check_shim_configs",
+    "default_rules",
+    "filter_baseline",
+    "iter_python_files",
+    "load_baseline",
+    "precheck",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

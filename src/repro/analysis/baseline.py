@@ -1,0 +1,48 @@
+"""Baseline files: adopt the lint gate without fixing history first.
+
+A baseline is a JSON file listing :meth:`Finding.key` strings for
+known, accepted findings. ``repro lint --baseline PATH`` suppresses
+them; ``--write-baseline`` records the current findings so a dirty
+tree can turn the gate on immediately and burn the list down over
+time. Keys omit line numbers, so unrelated edits above a finding do
+not invalidate the baseline.
+
+The repo ships with an *empty* baseline — the tree is clean — but the
+mechanism is load-bearing for downstream forks and for staged
+rule-pack rollouts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Read suppression keys from ``path`` (empty list if absent)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "suppressions" not in data:
+        raise ValueError(
+            f"baseline {path} is not a repro-lint baseline "
+            "(expected an object with a 'suppressions' list)")
+    keys = data["suppressions"]
+    if not all(isinstance(key, str) for key in keys):
+        raise ValueError(f"baseline {path}: suppressions must be strings")
+    return list(keys)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": sorted(finding.key() for finding in findings),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")

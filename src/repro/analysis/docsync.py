@@ -1,0 +1,184 @@
+"""Source-of-truth sync between metric call sites and the docs table.
+
+`docs/observability.md` carries the catalog of every metric name the
+tree may emit. This module gives the metrics rule its two halves:
+
+- :func:`parse_metric_table` — extract ``name -> kind`` from the
+  markdown table (handles multi-name cells like ``` `lp.solves`,
+  `lp.writes` ``` and suffix continuations like
+  ``` `shim.decision.process` / `.replicate` ```; ``<placeholder>``
+  segments become wildcards).
+- :func:`scan_metric_calls` — collect every ``.inc( / .gauge( /
+  .observe( / .span(`` call whose metric name is a string literal or
+  f-string (f-string holes become ``*`` wildcards; ``span`` names get
+  the automatic ``.seconds`` suffix).
+
+Matching is fnmatch-based so dynamic call sites
+(``f"runtime.refresh.{reason}"``) are satisfied by any documented
+name they can produce, and wildcard doc rows
+(``emulation.work_units.<node>``) are satisfied by any literal they
+cover.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+#: metric-recording method -> documented kind
+METHOD_KINDS = {
+    "inc": "counter",
+    "gauge": "gauge",
+    "observe": "histogram",
+    "span": "histogram",
+}
+
+_NAME_TOKEN_RE = re.compile(r"`([^`]+)`")
+_PLACEHOLDER_RE = re.compile(r"<[^<>]+>")
+_TABLE_HEADER = "## Metric names"
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricCall:
+    """One metric-emitting call site found in the source."""
+
+    pattern: str   # literal name, or fnmatch pattern for f-strings
+    kind: str      # counter / gauge / histogram
+    line: int
+    dynamic: bool  # True when the name came from an f-string
+
+
+def _doc_pattern(raw: str) -> str:
+    """A documented name with ``<placeholder>`` turned into ``*``."""
+    return _PLACEHOLDER_RE.sub("*", raw.strip())
+
+
+def parse_metric_table(text: str) -> Dict[str, str]:
+    """``{name_pattern: kind}`` from the ``## Metric names`` table.
+
+    Raises ValueError when the section or table is missing — a broken
+    docs file should fail the gate loudly, not pass it vacuously.
+    """
+    if _TABLE_HEADER not in text:
+        raise ValueError(
+            f"no {_TABLE_HEADER!r} section in the observability doc")
+    section = text.split(_TABLE_HEADER, 1)[1]
+    section = section.split("\n## ", 1)[0]
+
+    names: Dict[str, str] = {}
+    for line in section.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if len(cells) < 2:
+            continue
+        name_cell, kind_cell = cells[0], cells[1]
+        if set(name_cell) <= {"-", " "} or name_cell.lower() == "name":
+            continue
+        kind = kind_cell.lower().strip()
+        tokens = _NAME_TOKEN_RE.findall(name_cell)
+        previous = ""
+        for token in tokens:
+            token = token.strip()
+            if token.startswith(".") and previous:
+                # `.replicate` continues `shim.decision.process`.
+                prefix = previous.rsplit(".", 1)[0]
+                token = prefix + token
+            previous = token
+            names[_doc_pattern(token)] = kind
+    if not names:
+        raise ValueError("observability doc metric table is empty")
+    return names
+
+
+def load_documented_metrics(doc_path: Path) -> Dict[str, str]:
+    """Parse the metric table from ``doc_path``."""
+    return parse_metric_table(doc_path.read_text(encoding="utf-8"))
+
+
+def _call_name(node: ast.Call) -> Tuple[str, bool]:
+    """(name_or_pattern, dynamic) from the first argument, or
+    ``("", False)`` when it is not a recognizable string."""
+    if not node.args:
+        return "", False
+    arg = node.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, False
+    if isinstance(arg, ast.JoinedStr):
+        parts: List[str] = []
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant) and isinstance(
+                    piece.value, str):
+                parts.append(piece.value)
+            else:
+                parts.append("*")
+        return "".join(parts), True
+    return "", False
+
+
+def scan_metric_calls(tree: ast.AST) -> List[MetricCall]:
+    """Every metric-recording call with a statically-known name."""
+    calls: List[MetricCall] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        kind = METHOD_KINDS.get(func.attr)
+        if kind is None:
+            continue
+        name, dynamic = _call_name(node)
+        if not name:
+            continue
+        if func.attr == "span":
+            name += ".seconds"
+        calls.append(MetricCall(name, kind, node.lineno, dynamic))
+    return calls
+
+
+def match_documented(call: MetricCall,
+                     documented: Dict[str, str]) -> Tuple[bool, str]:
+    """Whether ``call`` is covered by the documented table.
+
+    Returns ``(matched, kind_of_match)`` — the kind is the documented
+    kind of the matching row (empty string when unmatched).
+    """
+    if call.pattern in documented:
+        return True, documented[call.pattern]
+    for doc_pattern, kind in documented.items():
+        if call.dynamic:
+            # Any documented name the dynamic pattern can produce.
+            if fnmatchcase(doc_pattern, call.pattern):
+                return True, kind
+        if "*" in doc_pattern and fnmatchcase(call.pattern,
+                                              doc_pattern):
+            return True, kind
+    return False, ""
+
+
+def stale_documented(documented: Dict[str, str],
+                     calls: Sequence[MetricCall]) -> List[str]:
+    """Documented names never matched by any scanned call site."""
+    stale: List[str] = []
+    for doc_pattern in documented:
+        used = False
+        for call in calls:
+            if call.pattern == doc_pattern:
+                used = True
+            elif call.dynamic and fnmatchcase(doc_pattern,
+                                              call.pattern):
+                used = True
+            elif "*" in doc_pattern and fnmatchcase(call.pattern,
+                                                    doc_pattern):
+                used = True
+            if used:
+                break
+        if not used:
+            stale.append(doc_pattern)
+    return sorted(stale)

@@ -1,0 +1,353 @@
+"""Model-level verification: LP structure and paper invariants.
+
+Where the AST rules guard *source*, this module guards *built
+artifacts*: a :class:`~repro.lpsolve.Model` about to be solved, a
+formulation result, or a compiled set of
+:class:`~repro.shim.config.ShimConfig` tables. The checks mirror the
+properties the paper's architecture depends on (Heorhiadi et al.,
+CoNEXT'12, Sections 4 and 7):
+
+- **LP structure** (MDL001-MDL005): no dangling variables, no
+  duplicate constraint rows, no degenerate (all-zero) rows, no
+  contradictory variable bounds, and every per-class ``cover[...]``
+  row keeps the unit-coefficient / unit-rhs shape that makes the
+  process+replication fractions a partition of the class.
+- **Fraction sanity** (RES001-RES002): solved per-class processing +
+  replication fractions land in [0, 1] and sum to at most 1.
+- **Shim range tables** (SHIM001-SHIM002): per (node, class,
+  direction) the installed hash ranges are non-overlapping, and
+  per class the network-wide PROCESS ranges tile the full hash space
+  ``[0, 2^32)`` — a misconfigured range table fails *silently* at
+  runtime (sessions just go unanalyzed), so this is checked statically
+  at compile/rollout time.
+
+:func:`precheck` is the library pre-solve guard: call it (or export
+``REPRO_VERIFY_MODELS=1`` to have every
+:meth:`Formulation.solve <repro.core.formulation.Formulation.solve>`
+call it) to fail fast on malformed models instead of shipping bad
+configs.
+
+Note on rollout transients: an *overlap* transition deliberately
+installs the union of old and new rules, which double-covers hash
+space by design. Run :func:`check_shim_configs` on freshly compiled
+config sets (the controller's output), not on mid-transition union
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.analysis.engine import Finding, Severity
+from repro.lpsolve.constraint import Constraint, ConstraintSense
+from repro.lpsolve.model import Model
+from repro.shim.config import ShimAction, ShimConfig, ShimRule
+
+_TOL = 1e-6
+_HASH_SPACE = float(2 ** 32)
+
+
+class ModelCheckError(ValueError):
+    """Raised by :func:`precheck` when a model fails verification."""
+
+    def __init__(self, findings: List[Finding]) -> None:
+        self.findings = findings
+        lines = "\n".join(f.format() for f in findings)
+        super().__init__(
+            f"model verification failed with {len(findings)} "
+            f"finding(s):\n{lines}")
+
+
+def _finding(rule_id: str, where: str, message: str,
+             severity: Severity = Severity.ERROR) -> Finding:
+    return Finding(rule_id, severity, where, 0, message)
+
+
+# -- LP structure ---------------------------------------------------------
+
+def check_model(model: Model) -> List[Finding]:
+    """Structural findings for a built (not necessarily solved) model."""
+    where = f"<model:{model.name}>"
+    findings: List[Finding] = []
+
+    used_vars = set()
+    if model.objective is not None:
+        for var, coeff in model.objective.coeffs.items():
+            if coeff != 0.0:
+                used_vars.add(var)
+
+    seen_rows: Dict[Tuple, str] = {}
+    for con in model.constraints:
+        nonzero = tuple(sorted(
+            (var.index, coeff)
+            for var, coeff in con.expr.coeffs.items()
+            if coeff != 0.0))
+        for var, coeff in con.expr.coeffs.items():
+            if coeff != 0.0:
+                used_vars.add(var)
+
+        if not nonzero:
+            rhs = con.rhs
+            violated = (abs(rhs) > _TOL
+                        if con.sense is ConstraintSense.EQ
+                        else (rhs < -_TOL
+                              if con.sense is ConstraintSense.LE
+                              else rhs > _TOL))
+            label = ("trivially infeasible"
+                     if violated else "degenerate (tautological)")
+            findings.append(_finding(
+                "MDL003", where,
+                f"constraint {con.name!r} has no nonzero "
+                f"coefficients — {label} row; a patch probably "
+                "zeroed it out (rebuild instead of patching)"))
+            continue
+
+        # Canonical row identity: GE rows are negated into LE form so
+        # `x >= 1` and `-x <= -1` collide as duplicates.
+        if con.sense is ConstraintSense.GE:
+            canonical = ("LE",
+                         tuple((i, -c) for i, c in nonzero),
+                         -con.rhs)
+        else:
+            canonical = (con.sense.name, nonzero, con.rhs)
+        previous = seen_rows.get(canonical)
+        if previous is not None:
+            findings.append(_finding(
+                "MDL002", where,
+                f"constraint {con.name!r} duplicates row "
+                f"{previous!r} (same coefficients, sense and rhs); "
+                "duplicate rows bloat the basis and usually signal "
+                "a double build"))
+        else:
+            seen_rows[canonical] = con.name or "<unnamed>"
+
+        _check_cover_row(con, nonzero, where, findings)
+
+    for var in model.variables:
+        if var.ub is not None and var.ub < var.lb - _TOL:
+            findings.append(_finding(
+                "MDL004", where,
+                f"variable {var.name!r} has contradictory bounds "
+                f"[{var.lb}, {var.ub}]"))
+        if math.isnan(var.lb) or (var.ub is not None
+                                  and math.isnan(var.ub)):
+            findings.append(_finding(
+                "MDL004", where,
+                f"variable {var.name!r} has a NaN bound"))
+        if var not in used_vars:
+            findings.append(_finding(
+                "MDL001", where,
+                f"variable {var.name!r} appears in no constraint "
+                "or objective (dangling column); likely a stale "
+                "build or a typo in the formulation"))
+
+    return findings
+
+
+def _check_cover_row(con: Constraint, nonzero: Tuple,
+                     where: str, findings: List[Finding]) -> None:
+    """MDL005: ``cover[...]`` rows must keep the paper's structure.
+
+    Section 4 makes the per-class processing + replication fractions
+    a partition of the class: every coefficient is +1 and the row
+    says the fractions sum to exactly 1 (or at most 1 for relaxed
+    variants). A patched coefficient or rhs breaks the
+    hash-range compilation downstream, so it is checked here.
+    """
+    name = con.name or ""
+    if not name.startswith("cover["):
+        return
+    sense = con.sense
+    rhs = con.rhs
+    bad_coeff = [index for index, coeff in nonzero
+                 if abs(coeff - 1.0) > _TOL]
+    if bad_coeff:
+        findings.append(_finding(
+            "MDL005", where,
+            f"coverage row {name!r} has non-unit coefficients at "
+            f"column(s) {bad_coeff}; per-class fraction rows must "
+            "be plain sums for the hash-range compiler to be valid"))
+    if sense is ConstraintSense.EQ:
+        if abs(rhs - 1.0) > _TOL:
+            findings.append(_finding(
+                "MDL005", where,
+                f"coverage row {name!r} pins the fraction sum to "
+                f"{rhs} instead of 1"))
+    elif sense is ConstraintSense.LE:
+        if rhs > 1.0 + _TOL:
+            findings.append(_finding(
+                "MDL005", where,
+                f"coverage row {name!r} allows the fraction sum to "
+                f"reach {rhs} > 1; fractions of a class cannot "
+                "exceed the class"))
+
+
+# -- solved-result sanity -------------------------------------------------
+
+def check_result(result: "object") -> List[Finding]:
+    """RES001/RES002 on a formulation result (duck-typed).
+
+    Works for every ``AssignmentResult`` subclass: validates
+    ``process_fractions`` and, when present, ``offload_fractions``
+    (replication) and ``fwd_offloads``/``rev_offloads`` (split).
+    """
+    where = f"<result:{type(result).__name__}>"
+    findings: List[Finding] = []
+    process: Mapping = getattr(result, "process_fractions", {}) or {}
+    offload: Mapping = getattr(result, "offload_fractions", {}) or {}
+    fwd: Mapping = getattr(result, "fwd_offloads", {}) or {}
+    rev: Mapping = getattr(result, "rev_offloads", {}) or {}
+
+    class_names = set(process) | set(offload) | set(fwd) | set(rev)
+    for cls in sorted(class_names):
+        fractions: List[Tuple[str, float]] = []
+        for node, value in (process.get(cls, {}) or {}).items():
+            fractions.append((f"p[{node}]", value))
+        for key, value in (offload.get(cls, {}) or {}).items():
+            fractions.append((f"o[{key}]", value))
+        for name, value in fractions:
+            if value < -_TOL or value > 1.0 + _TOL:
+                findings.append(_finding(
+                    "RES001", where,
+                    f"class {cls!r}: fraction {name} = {value} is "
+                    "outside [0, 1]"))
+        total = sum(value for _, value in fractions)
+        if total > 1.0 + 1e-4:
+            findings.append(_finding(
+                "RES002", where,
+                f"class {cls!r}: processing+replication fractions "
+                f"sum to {total:.6f} > 1 — the class is "
+                "over-assigned, the hash-range layout would "
+                "overflow [0, 2^32)"))
+        # Directional offloads each extend the shared local prefix,
+        # so local + either direction must stay within the class.
+        local = sum((process.get(cls, {}) or {}).values())
+        for label, table in (("fwd", fwd), ("rev", rev)):
+            directional = sum((table.get(cls, {}) or {}).values())
+            if local + directional > 1.0 + 1e-4:
+                findings.append(_finding(
+                    "RES002", where,
+                    f"class {cls!r}: local + {label} offload "
+                    f"fractions sum to {local + directional:.6f} "
+                    "> 1"))
+    return findings
+
+
+# -- shim range tables ----------------------------------------------------
+
+def _hash_units(value: float) -> int:
+    """A [0,1) fraction as an integer point in [0, 2^32)."""
+    return int(round(value * _HASH_SPACE))
+
+
+def _directions(rule: ShimRule) -> Tuple[str, ...]:
+    if rule.direction == "both":
+        return ("fwd", "rev")
+    return (rule.direction,)
+
+
+def check_shim_configs(configs: Mapping[str, ShimConfig],
+                       require_full_coverage: bool = True
+                       ) -> List[Finding]:
+    """SHIM001/SHIM002 on a compiled per-node config set.
+
+    SHIM001 — within one (node, class, direction, hash field) bucket
+    the installed ranges must be non-overlapping, otherwise "first
+    match wins" silently shadows the later rule.
+
+    SHIM002 — per (class, direction), the union of PROCESS ranges
+    across *all* nodes must tile ``[0, 2^32)`` with neither overlap
+    (a session analyzed twice distorts aggregation counts) nor gap
+    (a session analyzed nowhere — the silent failure mode this check
+    exists for). Gap detection is skipped with
+    ``require_full_coverage=False`` (partial-coverage split classes).
+    """
+    findings: List[Finding] = []
+
+    # SHIM001: per-node bucket overlap.
+    for node in sorted(configs):
+        config = configs[node]
+        for cls_name, rules in sorted(config.rules.items()):
+            buckets: Dict[Tuple[str, str],
+                          List[Tuple[float, float, ShimRule]]] = {}
+            for rule in rules:
+                for direction in _directions(rule):
+                    key = (direction, rule.hash_mode.value)
+                    buckets.setdefault(key, []).append(
+                        (rule.hash_range.start, rule.hash_range.end,
+                         rule))
+            for (direction, mode), spans in sorted(buckets.items()):
+                spans.sort(key=lambda item: (item[0], item[1]))
+                for (s1, e1, r1), (s2, e2, r2) in zip(spans,
+                                                      spans[1:]):
+                    if s2 < e1 - 1e-12:
+                        findings.append(_finding(
+                            "SHIM001", f"<shim:{node}>",
+                            f"class {cls_name!r} ({direction}/"
+                            f"{mode}): ranges "
+                            f"[{_hash_units(s1)}, {_hash_units(e1)})"
+                            f" ({r1.action.value}) and "
+                            f"[{_hash_units(s2)}, {_hash_units(e2)})"
+                            f" ({r2.action.value}) overlap — the "
+                            "second rule is partially shadowed"))
+
+    # SHIM002: network-wide PROCESS tiling per class and direction.
+    per_class: Dict[Tuple[str, str],
+                    List[Tuple[float, float, str]]] = {}
+    for node in sorted(configs):
+        config = configs[node]
+        for cls_name, rules in sorted(config.rules.items()):
+            for rule in rules:
+                if rule.action is not ShimAction.PROCESS:
+                    continue
+                for direction in _directions(rule):
+                    per_class.setdefault(
+                        (cls_name, direction), []).append(
+                        (rule.hash_range.start, rule.hash_range.end,
+                         node))
+
+    for (cls_name, direction), spans in sorted(per_class.items()):
+        spans.sort(key=lambda item: (item[0], item[1]))
+        cursor = 0.0
+        for start, end, node in spans:
+            if start < cursor - 1e-9:
+                findings.append(_finding(
+                    "SHIM002", "<shim:network>",
+                    f"class {cls_name!r} ({direction}): PROCESS "
+                    f"range [{_hash_units(start)}, "
+                    f"{_hash_units(end)}) at node {node!r} "
+                    f"overlaps coverage up to "
+                    f"{_hash_units(cursor)} — sessions in the "
+                    "overlap are analyzed twice"))
+            elif start > cursor + 1e-6 and require_full_coverage:
+                findings.append(_finding(
+                    "SHIM002", "<shim:network>",
+                    f"class {cls_name!r} ({direction}): coverage "
+                    f"gap [{_hash_units(cursor)}, "
+                    f"{_hash_units(start)}) — sessions hashing "
+                    "there are analyzed nowhere (silent miss)"))
+            cursor = max(cursor, end)
+        if require_full_coverage and cursor < 1.0 - 1e-6:
+            findings.append(_finding(
+                "SHIM002", "<shim:network>",
+                f"class {cls_name!r} ({direction}): PROCESS ranges "
+                f"cover only [0, {_hash_units(cursor)}) of "
+                "[0, 2^32) — the tail of the hash space is "
+                "unanalyzed"))
+    return findings
+
+
+# -- the pre-solve guard --------------------------------------------------
+
+def precheck(model: Model,
+             extra: Optional[Iterable[Finding]] = None) -> None:
+    """Raise :class:`ModelCheckError` when ``model`` fails
+    verification; the library-level guard for
+    ``REPRO_VERIFY_MODELS=1``."""
+    findings = check_model(model)
+    if extra is not None:
+        findings = [*findings, *extra]
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if errors:
+        raise ModelCheckError(errors)

@@ -1,0 +1,82 @@
+"""Shared AST helpers for the rule packs."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Sequence
+
+
+class ImportMap:
+    """Resolves local names back to qualified import paths.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``;
+    ``from datetime import datetime`` maps ``datetime`` to
+    ``datetime.datetime``; ``from time import time`` maps ``time`` to
+    ``time.time``. :meth:`qualify` then rewrites a dotted call target
+    through the map, so rules can match on canonical module paths no
+    matter how the file spelled its imports.
+    """
+
+    def __init__(self, aliases: Dict[str, str]) -> None:
+        self.aliases = aliases
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (alias.name if alias.asname
+                              else alias.name.split(".")[0])
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports are project-internal
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return cls(aliases)
+
+    def qualify(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of an expression, or None.
+
+        ``np.random.default_rng`` (with ``import numpy as np``)
+        resolves to ``numpy.random.default_rng``.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = self.aliases.get(parts[0])
+        if root is not None:
+            parts[0] = root
+        return ".".join(parts)
+
+
+def path_in_scope(posix_path: str,
+                  patterns: Sequence[str]) -> bool:
+    """True when the file path contains any of the scope fragments.
+
+    A path that *starts* at a scope directory (``runtime/x.py``, as
+    produced when the scan root is the package itself) matches the
+    ``/runtime/`` fragment too.
+    """
+    return any(pattern in posix_path
+               or posix_path.startswith(pattern.lstrip("/"))
+               for pattern in patterns)
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Bare trailing name of a call target (``x.build_model`` ->
+    ``build_model``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

@@ -1,0 +1,132 @@
+"""Determinism rules (DET): keep the replay/runtime layers
+bit-reproducible.
+
+Scenario fingerprints (sha256 over per-epoch records) and the
+scalar-vs-vectorized parity suite both assume that nothing in
+``runtime/`` or ``simulation/`` reads the wall clock or draws from
+process-global randomness. ``time.perf_counter`` stays legal — it is
+the designated clock for timing *metrics*, which are excluded from
+fingerprints by construction — and seeded generators
+(``np.random.default_rng(seed)``) are the sanctioned randomness
+source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import ImportMap, path_in_scope
+
+#: modules whose determinism the fingerprint tests depend on
+DETERMINISM_SCOPE = ("/runtime/", "/simulation/")
+
+#: wall-clock reads that break bit-reproducibility
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: numpy legacy global-state RNG entry points
+_NUMPY_GLOBAL_RNG = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "poisson", "exponential", "seed", "bytes",
+})
+
+
+class WallClockRule(Rule):
+    """DET001 — wall-clock reads inside the deterministic layers."""
+
+    rule_id = "DET001"
+    title = "wall-clock call in a bit-reproducible module"
+
+    def __init__(self,
+                 scope: Sequence[str] = DETERMINISM_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not path_in_scope(ctx.posix_path, self.scope):
+            return
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.qualify(node.func)
+            if qualified in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"{qualified}() reads the wall clock; scenario "
+                    "fingerprints require simulated time (SimClock) "
+                    "or time.perf_counter for timing metrics only")
+
+
+class UnseededRandomRule(Rule):
+    """DET002 — process-global or unseeded randomness in the
+    deterministic layers."""
+
+    rule_id = "DET002"
+    title = "unseeded randomness in a bit-reproducible module"
+
+    def __init__(self,
+                 scope: Sequence[str] = DETERMINISM_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not path_in_scope(ctx.posix_path, self.scope):
+            return
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.qualify(node.func)
+            if qualified is None:
+                continue
+            finding = self._classify(qualified, node)
+            if finding is not None:
+                yield self.finding(ctx, node.lineno, finding)
+
+    def _classify(self, qualified: str,
+                  node: ast.Call) -> Optional[str]:
+        if qualified.startswith("random."):
+            tail = qualified.split(".", 1)[1]
+            if tail == "Random":
+                if not node.args and not node.keywords:
+                    return ("random.Random() without a seed draws "
+                            "from OS entropy; pass an explicit seed")
+                return None
+            if tail == "SystemRandom":
+                return ("random.SystemRandom is never reproducible; "
+                        "use a seeded generator")
+            return (f"random.{tail}() uses the process-global RNG; "
+                    "use a seeded np.random.default_rng / "
+                    "random.Random instead")
+        if qualified == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                return ("np.random.default_rng() without a seed is "
+                        "non-reproducible; thread an explicit seed "
+                        "through the Scenario/config")
+            return None
+        if qualified == "numpy.random.RandomState":
+            if not node.args and not node.keywords:
+                return ("np.random.RandomState() without a seed is "
+                        "non-reproducible; pass an explicit seed")
+            return None
+        if qualified.startswith("numpy.random."):
+            tail = qualified.rsplit(".", 1)[1]
+            if tail in _NUMPY_GLOBAL_RNG:
+                return (f"np.random.{tail}() mutates numpy's global "
+                        "RNG state; use a seeded "
+                        "np.random.default_rng(seed) generator")
+        return None

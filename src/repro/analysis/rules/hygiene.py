@@ -1,0 +1,262 @@
+"""Hygiene rules (HYG): review-time catches for known failure modes.
+
+- HYG001 — ``build_model()`` inside a loop. PR 2 fixed a real
+  non-idempotence bug where rebuilding into a cached model duplicated
+  every variable; even now that the call is idempotent, a loop around
+  it is either dead weight or a misunderstanding of the
+  build-once/patch-many lifecycle (use ``resolve()`` for sweeps).
+- HYG002 — mutable default arguments, the classic shared-state bug.
+- HYG003 — unused module-level imports (the bulk of what
+  ``ruff check``'s default F-rules flag; checking it here keeps the
+  tree clean even where ruff is not installed).
+- HYG004 — un- or partially-annotated function definitions inside the
+  strict-typing scope (``lpsolve/``, ``obs/``, ``analysis/``); this is
+  the local, dependency-free stand-in for the CI ``mypy`` gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence, Set, Union
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import call_name, path_in_scope
+
+#: packages the CI mypy job checks in strict mode
+STRICT_TYPING_SCOPE = ("/lpsolve/", "/obs/", "/analysis/")
+
+_LOOP_NODES = (ast.For, ast.While, ast.AsyncFor)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.SetComp, ast.DictComp)
+_MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque",
+})
+
+
+class BuildModelInLoopRule(Rule):
+    """HYG001 — ``build_model()`` invoked inside a loop body."""
+
+    rule_id = "HYG001"
+    title = "build_model() called inside a loop"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if isinstance(loop, _LOOP_NODES):
+                bodies = [*loop.body, *loop.orelse]
+            elif isinstance(loop, _COMPREHENSIONS):
+                bodies = [loop]
+            else:
+                continue
+            for body_node in bodies:
+                for node in ast.walk(body_node):
+                    if (isinstance(node, ast.Call)
+                            and call_name(node) == "build_model"):
+                        yield self.finding(
+                            ctx, node.lineno,
+                            "build_model() inside a loop: the model "
+                            "is built once and cached — sweeps "
+                            "should patch parameters via resolve() "
+                            "(see Formulation), not rebuild per "
+                            "iteration")
+
+
+class MutableDefaultRule(Rule):
+    """HYG002 — mutable default argument values."""
+
+    rule_id = "HYG002"
+    title = "mutable default argument"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults,
+                        *[d for d in node.args.kw_defaults
+                          if d is not None]]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default.lineno,
+                        f"function {node.name!r} has a mutable "
+                        "default argument; defaults are evaluated "
+                        "once and shared across calls — use None "
+                        "and create the value inside the body")
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, _MUTABLE_LITERALS):
+            return True
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            return name in _MUTABLE_CTORS
+        return False
+
+
+class _UsageCollector(ast.NodeVisitor):
+    """Collects every name that could satisfy an import.
+
+    Usage includes attribute roots (``np.array`` uses ``np``) and
+    identifiers inside *string* annotations (``"Model"``), which stay
+    strings under ``from __future__ import annotations``.
+    """
+
+    def __init__(self) -> None:
+        self.names: Set[str] = set()
+        self._annotation_depth = 0
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.names.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if self._annotation_depth and isinstance(node.value, str):
+            for token in _identifier_tokens(node.value):
+                self.names.add(token)
+
+    def _visit_annotation(self, node: ast.AST) -> None:
+        self._annotation_depth += 1
+        self.visit(node)
+        self._annotation_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._handle_function(node)
+
+    def _handle_function(self, node: Union[ast.FunctionDef,
+                                           ast.AsyncFunctionDef]
+                         ) -> None:
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *filter(None, (args.vararg, args.kwarg))):
+            if arg.annotation is not None:
+                self._visit_annotation(arg.annotation)
+        if node.returns is not None:
+            self._visit_annotation(node.returns)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._visit_annotation(node.annotation)
+        if node.value is not None:
+            self.visit(node.value)
+        self.visit(node.target)
+
+
+def _identifier_tokens(text: str) -> List[str]:
+    """Identifier-shaped tokens inside a string annotation."""
+    tokens: List[str] = []
+    current: List[str] = []
+    for char in text:
+        if char.isidentifier() or (current and char.isdigit()):
+            current.append(char)
+        else:
+            if current:
+                tokens.append("".join(current))
+            current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+class UnusedImportRule(Rule):
+    """HYG003 — module-level imports never referenced."""
+
+    rule_id = "HYG003"
+    title = "unused import"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.path.name == "__init__.py":
+            # Package __init__ files import to re-export.
+            return
+        collector = _UsageCollector()
+        collector.visit(ctx.tree)
+        used = collector.names
+        exported = _dunder_all(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if local not in used and local not in exported:
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"import {alias.name!r} is unused")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    if local not in used and local not in exported:
+                        source = node.module or "."
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"'{local}' imported from {source!r} "
+                            "is unused")
+
+
+def _dunder_all(tree: ast.Module) -> Set[str]:
+    exported: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                for element in ast.walk(value):
+                    if (isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)):
+                        exported.add(element.value)
+    return exported
+
+
+class StrictAnnotationRule(Rule):
+    """HYG004 — incomplete annotations in the strict-typing scope."""
+
+    rule_id = "HYG004"
+    title = "missing annotations in a strictly-typed package"
+
+    def __init__(self,
+                 scope: Sequence[str] = STRICT_TYPING_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not path_in_scope(ctx.posix_path, self.scope):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            missing: List[str] = []
+            if node.returns is None:
+                missing.append("return type")
+            args = node.args
+            for arg in (*args.posonlyargs, *args.args,
+                        *args.kwonlyargs,
+                        *filter(None, (args.vararg, args.kwarg))):
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(f"argument {arg.arg!r}")
+            if missing:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"def {node.name} is missing annotations "
+                    f"({', '.join(missing)}); this package is in "
+                    "the mypy strict scope")

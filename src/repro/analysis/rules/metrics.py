@@ -1,0 +1,114 @@
+"""Metrics rules (MET): call sites and the docs table cannot drift.
+
+Every ``registry.inc/gauge/observe/span`` call with a statically-known
+name is cross-checked against the ``## Metric names`` table in
+``docs/observability.md``:
+
+- MET001 (emitted per call site) — the name is undocumented, or its
+  kind contradicts the documented kind (e.g. ``inc`` on a documented
+  gauge).
+- MET002 (emitted once, at finalize) — a documented name no longer
+  has any call site: a stale row that would mislead anyone grepping
+  the docs.
+
+The ``repro.obs`` package itself (the registry/export plumbing, which
+forwards caller-supplied names) is out of scope.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.docsync import (
+    MetricCall,
+    load_documented_metrics,
+    match_documented,
+    scan_metric_calls,
+    stale_documented,
+)
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Severity,
+)
+from repro.analysis.rules.common import path_in_scope
+
+#: the metric plumbing itself forwards arbitrary caller names
+_EXCLUDED = ("/obs/",)
+
+DOC_RELATIVE_PATH = Path("docs") / "observability.md"
+
+
+class MetricsDocRule(ProjectRule):
+    """MET001/MET002 — metric call sites vs the documented table."""
+
+    rule_id = "MET001"
+    title = "metric names must match docs/observability.md"
+
+    def __init__(self, doc_path: Optional[Path]) -> None:
+        self.doc_path = doc_path
+        self._calls: List[Tuple[FileContext, MetricCall]] = []
+        self._documented: Optional[Dict[str, str]] = None
+        self._doc_error: Optional[str] = None
+        if doc_path is not None and doc_path.exists():
+            try:
+                self._documented = load_documented_metrics(doc_path)
+            except ValueError as exc:
+                self._doc_error = str(exc)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if path_in_scope(ctx.posix_path, _EXCLUDED):
+            return
+        calls = scan_metric_calls(ctx.tree)
+        if not calls:
+            return
+        for call in calls:
+            self._calls.append((ctx, call))
+        if self._documented is None:
+            return
+        for call in calls:
+            matched, doc_kind = match_documented(call,
+                                                 self._documented)
+            if not matched:
+                yield Finding(
+                    "MET001", Severity.ERROR, ctx.display_path,
+                    call.line,
+                    f"metric {call.pattern!r} ({call.kind}) is not "
+                    "documented in docs/observability.md — add a row "
+                    "to the '## Metric names' table")
+            elif doc_kind != call.kind:
+                yield Finding(
+                    "MET001", Severity.ERROR, ctx.display_path,
+                    call.line,
+                    f"metric {call.pattern!r} is recorded as a "
+                    f"{call.kind} but documented as a {doc_kind}")
+
+    def finalize(self) -> Iterable[Finding]:
+        doc_name = str(self.doc_path) if self.doc_path else \
+            str(DOC_RELATIVE_PATH)
+        if self._doc_error is not None:
+            yield Finding("MET002", Severity.ERROR, doc_name, 0,
+                          f"unparseable metric table: "
+                          f"{self._doc_error}")
+            return
+        if self._documented is None:
+            if self._calls:
+                yield Finding(
+                    "MET002", Severity.ERROR, doc_name, 0,
+                    f"{len(self._calls)} metric call site(s) found "
+                    "but the observability doc is missing — the "
+                    "metric namespace has no source of truth")
+            return
+        calls = [call for _, call in self._calls]
+        if not calls:
+            # A partial scan (no instrumented file in the path set)
+            # says nothing about staleness.
+            return
+        for name in stale_documented(self._documented, calls):
+            yield Finding(
+                "MET002", Severity.ERROR, doc_name, 0,
+                f"documented metric {name!r} has no call site left "
+                "in the tree — delete the stale row (or restore the "
+                "instrumentation)")

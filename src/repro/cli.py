@@ -211,6 +211,28 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--timeline", default=None, metavar="PATH",
                           help="write the per-epoch metric timeline "
                                "as JSON lines")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-aware static-analysis rules over the "
+             "source tree (see docs/static-analysis.md)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to scan (default: "
+                           "the repository's src/ tree)")
+    lint.add_argument("--json", default=None, metavar="PATH",
+                      help="write findings as JSON to PATH "
+                           "('-' for stdout)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppress findings recorded in this "
+                           "baseline file (default: "
+                           "lint-baseline.json at the repo root, "
+                           "when present)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record the current findings into the "
+                           "baseline file and exit 0")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(default: all)")
     return parser
 
 
@@ -434,6 +456,69 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        LintEngine,
+        Severity,
+        filter_baseline,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    # The installed package lives at <root>/src/repro; the project
+    # root anchors both the default scan paths and the docs lookup.
+    project_root = Path(__file__).resolve().parents[2]
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [project_root / "src"]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    rule_ids = (None if args.rules is None
+                else [r.strip() for r in args.rules.split(",")])
+    engine = LintEngine(project_root=project_root, rule_ids=rule_ids)
+    findings = engine.run(paths)
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else project_root / "lint-baseline.json")
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"recorded {len(findings)} finding(s) into "
+              f"{baseline_path}")
+        return 0
+
+    stale: List[str] = []
+    if baseline_path.exists():
+        findings, stale = filter_baseline(
+            findings, load_baseline(baseline_path))
+
+    if args.json is not None:
+        payload = render_json(findings)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n",
+                                       encoding="utf-8")
+            print(f"wrote {len(findings)} finding(s) to {args.json}")
+    if args.json != "-":
+        hint = ", ".join(str(p) for p in paths)
+        print(render_text(findings, files_hint=hint))
+    for key in stale:
+        print(f"note: stale baseline entry (fixed? shrink the "
+              f"baseline): {key}", file=sys.stderr)
+    errors = sum(1 for f in findings
+                 if f.severity is Severity.ERROR)
+    return 1 if errors else 0
+
+
 def _cmd_experiment(args) -> int:
     if args.name == "all":
         for name in sorted(_EXPERIMENTS):
@@ -462,6 +547,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_experiment(args)
 
 

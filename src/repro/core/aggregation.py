@@ -57,7 +57,7 @@ class AggregationProblem(Formulation):
     def __init__(self, state: NetworkState, beta: float = 1.0,
                  aggregation_point: AggregationPointFn =
                  ingress_aggregation_point,
-                 backend: Union[None, str, SolverBackend] = None):
+                 backend: Union[None, str, SolverBackend] = None) -> None:
         super().__init__(state, backend=backend)
         self._declare_param("beta", beta, _check_non_negative("beta"))
         self.aggregation_point = aggregation_point

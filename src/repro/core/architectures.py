@@ -93,7 +93,7 @@ class ArchitectureEvaluator:
                  resources: Sequence[str] = ("cpu",),
                  dc_capacity_factor: float = 10.0,
                  max_link_load: float = 0.4,
-                 dc_anchor: Optional[str] = None):
+                 dc_anchor: Optional[str] = None) -> None:
         self.topology = topology
         self.max_link_load = max_link_load
         self.dc_capacity_factor = dc_capacity_factor

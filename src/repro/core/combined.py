@@ -66,7 +66,7 @@ class CombinedProblem(Formulation):
                  max_link_load: float = 0.4,
                  aggregation_point: Callable =
                  ingress_aggregation_point,
-                 backend: Union[None, str, SolverBackend] = None):
+                 backend: Union[None, str, SolverBackend] = None) -> None:
         if state.dc_node is None:
             raise ValueError("CombinedProblem needs a datacenter; "
                              "build the state with dc_capacity_factor")

@@ -64,7 +64,7 @@ class NIDSController:
     def __init__(self, state: NetworkState,
                  mirror_policy: Optional[MirrorPolicy] = None,
                  max_link_load: float = 0.4,
-                 drift_threshold: float = 0.2):
+                 drift_threshold: float = 0.2) -> None:
         if drift_threshold < 0:
             raise ValueError("drift_threshold must be non-negative")
         self.state = state

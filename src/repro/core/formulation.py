@@ -26,6 +26,7 @@ is always *correct* and merely usually *fast*.
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import (Any, Callable, Dict, FrozenSet, List, Mapping,
                     Optional, Sequence, Tuple, Union)
@@ -74,7 +75,7 @@ class Formulation:
     kind = "lp"
 
     def __init__(self, state: NetworkState,
-                 backend: Union[None, str, SolverBackend] = None):
+                 backend: Union[None, str, SolverBackend] = None) -> None:
         self.state = state
         self.backend = backend
         self._model: Optional[Model] = None
@@ -163,13 +164,26 @@ class Formulation:
 
     # -- solving -----------------------------------------------------------
 
-    def solve(self):
-        """Build (or reuse) the model, solve, and unpack the result."""
+    def solve(self) -> Any:
+        """Build (or reuse) the model, solve, and unpack the result.
+
+        With ``REPRO_VERIFY_MODELS=1`` in the environment, the built
+        model is passed through the static model verifier
+        (:func:`repro.analysis.modelcheck.precheck`) before the solver
+        runs, so structural corruption (dangling columns, duplicate
+        rows, broken coverage rows) fails fast with a diagnostic
+        instead of surfacing as solver noise or silent misconfigs.
+        """
         model = self.build_model()
+        if os.environ.get("REPRO_VERIFY_MODELS", "").strip() not in (
+                "", "0"):
+            from repro.analysis.modelcheck import precheck
+
+            precheck(model)
         solution = model.solve()
         return self._unpack(model, solution)
 
-    def resolve(self, **params):
+    def resolve(self, **params: Any) -> Any:
         """Re-solve after changing named parameters.
 
         Patches only the coefficients and right-hand sides the changed
@@ -247,7 +261,7 @@ class Formulation:
         self._params["volumes"] = dict(volumes)
 
     def resolve_traffic(self, classes: Sequence[TrafficClass],
-                        **params):
+                        **params: Any) -> Any:
         """Re-solve for a new traffic matrix (Figure 15 / controller).
 
         When the classes differ from the current ones only in

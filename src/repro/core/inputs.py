@@ -16,7 +16,7 @@ evaluation:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.topology.routing import RoutingTable
 from repro.topology.topology import Link, Topology, canonical_link
@@ -87,7 +87,7 @@ class NetworkState:
                  node_capacity: Dict[str, Dict[str, float]],
                  link_capacity: Dict[Link, float],
                  bg_bytes: Dict[Link, float],
-                 dc_node: Optional[str] = None):
+                 dc_node: Optional[str] = None) -> None:
         self.topology = topology
         self.routing = routing
         self.classes: List[TrafficClass] = list(classes)

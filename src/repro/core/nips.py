@@ -62,7 +62,7 @@ class NIPSProblem:
     def __init__(self, state: NetworkState,
                  mirror_policy: Optional[MirrorPolicy] = None,
                  max_link_load: float = 0.4,
-                 max_latency_penalty: float = 2.0):
+                 max_latency_penalty: float = 2.0) -> None:
         if not 0.0 <= max_link_load <= 1.0:
             raise ValueError("max_link_load must be in [0, 1]")
         if max_latency_penalty < 0:

@@ -66,7 +66,7 @@ class ReplicationProblem(Formulation):
                  link_cost_weight: Optional[float] = None,
                  load_weights: Optional[Dict[Tuple[str, str],
                                              float]] = None,
-                 backend: Union[None, str, SolverBackend] = None):
+                 backend: Union[None, str, SolverBackend] = None) -> None:
         super().__init__(state, backend=backend)
         self.mirror_policy = mirror_policy or MirrorPolicy.none()
         self._declare_param("max_link_load", max_link_load,

@@ -62,7 +62,7 @@ class SplitTrafficProblem(Formulation):
                  allow_offload: bool = True,
                  miss_mode: str = "total",
                  miss_weights: Optional[Dict[str, float]] = None,
-                 backend: Union[None, str, SolverBackend] = None):
+                 backend: Union[None, str, SolverBackend] = None) -> None:
         if allow_offload and state.dc_node is None:
             raise ValueError(
                 "split-traffic offloading needs a datacenter node; "

@@ -68,7 +68,7 @@ class OverlapTransition:
     """
 
     def __init__(self, old_configs: Dict[str, ShimConfig],
-                 new_configs: Dict[str, ShimConfig]):
+                 new_configs: Dict[str, ShimConfig]) -> None:
         if set(old_configs) != set(new_configs):
             raise ValueError("old and new configurations must cover "
                              "the same node set")
@@ -170,7 +170,7 @@ class TwoPhaseCommit:
     the paper prefers the domain-specific overlap for this setting.
     """
 
-    def __init__(self, participants: Iterable[Participant]):
+    def __init__(self, participants: Iterable[Participant]) -> None:
         self.participants = list(participants)
         names = [p.node for p in self.participants]
         if len(set(names)) != len(names):

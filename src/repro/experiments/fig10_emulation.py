@@ -12,7 +12,7 @@ halves the work on the maximally loaded non-DC node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.mirrors import MirrorPolicy
 from repro.core.replication import ReplicationProblem

@@ -9,7 +9,7 @@ matches the maximum interior NIDS load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.mirrors import MirrorPolicy
 from repro.core.replication import ReplicationProblem

@@ -46,7 +46,7 @@ class ParallelSweepRunner:
             order, so downstream aggregation is deterministic.
     """
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs or 1

@@ -46,6 +46,8 @@ def run_table1(topologies: Optional[Sequence[str]] = None,
             setup.state, mirror_policy=MirrorPolicy.datacenter(),
             max_link_load=max_link_load)
         start = time.perf_counter()
+        # Table 1 measures the *cold* build per topology; each loop
+        # iteration builds a fresh problem.  # repro-lint: allow[HYG001]
         replication.build_model()
         rep_build = time.perf_counter() - start
         rep_result = replication.solve()
@@ -53,6 +55,7 @@ def run_table1(topologies: Optional[Sequence[str]] = None,
         agg_setup = setup_topology(name)  # aggregation has no DC
         aggregation = AggregationProblem(agg_setup.state, beta=0.0)
         start = time.perf_counter()
+        # Same deliberate cold build.  # repro-lint: allow[HYG001]
         aggregation.build_model()
         agg_build = time.perf_counter() - start
         agg_result = aggregation.solve()

@@ -17,7 +17,7 @@ topologies should stay on the default backend.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy.linalg import LinAlgError, lu_factor, lu_solve
@@ -43,7 +43,7 @@ class DenseSimplexBackend(SolverBackend):
 class _DenseSimplex:
     """One solve's worth of state for the dense simplex."""
 
-    def __init__(self, compiled: CompiledLP):
+    def __init__(self, compiled: CompiledLP) -> None:
         self.n = compiled.num_variables
         a_ub = (compiled.a_ub.toarray()
                 if compiled.a_ub is not None

@@ -42,7 +42,7 @@ class CompiledLP:
                  a_eq: Optional[sparse.csr_matrix], b_eq: np.ndarray,
                  bounds: List[Tuple[float, Optional[float]]],
                  ub_row_constraints: List[Tuple[Constraint, float]],
-                 eq_row_constraints: List[Constraint]):
+                 eq_row_constraints: List[Constraint]) -> None:
         self.c = c
         self.a_ub = a_ub
         self.b_ub = b_ub

@@ -8,9 +8,12 @@ absorbs the right-hand side.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Mapping, Optional, TYPE_CHECKING
 
 from repro.lpsolve.expr import LinExpr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lpsolve.variable import Variable
 
 
 class ConstraintSense(enum.Enum):
@@ -32,7 +35,7 @@ class Constraint:
     __slots__ = ("expr", "sense", "name")
 
     def __init__(self, expr: LinExpr, sense: ConstraintSense,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None) -> None:
         self.expr = expr
         self.sense = sense
         self.name = name
@@ -42,7 +45,7 @@ class Constraint:
         """Right-hand side after moving the constant term across."""
         return -self.expr.constant
 
-    def violation(self, values) -> float:
+    def violation(self, values: Mapping["Variable", float]) -> float:
         """Amount by which ``values`` (a var->value mapping) violates
         this constraint; 0.0 when satisfied.
 

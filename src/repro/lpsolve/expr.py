@@ -15,7 +15,7 @@ for the moderately sized formulations in this project.
 from __future__ import annotations
 
 import numbers
-from typing import Dict, Iterable, TYPE_CHECKING, Union
+from typing import Dict, Iterable, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.lpsolve.constraint import Constraint
@@ -42,8 +42,8 @@ class LinExpr:
 
     __slots__ = ("coeffs", "constant")
 
-    def __init__(self, coeffs: Dict["Variable", float] = None,
-                 constant: float = 0.0):
+    def __init__(self, coeffs: Optional[Dict["Variable", float]] = None,
+                 constant: float = 0.0) -> None:
         self.coeffs: Dict["Variable", float] = dict(coeffs or {})
         self.constant = float(constant)
 
@@ -114,7 +114,7 @@ class LinExpr:
 
         return Constraint(self - _as_expr(other), ConstraintSense.GE)
 
-    def __eq__(self, other: Operand):  # type: ignore[override]
+    def __eq__(self, other: Operand) -> "Constraint":  # type: ignore[override]
         from repro.lpsolve.constraint import Constraint, ConstraintSense
 
         return Constraint(self - _as_expr(other), ConstraintSense.EQ)

@@ -62,7 +62,7 @@ class Model:
     """
 
     def __init__(self, name: str = "lp",
-                 backend: Union[None, str, SolverBackend] = None):
+                 backend: Union[None, str, SolverBackend] = None) -> None:
         self.name = name
         self.backend = backend
         self._variables: List[Variable] = []
@@ -93,6 +93,11 @@ class Model:
     def constraints(self) -> Sequence[Constraint]:
         """All registered constraints in insertion order."""
         return tuple(self._constraints)
+
+    @property
+    def objective(self) -> Optional[LinExpr]:
+        """The objective expression, if one has been set."""
+        return self._objective
 
     def add_variable(self, name: str, lb: float = 0.0,
                      ub: Optional[float] = None) -> Variable:

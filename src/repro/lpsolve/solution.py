@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Dict, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -33,7 +33,8 @@ class Solution:
 
     def __init__(self, status: SolveStatus, values: np.ndarray,
                  objective_value: float, solve_seconds: float,
-                 iterations: int, variables, duals=None):
+                 iterations: int, variables: Iterable[Variable],
+                 duals: Optional[Dict[str, float]] = None) -> None:
         self.status = status
         self.objective_value = objective_value
         self.solve_seconds = solve_seconds
@@ -68,7 +69,7 @@ class Solution:
         """
         return self._duals.get(constraint_name, 0.0)
 
-    def binding_constraints(self, tol: float = 1e-9):
+    def binding_constraints(self, tol: float = 1e-9) -> List[str]:
         """Names of constraints with nonzero shadow price."""
         return sorted(name for name, value in self._duals.items()
                       if abs(value) > tol)

@@ -8,7 +8,8 @@ from typing import Optional, TYPE_CHECKING
 from repro.lpsolve.errors import ModelError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.lpsolve.expr import LinExpr
+    from repro.lpsolve.constraint import Constraint
+    from repro.lpsolve.expr import LinExpr, Operand
     from repro.lpsolve.model import Model
 
 
@@ -24,7 +25,7 @@ class Variable:
     __slots__ = ("name", "lb", "ub", "index", "_model")
 
     def __init__(self, model: "Model", index: int, name: str,
-                 lb: float = 0.0, ub: Optional[float] = None):
+                 lb: float = 0.0, ub: Optional[float] = None) -> None:
         if ub is not None and ub < lb:
             raise ModelError(
                 f"variable {name!r}: upper bound {ub} below lower "
@@ -49,37 +50,37 @@ class Variable:
 
         return LinExpr({self: 1.0}, 0.0)
 
-    def __add__(self, other):
+    def __add__(self, other: "Operand") -> "LinExpr":
         return self._expr() + other
 
-    def __radd__(self, other):
+    def __radd__(self, other: "Operand") -> "LinExpr":
         return self._expr() + other
 
-    def __sub__(self, other):
+    def __sub__(self, other: "Operand") -> "LinExpr":
         return self._expr() - other
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: "Operand") -> "LinExpr":
         return (-self._expr()) + other
 
-    def __neg__(self):
+    def __neg__(self) -> "LinExpr":
         return -self._expr()
 
-    def __mul__(self, factor):
+    def __mul__(self, factor: float) -> "LinExpr":
         return self._expr() * factor
 
-    def __rmul__(self, factor):
+    def __rmul__(self, factor: float) -> "LinExpr":
         return self._expr() * factor
 
-    def __truediv__(self, divisor):
+    def __truediv__(self, divisor: float) -> "LinExpr":
         return self._expr() / divisor
 
-    def __le__(self, other):
+    def __le__(self, other: "Operand") -> "Constraint":
         return self._expr() <= other
 
-    def __ge__(self, other):
+    def __ge__(self, other: "Operand") -> "Constraint":
         return self._expr() >= other
 
-    def __eq__(self, other):  # type: ignore[override]
+    def __eq__(self, other: "Operand") -> "Constraint":  # type: ignore[override]
         return self._expr() == other
 
     __hash__ = object.__hash__

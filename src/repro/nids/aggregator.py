@@ -124,7 +124,7 @@ class ScanAggregator:
     """
 
     def __init__(self, threshold: int,
-                 strategy: SplitStrategy = SplitStrategy.SOURCE_LEVEL):
+                 strategy: SplitStrategy = SplitStrategy.SOURCE_LEVEL) -> None:
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
         self.threshold = threshold

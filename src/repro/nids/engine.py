@@ -33,7 +33,7 @@ class NIDSEngine:
     """
 
     def __init__(self, per_session_cost: float = 100.0,
-                 per_byte_cost: float = 1.0):
+                 per_byte_cost: float = 1.0) -> None:
         if per_session_cost < 0 or per_byte_cost < 0:
             raise ValueError("costs must be non-negative")
         self.per_session_cost = per_session_cost

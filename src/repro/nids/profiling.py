@@ -81,7 +81,8 @@ def profile_engine(engine_factory: Callable[[], object],
             ``engine.inspect(session.five_tuple, packet.payload)``.
     """
     if inspect is None:
-        def inspect(engine, session, packet):
+        def inspect(engine: object, session: Session,
+                    packet: object) -> None:
             engine.inspect(session.five_tuple, packet.payload)
 
     observations: List[Observation] = []

@@ -36,7 +36,7 @@ class ScanDetector(NIDSEngine):
 
     def __init__(self, threshold: int = 0,
                  per_session_cost: float = 10.0,
-                 per_byte_cost: float = 0.0):
+                 per_byte_cost: float = 0.0) -> None:
         super().__init__(per_session_cost, per_byte_cost)
         if threshold < 0:
             raise ValueError("threshold must be non-negative")

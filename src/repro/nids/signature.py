@@ -29,7 +29,7 @@ class AhoCorasick:
     payloads. Matching is O(len(payload) + matches).
     """
 
-    def __init__(self, patterns: Iterable[bytes]):
+    def __init__(self, patterns: Iterable[bytes]) -> None:
         patterns = [bytes(p) for p in patterns]
         if any(len(p) == 0 for p in patterns):
             raise ValueError("empty patterns are not allowed")
@@ -117,7 +117,7 @@ class SignatureEngine(NIDSEngine):
 
     def __init__(self, patterns: Optional[Sequence[bytes]] = None,
                  per_session_cost: float = 100.0,
-                 per_byte_cost: float = 1.0):
+                 per_byte_cost: float = 1.0) -> None:
         super().__init__(per_session_cost, per_byte_cost)
         self.automaton = AhoCorasick(patterns if patterns is not None
                                      else DEFAULT_SIGNATURES)

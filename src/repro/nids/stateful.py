@@ -22,7 +22,7 @@ class StatefulSessionAnalyzer(NIDSEngine):
     """
 
     def __init__(self, per_session_cost: float = 50.0,
-                 per_byte_cost: float = 0.5):
+                 per_byte_cost: float = 0.5) -> None:
         super().__init__(per_session_cost, per_byte_cost)
         self._directions: Dict[object, Set[str]] = {}
 

@@ -17,7 +17,7 @@ overlap and their durations are similar.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.nids.engine import NIDSEngine
 
@@ -31,7 +31,7 @@ class FlowRecord:
     start: float
     end: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError("flow ends before it starts")
 
@@ -64,7 +64,7 @@ class SteppingStoneDetector(NIDSEngine):
 
     def __init__(self, duration_tolerance: float = 0.25,
                  min_duration: float = 1.0,
-                 per_session_cost: float = 20.0):
+                 per_session_cost: float = 20.0) -> None:
         super().__init__(per_session_cost, per_byte_cost=0.0)
         if not 0.0 <= duration_tolerance <= 1.0:
             raise ValueError("duration_tolerance must be in [0, 1]")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 _PERCENTILES = (50.0, 95.0, 99.0)
 
@@ -90,7 +90,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -112,7 +112,7 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.elapsed = time.perf_counter() - self._start
         self._registry.observe(f"{self._name}.seconds", self.elapsed)
 
@@ -136,7 +136,7 @@ class NullRegistry:
     def observe(self, name: str, value: float) -> None:
         """Record one sample into histogram ``name``."""
 
-    def span(self, name: str):
+    def span(self, name: str) -> "Union[_NullSpan, _Span]":
         """Context manager timing its block into ``<name>.seconds``."""
         return _NULL_SPAN
 
@@ -184,7 +184,7 @@ class MetricsRegistry(NullRegistry):
             hist = self.histograms[name] = HistogramStats()
         hist.observe(value)
 
-    def span(self, name: str):
+    def span(self, name: str) -> "_Span":
         return _Span(self, name)
 
     # -- read side --------------------------------------------------------

@@ -27,7 +27,7 @@ the channel's retransmission timer keeps trying until recovery.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.transitions import union_config
@@ -95,7 +95,7 @@ class NodeAgent:
 
     def __init__(self, name: str, capacity: Dict[str, float],
                  config: Optional[ShimConfig] = None,
-                 rule_capacity: Optional[int] = None):
+                 rule_capacity: Optional[int] = None) -> None:
         self.name = name
         self.capacity = dict(capacity)
         self.alive = True

@@ -68,7 +68,7 @@ class ControllerDaemon:
                  mirror_policy: Optional[MirrorPolicy] = None,
                  max_link_load: float = 0.4,
                  drift_threshold: float = 0.2,
-                 refresh_period: Optional[float] = None):
+                 refresh_period: Optional[float] = None) -> None:
         if refresh_period is not None and refresh_period <= 0:
             raise ValueError("refresh_period must be positive")
         self.driver = driver

@@ -32,7 +32,7 @@ class SimClock:
 
     __slots__ = ("_now",)
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     @property
@@ -104,7 +104,7 @@ class EventLoop:
     config delivery schedules its ack); scheduling in the past raises.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self.clock = SimClock(start)
         self.queue = EventQueue()
         self.events_fired = 0

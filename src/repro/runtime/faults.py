@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.failures import FailureImpact, fail_link, fail_node
 from repro.core.inputs import NetworkState
@@ -67,7 +67,7 @@ class FaultEvent:
     factor: float = 1.0
     duration_epochs: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.epoch < 0:
             raise ValueError("epoch must be non-negative")
         if self.kind is FaultKind.TRAFFIC_SURGE and self.factor <= 0:
@@ -90,7 +90,7 @@ class FaultEvent:
 class FaultSchedule:
     """An ordered list of fault events, indexed by epoch."""
 
-    def __init__(self, events: Sequence[FaultEvent] = ()):
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
         self.events = sorted(events, key=lambda e: e.epoch)
 
     def __len__(self) -> int:

@@ -69,7 +69,7 @@ class ChannelSpec:
     retransmit_timeout: float = 10.0
     max_retries: int = 50
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.base_delay < 0 or self.jitter < 0:
             raise ValueError("delays must be non-negative")
         if not 0.0 <= self.loss < 1.0:
@@ -86,7 +86,7 @@ class ConfigChannel:
     with the same seed produces the identical delivery schedule.
     """
 
-    def __init__(self, spec: ChannelSpec, seed: int = 0):
+    def __init__(self, spec: ChannelSpec, seed: int = 0) -> None:
         self.spec = spec
         self._rng = np.random.default_rng(seed)
         self.sent = 0
@@ -172,7 +172,7 @@ class RolloutDriver:
     STRATEGIES = ("overlap", "two-phase", "direct")
 
     def __init__(self, channel: ConfigChannel,
-                 strategy: str = "overlap"):
+                 strategy: str = "overlap") -> None:
         if strategy not in self.STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; "

@@ -82,7 +82,7 @@ class Scenario:
     sessions_per_epoch: int = 300
     rule_capacity: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.epoch_seconds <= 0:

@@ -68,7 +68,7 @@ class BatchShimKernel:
 
     def __init__(self, configs: Dict[str, ShimConfig],
                  class_names: Sequence[str],
-                 node_order: Sequence[str], hash_seed: int = 0):
+                 node_order: Sequence[str], hash_seed: int = 0) -> None:
         self.hash_seed = hash_seed
         self.node_order = tuple(node_order)
         self.class_names = tuple(class_names)
@@ -114,8 +114,10 @@ class BatchShimKernel:
                         f"node {config.node!r} class {class_name!r} "
                         f"mixes hash modes {sorted(m.value for m in modes)}")
                 entries.sort(key=lambda e: (e[0], e[1]))
-                starts = np.array([e[0] for e in entries])
-                ends = np.array([e[1] for e in entries])
+                starts = np.array([e[0] for e in entries],
+                                  dtype=np.float64)
+                ends = np.array([e[1] for e in entries],
+                                dtype=np.float64)
                 if (starts[1:] < ends[:-1]).any():
                     raise UnsupportedShimConfig(
                         f"node {config.node!r} class {class_name!r} "
@@ -228,7 +230,7 @@ class MirrorLinkIndex:
         node_order: node names in kernel index order.
     """
 
-    def __init__(self, routing, node_order: Sequence[str]):
+    def __init__(self, routing, node_order: Sequence[str]) -> None:
         self._routing = routing
         self._node_order = tuple(node_order)
         self._paths: Dict[int, List] = {}

@@ -172,6 +172,8 @@ def _final_batch(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
 
 def _as_u32(column: "np.ndarray") -> np.ndarray:
     """Fold an integer column to uint32 (the scalar ``w & _MASK32``)."""
+    # This is the fold itself: it must accept whatever integer dtype
+    # the caller has before normalizing.  # repro-lint: allow[NUM002]
     arr = np.asarray(column)
     if arr.dtype == np.uint32:
         return arr

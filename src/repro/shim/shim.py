@@ -11,7 +11,7 @@ quantities (packets/bytes seen, processed, replicated).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.obs import get_registry
@@ -66,7 +66,7 @@ class Shim:
     """
 
     def __init__(self, config: ShimConfig, classifier: Classifier,
-                 hash_seed: int = 0):
+                 hash_seed: int = 0) -> None:
         self.config = config
         self.classifier = classifier
         self.hash_seed = hash_seed

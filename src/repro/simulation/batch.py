@@ -56,7 +56,7 @@ class SessionBatch:
                  class_names: Tuple[str, ...],
                  fwd_path_id: np.ndarray, rev_path_id: np.ndarray,
                  paths: List[np.ndarray],
-                 node_order: Tuple[str, ...], hash_seed: int = 0):
+                 node_order: Tuple[str, ...], hash_seed: int = 0) -> None:
         self.proto = proto
         self.src_ip = src_ip
         self.src_port = src_port
@@ -211,7 +211,7 @@ class PacketBatch:
     def __init__(self, sessions: SessionBatch,
                  session_of_packet: np.ndarray, direction: np.ndarray,
                  size_bytes: np.ndarray, payload_buffer: bytes,
-                 payload_offsets: np.ndarray):
+                 payload_offsets: np.ndarray) -> None:
         self.sessions = sessions
         self.session_of_packet = session_of_packet
         self.direction = direction

@@ -144,7 +144,7 @@ class Emulation:
 
     def __init__(self, state: NetworkState,
                  configs: Dict[str, ShimConfig],
-                 classifier: Classifier, hash_seed: int = 0):
+                 classifier: Classifier, hash_seed: int = 0) -> None:
         self.state = state
         self.configs = configs
         self.classifier = classifier

@@ -71,7 +71,7 @@ class Session:
     rev_path: Optional[Tuple[str, ...]] = None
     packets: List[Packet] = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.rev_path is None:
             self.rev_path = tuple(reversed(self.fwd_path))
 

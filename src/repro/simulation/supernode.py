@@ -40,7 +40,7 @@ class Supernode:
     """
 
     def __init__(self, duration: float = 60.0,
-                 mean_packet_gap: float = 0.05, seed: int = 0):
+                 mean_packet_gap: float = 0.05, seed: int = 0) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
         if mean_packet_gap <= 0:

@@ -12,19 +12,21 @@ paths, for the Scan/aggregation experiments).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.nids.signature import DEFAULT_SIGNATURES
 from repro.shim.hashing import FiveTuple
 from repro.simulation.packets import (
-    Packet,
     Session,
     pop_index_of_ip,
     pop_prefix_ip,
 )
 from repro.traffic.classes import TrafficClass
+
+if TYPE_CHECKING:
+    from repro.simulation.batch import PacketBatch
 
 
 class PrefixClassifier:
@@ -46,7 +48,7 @@ class PrefixClassifier:
 
     def __init__(self, pop_order: Sequence[str],
                  classes: Sequence[TrafficClass],
-                 class_ports: Optional[Dict[str, int]] = None):
+                 class_ports: Optional[Dict[str, int]] = None) -> None:
         self._pop_of_index = {i: pop for i, pop in enumerate(pop_order)}
         self._index_of_pop = {pop: i for i, pop in enumerate(pop_order)}
         self._class_of_pair: Dict[Tuple[str, str], str] = {}
@@ -107,7 +109,7 @@ class TraceSpec:
     scanner_count: int = 0
     scanner_fanout: int = 40
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.total_sessions < 0:
             raise ValueError("total_sessions must be non-negative")
         if self.payload_bytes <= 0:
@@ -132,7 +134,7 @@ class TraceGenerator:
     def __init__(self, pop_order: Sequence[str],
                  classes: Sequence[TrafficClass],
                  spec: Optional[TraceSpec] = None, seed: int = 7,
-                 class_ports: Optional[Dict[str, int]] = None):
+                 class_ports: Optional[Dict[str, int]] = None) -> None:
         self.pop_order = list(pop_order)
         self.classes = list(classes)
         self.spec = spec or TraceSpec()
@@ -228,7 +230,8 @@ class TraceGenerator:
         return sessions
 
     def generate_batch(self, node_order: Sequence[str],
-                       with_payloads: bool = True, hash_seed: int = 0):
+                       with_payloads: bool = True, hash_seed: int = 0
+                       ) -> "PacketBatch":
         """Generate the trace directly as a columnar
         :class:`~repro.simulation.batch.PacketBatch` for the
         vectorized replay engine.

@@ -75,7 +75,7 @@ class AsymmetricRoutingModel:
     """
 
     def __init__(self, topology: Topology, routing: RoutingTable,
-                 max_candidates: Optional[int] = None, seed: int = 0):
+                 max_candidates: Optional[int] = None, seed: int = 0) -> None:
         self.topology = topology
         self.routing = routing
         candidates: Dict[Tuple[str, ...], None] = {}

@@ -24,7 +24,7 @@ class RoutingTable:
     replication traffic on links (Eq (4) of the paper).
     """
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._paths: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         nodes = topology.nodes

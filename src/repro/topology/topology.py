@@ -39,7 +39,7 @@ class Topology:
 
     def __init__(self, name: str, nodes: Iterable[str],
                  links: Iterable[Link],
-                 populations: Optional[Dict[str, float]] = None):
+                 populations: Optional[Dict[str, float]] = None) -> None:
         self.name = name
         self._graph = nx.Graph()
         nodes = list(nodes)

@@ -48,7 +48,7 @@ class TrafficClass:
     record_bytes: float = 16.0
     rev_path: Optional[Tuple[str, ...]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.path:
             raise ValueError(f"class {self.name!r} has an empty path")
         if self.path[0] != self.source:

@@ -14,7 +14,7 @@ class TrafficMatrix:
     Missing pairs read as 0.0.
     """
 
-    def __init__(self, volumes: Dict[Pair, float]):
+    def __init__(self, volumes: Dict[Pair, float]) -> None:
         for (source, target), volume in volumes.items():
             if source == target:
                 raise ValueError(

@@ -35,7 +35,7 @@ class TrafficVariabilityModel:
     """
 
     def __init__(self, bucket_edges: Sequence[float],
-                 bucket_probs: Sequence[float]):
+                 bucket_probs: Sequence[float]) -> None:
         edges = np.asarray(bucket_edges, dtype=float)
         probs = np.asarray(bucket_probs, dtype=float)
         if len(edges) != len(probs) + 1:

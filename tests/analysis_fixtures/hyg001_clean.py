@@ -1,0 +1,9 @@
+"""HYG001 non-trigger: build once, patch-and-resolve in the loop."""
+
+
+def sweep(problem, loads):
+    problem.build_model()
+    results = []
+    for load in loads:
+        results.append(problem.resolve(max_link_load=load))
+    return results

@@ -1,0 +1,10 @@
+"""HYG001 trigger: build_model() rebuilt every loop iteration."""
+
+
+def sweep(problem, loads):
+    results = []
+    for load in loads:
+        problem.max_link_load = load
+        problem.build_model()
+        results.append(problem.solve())
+    return results

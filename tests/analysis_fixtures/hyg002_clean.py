@@ -1,0 +1,7 @@
+"""HYG002 non-trigger: None default, value created in the body."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,11 @@
+"""HYG002 trigger: mutable default arguments."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

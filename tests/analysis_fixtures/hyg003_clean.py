@@ -1,0 +1,16 @@
+"""HYG003 non-trigger: imports used in code, annotations and __all__."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from typing import Iterable
+
+__all__ = ["dump"]
+
+
+def dump(path: "Path", rows: "Iterable[int]") -> str:
+    return json.dumps({"path": str(path), "rows": list(rows)})

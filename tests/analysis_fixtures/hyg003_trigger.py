@@ -1,0 +1,8 @@
+"""HYG003 trigger: module-level imports never referenced."""
+
+import json
+from pathlib import Path
+
+
+def no_imports_used():
+    return 42

@@ -1,0 +1,10 @@
+"""HYG004 non-trigger: fully annotated defs (self/cls exempt)."""
+
+
+class Accumulator:
+    def __init__(self, start: int = 0) -> None:
+        self.total = start
+
+    def add(self, value: int) -> int:
+        self.total += value
+        return self.total

@@ -1,0 +1,9 @@
+"""HYG004 trigger: incomplete annotations inside the strict scope."""
+
+
+def no_return_type(x: int):
+    return x + 1
+
+
+def untyped_argument(x) -> int:
+    return x + 1

@@ -1,0 +1,12 @@
+"""NUM001 non-trigger: tolerance-based comparison is the idiom."""
+
+import math
+
+import pytest
+
+
+def compare(solution, other):
+    close = math.isclose(solution.objective_value, 1.25)
+    matches = solution.value(other) == pytest.approx(0.0)
+    ordered = solution.objective_value <= 2.0
+    return close and matches and ordered

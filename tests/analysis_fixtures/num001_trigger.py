@@ -1,0 +1,7 @@
+"""NUM001 trigger: exact equality on solver outputs."""
+
+
+def compare(solution, other):
+    if solution.objective_value == 1.25:
+        return True
+    return solution.value(other) != 0.0

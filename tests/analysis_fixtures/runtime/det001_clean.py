@@ -1,0 +1,8 @@
+"""DET001 non-trigger: perf_counter is the sanctioned timing clock."""
+
+import time
+
+
+def time_a_block():
+    start = time.perf_counter()
+    return time.perf_counter() - start

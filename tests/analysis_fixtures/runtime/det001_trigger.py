@@ -1,0 +1,10 @@
+"""DET001 trigger: wall-clock reads in a deterministic module."""
+
+import time
+from datetime import datetime
+
+
+def stamp_epoch():
+    started = time.time()
+    label = datetime.now()
+    return started, label

@@ -1,0 +1,11 @@
+"""DET002 non-trigger: seeded generators are the sanctioned source."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.random(), local.random()

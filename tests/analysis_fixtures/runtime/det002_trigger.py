@@ -1,0 +1,12 @@
+"""DET002 trigger: process-global / unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    jitter = random.random()
+    rng = np.random.default_rng()
+    legacy = np.random.randint(0, 10)
+    return jitter, rng, legacy

@@ -1,0 +1,17 @@
+"""Pragma fixtures: both suppression placements must work."""
+
+import time
+
+
+def same_line_pragma():
+    return time.time()  # repro-lint: allow[DET001]
+
+
+def comment_line_pragma():
+    # Intentional: this fixture documents the preceding-comment form.
+    # repro-lint: allow[DET001]
+    return time.time()
+
+
+def unsuppressed():
+    return time.time()

@@ -1,0 +1,9 @@
+"""NUM002 non-trigger: every constructor pins its dtype."""
+
+import numpy as np
+
+
+def pack(values):
+    words = np.array(values, dtype=np.uint32)
+    pad = np.zeros(len(values), dtype=np.uint32)
+    return words, pad

@@ -1,0 +1,9 @@
+"""NUM002 trigger: hash-path arrays without an explicit dtype."""
+
+import numpy as np
+
+
+def pack(values):
+    words = np.array(values)
+    pad = np.zeros(len(values))
+    return words, pad

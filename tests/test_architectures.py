@@ -14,7 +14,7 @@ from repro.core.extensions import (
     piecewise_link_cost,
     weighted_load_objective,
 )
-from repro.lpsolve import Model, lin_sum
+from repro.lpsolve import Model
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.lpsolve import (
     Constraint,
     ConstraintSense,
-    LinExpr,
     Model,
     lin_sum,
 )

@@ -144,7 +144,7 @@ class TestSolving:
         m.minimize(x + y)
         sol = m.solve()
         assert sol.value(3 * x + y + 1) == pytest.approx(6.0)
-        assert sol.value(7.5) == 7.5
+        assert sol.value(7.5) == pytest.approx(7.5)
 
     def test_values_dict(self):
         m = Model()

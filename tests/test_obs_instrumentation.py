@@ -2,7 +2,6 @@
 report into the registry, and the JSONL trajectory they emit matches
 the documented schema."""
 
-import pytest
 
 from repro.core import MirrorPolicy, ReplicationProblem
 from repro.core.controller import NIDSController

@@ -3,7 +3,7 @@ results (single-CPU CI boxes assert determinism, not wall-clock)."""
 
 import pytest
 
-from repro.core import AggregationProblem, MirrorPolicy
+from repro.core import AggregationProblem
 from repro.experiments import ParallelSweepRunner, run_scan_epoch_sweep
 from repro.experiments.fig10_emulation import run_fig10
 from repro.shim import build_aggregation_configs

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core import (
-    MirrorKind,
     MirrorPolicy,
-    NetworkState,
     place_datacenter,
 )
 

@@ -15,7 +15,6 @@ from repro.shim import (
     ShimRule,
     build_aggregation_configs,
     build_replication_configs,
-    session_hash,
 )
 from repro.shim.config import HashMode
 from repro.shim.ranges import HashRange

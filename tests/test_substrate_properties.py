@@ -2,7 +2,6 @@
 substrates."""
 
 import hypothesis.strategies as st
-import numpy as np
 import pytest
 from hypothesis import given, settings
 

@@ -92,7 +92,7 @@ class TestDuals:
         m.add_constraint(x <= 100, name="loose")
         m.minimize(x)
         sol = m.solve()
-        assert sol.dual("loose") == 0.0
+        assert sol.dual("loose") == pytest.approx(0.0, abs=1e-12)
         assert "loose" not in sol.binding_constraints()
 
     def test_maximization_dual_sign(self):
