@@ -38,6 +38,7 @@ from repro.analysis.modelcheck import (
     ModelCheckError,
     check_model,
     check_result,
+    check_budgeted_configs,
     check_shim_configs,
     precheck,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "Severity",
     "check_model",
     "check_result",
+    "check_budgeted_configs",
     "check_shim_configs",
     "default_rules",
     "filter_baseline",

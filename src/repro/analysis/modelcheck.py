@@ -20,6 +20,11 @@ CoNEXT'12, Sections 4 and 7):
   ``[0, 2^32)`` — a misconfigured range table fails *silently* at
   runtime (sessions just go unanalyzed), so this is checked statically
   at compile/rollout time.
+- **Budgeted tables** (SHIM003-SHIM004): a rule-budgeted compile
+  (``build_*_configs(budget=B)``) must still tile ``[0, 2^32)``
+  *exactly* — the approximation moves range boundaries, never opens
+  gaps — and no (node, class, direction) bucket may hold more than
+  ``B`` rules, the declared TCAM capacity.
 
 :func:`precheck` is the library pre-solve guard: call it (or export
 ``REPRO_VERIFY_MODELS=1`` to have every
@@ -37,7 +42,7 @@ tables.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.analysis.engine import Finding, Severity
 from repro.lpsolve.constraint import Constraint, ConstraintSense
@@ -335,6 +340,95 @@ def check_shim_configs(configs: Mapping[str, ShimConfig],
                 f"cover only [0, {_hash_units(cursor)}) of "
                 "[0, 2^32) — the tail of the hash space is "
                 "unanalyzed"))
+    return findings
+
+
+def check_budgeted_configs(configs: Mapping[str, ShimConfig],
+                           budget: Optional[int],
+                           require_full_coverage: bool = True
+                           ) -> List[Finding]:
+    """SHIM003/SHIM004 on a rule-budgeted compile.
+
+    SHIM003 — per (class, direction) the network-wide PROCESS ranges,
+    measured in exact integer hash units, must tile ``[0, 2^32)``
+    seamlessly: the budgeted lowering rescales kept fractions so the
+    layout still covers the whole space, and any gap or overlap means
+    the approximation silently lost (or double-counts) sessions.
+    With ``require_full_coverage=False`` (split-traffic classes whose
+    coverage is partial by design) only overlaps are flagged.
+
+    SHIM004 — with a finite ``budget``, no (node, class, direction)
+    bucket may install more than ``budget`` positive-width rules;
+    the compile would not fit the declared TCAM capacity. ``budget=
+    None`` skips SHIM004 (the unbounded compile has no cap to honor).
+    """
+    findings: List[Finding] = []
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+
+    # SHIM003: exact integer-unit tiling of PROCESS ownership. Every
+    # (class, direction) any rule mentions is checked — a class whose
+    # PROCESS owner went missing entirely must still be flagged.
+    spans_by_class: Dict[Tuple[str, str],
+                         List[Tuple[int, int, str]]] = {}
+    seen_classes: Set[Tuple[str, str]] = set()
+    for node in sorted(configs):
+        config = configs[node]
+        for cls_name, rules in sorted(config.rules.items()):
+            seen_classes.add((cls_name, "fwd"))
+            seen_classes.add((cls_name, "rev"))
+            counts: Dict[Tuple[str, str], int] = {}
+            for rule in rules:
+                start = _hash_units(rule.hash_range.start)
+                end = _hash_units(rule.hash_range.end)
+                if end <= start:
+                    continue
+                for direction in _directions(rule):
+                    counts[(direction, rule.hash_mode.value)] = \
+                        counts.get(
+                            (direction, rule.hash_mode.value), 0) + 1
+                    if rule.action is ShimAction.PROCESS:
+                        spans_by_class.setdefault(
+                            (cls_name, direction), []).append(
+                            (start, end, node))
+            if budget is None:
+                continue
+            for (direction, mode), count in sorted(counts.items()):
+                if count > budget:
+                    findings.append(_finding(
+                        "SHIM004", f"<shim:{node}>",
+                        f"class {cls_name!r} ({direction}/{mode}): "
+                        f"{count} rules exceed the declared budget "
+                        f"of {budget} — the table does not fit the "
+                        "TCAM it was compiled for"))
+
+    space = int(_HASH_SPACE)
+    for (cls_name, direction) in sorted(seen_classes):
+        spans = spans_by_class.get((cls_name, direction), [])
+        spans.sort(key=lambda item: (item[0], item[1]))
+        cursor = 0
+        for start, end, node in spans:
+            if start < cursor:
+                findings.append(_finding(
+                    "SHIM003", "<shim:network>",
+                    f"class {cls_name!r} ({direction}): budgeted "
+                    f"PROCESS range [{start}, {end}) at node "
+                    f"{node!r} overlaps coverage up to {cursor} — "
+                    "the rescaled layout double-covers hash units"))
+            elif start > cursor and require_full_coverage:
+                findings.append(_finding(
+                    "SHIM003", "<shim:network>",
+                    f"class {cls_name!r} ({direction}): budgeted "
+                    f"layout leaves hash units [{cursor}, {start}) "
+                    "unowned — the rescale should have closed this "
+                    "gap"))
+            cursor = max(cursor, end)
+        if require_full_coverage and cursor != space:
+            findings.append(_finding(
+                "SHIM003", "<shim:network>",
+                f"class {cls_name!r} ({direction}): budgeted "
+                f"PROCESS ranges end at {cursor}, not {space} — "
+                "the tail of the hash space is unowned"))
     return findings
 
 

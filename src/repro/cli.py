@@ -10,6 +10,8 @@ Commands:
 - ``experiment`` — regenerate one of the paper's tables/figures.
 - ``stats`` — run one instrumented controller cycle plus a trace
   replay and report the collected metrics (optionally as JSONL).
+- ``budget-sweep`` — sweep the per-class TCAM rule budget and report
+  coverage-error and realized-load curves (optionally as JSON).
 - ``scenario`` — play a canned closed-loop scenario through the
   discrete-event runtime and print the epoch timeline (optionally
   writing the full report and a per-epoch timeline as JSON/JSONL).
@@ -18,6 +20,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -193,6 +196,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the metrics snapshot as "
                             "JSON lines to PATH")
 
+    budget = sub.add_parser(
+        "budget-sweep",
+        help="sweep the per-class TCAM rule budget and report "
+             "coverage error and realized load curves")
+    budget.add_argument("--topology", action="append", default=None,
+                        choices=builtin_topology_names(),
+                        metavar="NAME", dest="topologies",
+                        help="topology to sweep (repeatable; "
+                             "default: tinet and sprint)")
+    budget.add_argument("--budgets", default=None, metavar="LIST",
+                        help="comma-separated rule budgets; 'inf' "
+                             "means unbounded (default: "
+                             "1,2,3,4,8,16,inf)")
+    budget.add_argument("--mirror", default="dc+one-hop",
+                        choices=sorted(_MIRROR_CHOICES))
+    budget.add_argument("--max-link-load", type=float, default=0.4)
+    budget.add_argument("--dc-capacity", type=float, default=10.0)
+    budget.add_argument("--json", default=None, metavar="PATH",
+                        help="write the sweep curves as JSON "
+                             "('-' for stdout)")
+
     from repro.runtime.scenario import CANNED_SCENARIOS
 
     scenario = sub.add_parser(
@@ -206,6 +230,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="override the scenario's epoch count")
     scenario.add_argument("--seed", type=int, default=None,
                           help="override the scenario's seed")
+    from repro.runtime.rollout import RolloutDriver
+
+    scenario.add_argument("--strategy", default=None,
+                          choices=RolloutDriver.STRATEGIES,
+                          help="override the scenario's rollout "
+                               "strategy (e.g. 'delta' for "
+                               "incremental diff rollouts)")
     scenario.add_argument("--json", default=None, metavar="PATH",
                           help="write the full ScenarioReport as JSON")
     scenario.add_argument("--timeline", default=None, metavar="PATH",
@@ -393,6 +424,61 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _parse_budgets(text: Optional[str]):
+    if text is None:
+        return None
+    budgets = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token in ("inf", "none", "unbounded"):
+            budgets.append(None)
+            continue
+        value = int(token)
+        if value < 1:
+            raise ValueError(f"budget {value} must be >= 1")
+        budgets.append(value)
+    if not budgets:
+        raise ValueError("no budgets given")
+    return budgets
+
+
+def _cmd_budget_sweep(args) -> int:
+    from repro.experiments import (format_budget_sweep,
+                                   run_budget_sweep, sweep_to_json)
+
+    try:
+        budgets = _parse_budgets(args.budgets)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {
+        "topologies": args.topologies,
+        "mirror": args.mirror,
+        "max_link_load": args.max_link_load,
+        "dc_capacity_factor": args.dc_capacity,
+    }
+    if budgets is not None:
+        kwargs["budgets"] = budgets
+    series = run_budget_sweep(**kwargs)
+    print(format_budget_sweep(series))
+    if args.json:
+        payload = sweep_to_json(series)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.json}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote sweep curves to {args.json}")
+    return 0
+
+
 def _cmd_scenario(args) -> int:
     from repro.obs import write_timeline_jsonl
     from repro.runtime.scenario import CANNED_SCENARIOS, run_scenario
@@ -403,6 +489,9 @@ def _cmd_scenario(args) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     scenario = CANNED_SCENARIOS[args.name](**kwargs)
+    if args.strategy is not None:
+        scenario = dataclasses.replace(scenario,
+                                       strategy=args.strategy)
     report = run_scenario(scenario)
 
     rows = []
@@ -545,6 +634,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "budget-sweep":
+        return _cmd_budget_sweep(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "lint":

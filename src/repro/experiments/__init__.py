@@ -66,6 +66,15 @@ from repro.experiments.ablations import (
     run_dc_capacity_ablation,
     run_placement_ablation,
 )
+from repro.experiments.budget_sweep import (
+    BudgetPoint,
+    BudgetSweepSeries,
+    format_budget_sweep,
+    realized_link_loads,
+    realized_node_loads,
+    run_budget_sweep,
+    sweep_to_json,
+)
 from repro.experiments.strategy_ablation import (
     StrategyRow,
     format_strategies,
@@ -91,7 +100,14 @@ from repro.experiments.extensions_ablations import (
 
 __all__ = [
     "AsymmetryPoint",
+    "BudgetPoint",
+    "BudgetSweepSeries",
     "CombinedRow",
+    "format_budget_sweep",
+    "realized_link_loads",
+    "realized_node_loads",
+    "run_budget_sweep",
+    "sweep_to_json",
     "DCCapacitySeries",
     "LinkCostRow",
     "FailureRow",

@@ -1,0 +1,245 @@
+"""Rule-budget sweep: lowering fidelity vs. TCAM table size.
+
+Real shim rule tables are bounded (switch TCAMs hold a fixed number of
+range entries), so the compiler's budgeted mode
+(:func:`~repro.shim.budget.budgeted_hash_ranges`) approximates each
+class's LP fractions with at most ``budget`` hash ranges. This
+experiment quantifies the trade: for each budget it compiles the
+replication solution of a topology under that cap and reports
+
+- the worst per-class coverage error (Linf and L1 deviation of the
+  realized range widths from the LP fractions),
+- the rule-count footprint (total rules, busiest node), and
+- the *realized* maximum node load and maximum replication link load,
+  recomputed from the realized fractions through the same Eq (3)/(4)
+  accounting the LP used — dropped offload entries shift work back to
+  the on-path nodes and take replication traffic off the links.
+
+One LP solve per topology; the budget only changes the lowering, so
+the sweep is cheap. ``budget=None`` is the exact (unbounded) compile
+and anchors the curves at zero error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mirrors import MirrorPolicy
+from repro.core.replication import ReplicationProblem
+from repro.core.results import ReplicationResult
+from repro.experiments.common import format_table, setup_topology
+from repro.shim.batch import BatchShimKernel
+from repro.shim.budget import BudgetedLowering
+from repro.shim.config import build_replication_configs
+
+DEFAULT_BUDGETS: Tuple[Optional[int], ...] = (1, 2, 3, 4, 8, 16, None)
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("tinet", "sprint")
+DEFAULT_MIRROR = "dc+one-hop"
+
+_MIRRORS = {
+    "none": MirrorPolicy.none,
+    "dc": MirrorPolicy.datacenter,
+    "one-hop": lambda: MirrorPolicy.neighbors(1),
+    "two-hop": lambda: MirrorPolicy.neighbors(2),
+    "dc+one-hop": lambda: MirrorPolicy.datacenter_plus_neighbors(1),
+}
+
+
+@dataclass
+class BudgetPoint:
+    """One budget's row of the sweep curve."""
+
+    budget: Optional[int]
+    error_linf: float
+    error_l1: float
+    total_rules: int
+    max_rules_per_node: int
+    max_table_rules: int
+    max_node_load: float
+    max_link_load: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "budget": self.budget,
+            "error_linf": self.error_linf,
+            "error_l1": self.error_l1,
+            "total_rules": self.total_rules,
+            "max_rules_per_node": self.max_rules_per_node,
+            "max_table_rules": self.max_table_rules,
+            "max_node_load": self.max_node_load,
+            "max_link_load": self.max_link_load,
+        }
+
+
+@dataclass
+class BudgetSweepSeries:
+    """One topology's full budget curve."""
+
+    topology: str
+    mirror: str
+    max_link_load: float
+    lp_load_cost: float
+    points: List[BudgetPoint]
+
+    def point(self, budget: Optional[int]) -> BudgetPoint:
+        for pt in self.points:
+            if pt.budget == budget:
+                return pt
+        raise KeyError(f"no point for budget {budget!r}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "topology": self.topology,
+            "mirror": self.mirror,
+            "max_link_load": self.max_link_load,
+            "lp_load_cost": self.lp_load_cost,
+            "points": [pt.to_dict() for pt in self.points],
+        }
+
+
+def realized_node_loads(state, lowerings: Dict[str, BudgetedLowering],
+                        resource: str = "cpu") -> Dict[str, float]:
+    """Eq (3) node loads under the *realized* (budgeted) fractions.
+
+    ``("process", j)`` entries charge node ``j``; ``("replicate", j,
+    m)`` entries charge the mirror ``m`` — exactly the LP's load
+    accounting, evaluated at the lowering's realized widths.
+    """
+    loads = {node: 0.0 for node in state.nids_nodes}
+    for cls in state.classes:
+        lowering = lowerings.get(cls.name)
+        if lowering is None:
+            continue
+        work = cls.footprint(resource) * cls.num_sessions
+        if work == 0.0:
+            continue
+        for key, fraction in lowering.realized.items():
+            if fraction <= 0.0:
+                continue
+            if key[0] == "process":
+                node = key[1]
+            else:
+                node = key[2]
+            loads[node] += fraction * work / state.capacity(
+                resource, node)
+    return loads
+
+
+def realized_link_loads(state, lowerings: Dict[str, BudgetedLowering]
+                        ) -> Dict[Tuple[str, str], float]:
+    """Eq (4) link loads (replication bytes + background) under the
+    realized fractions."""
+    loads = {link: state.bg_load(link)
+             for link in state.topology.links}
+    for cls in state.classes:
+        lowering = lowerings.get(cls.name)
+        if lowering is None:
+            continue
+        replicated_bytes = cls.num_sessions * cls.session_bytes
+        for key, fraction in lowering.realized.items():
+            if key[0] != "replicate" or fraction <= 0.0:
+                continue
+            _, node, mirror = key
+            for link in state.routing.path_links(node, mirror):
+                loads[link] += (fraction * replicated_bytes /
+                                state.link_capacity[link])
+    return loads
+
+
+def _sweep_one(name: str, budgets: Sequence[Optional[int]],
+               mirror: str, max_link_load: float,
+               dc_capacity_factor: Optional[float]
+               ) -> BudgetSweepSeries:
+    needs_dc = mirror in ("dc", "dc+one-hop")
+    setup = setup_topology(
+        name, dc_capacity_factor=dc_capacity_factor
+        if needs_dc else None)
+    state = setup.state
+    result: ReplicationResult = ReplicationProblem(
+        state, mirror_policy=_MIRRORS[mirror](),
+        max_link_load=max_link_load).solve()
+
+    points: List[BudgetPoint] = []
+    for budget in budgets:
+        lowerings: Dict[str, BudgetedLowering] = {}
+        configs = build_replication_configs(
+            state, result, budget=budget, lowerings=lowerings)
+        kernel = BatchShimKernel(
+            configs, [cls.name for cls in state.classes],
+            state.topology.nodes)
+        node_loads = realized_node_loads(state, lowerings)
+        link_loads = realized_link_loads(state, lowerings)
+        points.append(BudgetPoint(
+            budget=budget,
+            error_linf=max((low.error_linf
+                            for low in lowerings.values()),
+                           default=0.0),
+            error_l1=max((low.error_l1
+                          for low in lowerings.values()),
+                         default=0.0),
+            total_rules=sum(cfg.num_rules
+                            for cfg in configs.values()),
+            max_rules_per_node=max((cfg.num_rules
+                                    for cfg in configs.values()),
+                                   default=0),
+            max_table_rules=kernel.max_table_rules,
+            max_node_load=max(node_loads.values(), default=0.0),
+            max_link_load=max(link_loads.values(), default=0.0)))
+    return BudgetSweepSeries(
+        topology=name, mirror=mirror,
+        max_link_load=max_link_load,
+        lp_load_cost=result.load_cost, points=points)
+
+
+def run_budget_sweep(
+        topologies: Optional[Sequence[str]] = None,
+        budgets: Sequence[Optional[int]] = DEFAULT_BUDGETS,
+        mirror: str = DEFAULT_MIRROR,
+        max_link_load: float = 0.4,
+        dc_capacity_factor: Optional[float] = 10.0
+        ) -> List[BudgetSweepSeries]:
+    """Sweep the rule budget on each topology (LP solved once each)."""
+    if mirror not in _MIRRORS:
+        raise ValueError(f"unknown mirror {mirror!r}; choose from "
+                         f"{sorted(_MIRRORS)}")
+    return [_sweep_one(name, budgets, mirror, max_link_load,
+                       dc_capacity_factor)
+            for name in (topologies or DEFAULT_TOPOLOGIES)]
+
+
+def sweep_to_json(series: Sequence[BudgetSweepSeries],
+                  indent: Optional[int] = 2) -> str:
+    """The sweep as a JSON document (the CI artifact format)."""
+    return json.dumps({
+        "schema": 1,
+        "experiment": "budget-sweep",
+        "series": [s.to_dict() for s in series],
+    }, indent=indent, sort_keys=True)
+
+
+def format_budget_sweep(series: Sequence[BudgetSweepSeries]) -> str:
+    blocks = []
+    for entry in series:
+        rows = []
+        for pt in entry.points:
+            rows.append([
+                "inf" if pt.budget is None else str(pt.budget),
+                f"{pt.error_linf:.4f}",
+                f"{pt.error_l1:.4f}",
+                str(pt.total_rules),
+                str(pt.max_rules_per_node),
+                str(pt.max_table_rules),
+                f"{pt.max_node_load:.4f}",
+                f"{pt.max_link_load:.4f}",
+            ])
+        blocks.append(format_table(
+            ["Budget", "Linf err", "L1 err", "Rules", "Node max",
+             "Table max", "Max load", "Max link"],
+            rows,
+            title=f"rule-budget sweep on {entry.topology} "
+                  f"({entry.mirror}, MaxLinkLoad "
+                  f"{entry.max_link_load:g}, LP LoadCost "
+                  f"{entry.lp_load_cost:.4f})"))
+    return "\n\n".join(blocks)

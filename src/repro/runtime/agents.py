@@ -19,6 +19,14 @@ Install semantics mirror :mod:`repro.core.transitions`:
 - ``PREPARE`` / ``COMMIT`` / ``ABORT`` — two-phase commit: prepare
   stages without activating (voting NO when the staged config exceeds
   the agent's rule capacity), commit switches atomically per node.
+- ``DELTA_INSTALL`` / ``DELTA_RETIRE`` — incremental rollouts: the
+  controller ships only the rule-level difference from the previous
+  epoch (:mod:`repro.shim.diff`). Installs are added to the running
+  table (growing it, overlap-style, so coverage never drops);
+  retires are applied only after the driver saw every node
+  acknowledge. An agent with *no* running table refuses a delta
+  (``ok=False``) — there is nothing to patch — and the driver falls
+  back to a full install for that node.
 
 Dead agents (see :mod:`repro.runtime.faults`) acknowledge nothing;
 the channel's retransmission timer keeps trying until recovery.
@@ -32,6 +40,7 @@ from typing import Dict, List, Optional
 
 from repro.core.transitions import union_config
 from repro.shim.config import ShimConfig
+from repro.shim.diff import ConfigDelta, apply_delta
 
 
 class MessageKind(enum.Enum):
@@ -43,6 +52,8 @@ class MessageKind(enum.Enum):
     PREPARE = "prepare"
     COMMIT = "commit"
     ABORT = "abort"
+    DELTA_INSTALL = "delta-install"
+    DELTA_RETIRE = "delta-retire"
 
 
 @dataclass(frozen=True)
@@ -51,12 +62,15 @@ class ConfigMessage:
 
     ``version`` is the controller's rollout generation; retransmitted
     duplicates share a version, so agents can apply idempotently.
+    Full-table messages carry ``config``; incremental messages carry
+    ``delta`` instead.
     """
 
     kind: MessageKind
     version: int
     node: str
     config: Optional[ShimConfig] = None
+    delta: Optional[ConfigDelta] = None
 
 
 @dataclass(frozen=True)
@@ -213,6 +227,29 @@ class NodeAgent:
             return True
         if kind is MessageKind.ABORT:
             self._staged = None
+            return True
+        if kind is MessageKind.DELTA_INSTALL:
+            if message.delta is None or self._active is None:
+                # No base table to patch (fresh/recovered node):
+                # refuse so the driver falls back to a full install.
+                return False
+            grown = apply_delta(
+                self._active,
+                ConfigDelta(node=self.name,
+                            installs=message.delta.installs))
+            if not self._fits(grown):
+                return False
+            self._active = grown
+            self.installs += 1
+            return True
+        if kind is MessageKind.DELTA_RETIRE:
+            if message.delta is None:
+                return False
+            if self._active is not None:
+                self._active = apply_delta(
+                    self._active,
+                    ConfigDelta(node=self.name,
+                                retires=message.delta.retires))
             return True
         raise ValueError(f"unknown message kind {kind!r}")
 

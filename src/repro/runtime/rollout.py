@@ -17,6 +17,15 @@ controller refresh through one of three strategies:
 - ``direct`` — fire-and-forget ``INSTALL``, used for bootstrap and
   structural (node-set-changing) rollouts where there is no old
   configuration worth honoring.
+- ``delta`` — the incremental variant of ``overlap``: instead of
+  full tables, each node receives only the rule-level difference
+  from its previous config (:mod:`repro.shim.diff`) — installs
+  first (the running table only grows, so coverage never drops),
+  retires after every node acknowledged. Nodes whose tables are
+  already exact are skipped outright; a node that cannot patch
+  (e.g. rebooted clean) refuses and gets a full install instead.
+  Strictly fewer rules cross the channel on steady drift, shrinking
+  both rollout traffic and the vulnerable transient window.
 
 :func:`coverage_report` is the accounting half: given the *actually
 installed* per-node configs at any instant, it computes each class's
@@ -43,6 +52,7 @@ from repro.runtime.agents import (
 )
 from repro.runtime.events import EventLoop
 from repro.shim.config import ShimConfig
+from repro.shim.diff import ConfigDelta, diff_configs
 from repro.traffic.classes import TrafficClass
 
 
@@ -157,6 +167,21 @@ class RolloutSession:
     outcome: RolloutOutcome = RolloutOutcome.IN_FLIGHT
     acked_nodes: Set[str] = field(default_factory=set)
     refused_nodes: Set[str] = field(default_factory=set)
+    #: rules carried by the messages this rollout sent (full tables
+    #: for install/overlap/prepare, rule-level deltas for the delta
+    #: strategy) — the churn a rollout puts on the control channel.
+    rules_shipped: int = 0
+    #: rules *installed* into agent tables (shipped minus retires —
+    #: the table-write churn; for full-table strategies the two
+    #: counts coincide).
+    rules_installed: int = 0
+    #: delta strategy only: total install+retire rules across nodes.
+    delta_rules: Optional[int] = None
+    #: delta strategy only: rules a full-table rollout would ship.
+    full_rules: Optional[int] = None
+    #: delta-strategy nodes that refused the patch and were re-sent
+    #: their full table.
+    fallback_nodes: Set[str] = field(default_factory=set)
 
     @property
     def latency(self) -> Optional[float]:
@@ -169,7 +194,7 @@ class RolloutSession:
 class RolloutDriver:
     """Runs rollouts over a channel, one strategy per driver."""
 
-    STRATEGIES = ("overlap", "two-phase", "direct")
+    STRATEGIES = ("overlap", "two-phase", "direct", "delta")
 
     def __init__(self, channel: ConfigChannel,
                  strategy: str = "overlap") -> None:
@@ -196,7 +221,7 @@ class RolloutDriver:
         """
         self._version += 1
         strategy = self.strategy
-        if transition is None and strategy == "overlap":
+        if transition is None and strategy in ("overlap", "delta"):
             strategy = "direct"
         session = RolloutSession(version=self._version,
                                  strategy=strategy,
@@ -220,6 +245,10 @@ class RolloutDriver:
             assert transition is not None
             self._run_overlap(loop, agents, configs, targets, session,
                               transition, _finish)
+        elif strategy == "delta":
+            assert transition is not None
+            self._run_delta(loop, agents, configs, targets, session,
+                            transition, _finish)
         else:
             self._run_two_phase(loop, agents, configs, targets,
                                 session, _finish)
@@ -240,6 +269,8 @@ class RolloutDriver:
                 finish(RolloutOutcome.COMPLETED)
 
         for node in targets:
+            session.rules_shipped += configs[node].num_rules
+            session.rules_installed += configs[node].num_rules
             self.channel.send(loop, agents[node], ConfigMessage(
                 MessageKind.INSTALL, session.version, node,
                 configs[node]), on_ack)
@@ -276,9 +307,113 @@ class RolloutDriver:
                         on_retire_ack)
 
         for node in targets:
+            session.rules_shipped += configs[node].num_rules
+            session.rules_installed += configs[node].num_rules
             self.channel.send(loop, agents[node], ConfigMessage(
                 MessageKind.OVERLAP_INSTALL, session.version, node,
                 configs[node]), on_ack)
+
+    def _run_delta(self, loop, agents, configs, targets, session,
+                   transition, finish) -> None:
+        """Incremental overlap: ship per-node rule deltas, installs
+        first; retires go out only after every node acknowledged, so
+        no hash point loses its owner mid-rollout."""
+        if transition.phase is TransitionPhase.IDLE:
+            transition.begin()
+        deltas = diff_configs(
+            {node: transition.old_configs[node] for node in targets
+             if node in transition.old_configs},
+            {node: configs[node] for node in targets})
+        session.delta_rules = sum(d.num_rules
+                                  for d in deltas.values())
+        session.full_rules = sum(configs[node].num_rules
+                                 for node in targets)
+
+        def on_retire_ack(ack: Ack) -> None:
+            session.acked_nodes.discard(ack.node)
+            if not session.acked_nodes and session.retired_at is None:
+                session.retired_at = loop.now
+
+        def _acknowledge(node: str) -> None:
+            if node in session.acked_nodes:
+                return
+            session.acked_nodes.add(node)
+            if node in transition.pending_nodes:
+                transition.acknowledge(node)
+            if transition.phase is TransitionPhase.COMPLETE and \
+                    session.completed_at is None:
+                finish(RolloutOutcome.COMPLETED)
+                # Everyone runs the new rules; old rules can go. A
+                # node that fell back to a full overlap install holds
+                # old+new tables and needs a plain RETIRE promote; the
+                # rest retire their stale rules by delta.
+                for node in sorted(session.acked_nodes):
+                    if node in session.fallback_nodes:
+                        self.channel.send(
+                            loop, agents[node],
+                            ConfigMessage(MessageKind.RETIRE,
+                                          session.version, node),
+                            on_retire_ack)
+                        continue
+                    delta = deltas[node]
+                    if not delta.retires:
+                        on_retire_ack(Ack(node, session.version,
+                                          MessageKind.DELTA_RETIRE,
+                                          True, loop.now))
+                        continue
+                    session.rules_shipped += len(delta.retires)
+                    self.channel.send(
+                        loop, agents[node],
+                        ConfigMessage(
+                            MessageKind.DELTA_RETIRE,
+                            session.version, node,
+                            delta=ConfigDelta(
+                                node=node,
+                                retires=delta.retires)),
+                        on_retire_ack)
+
+        def on_full_ack(ack: Ack) -> None:
+            if not ack.ok:
+                session.refused_nodes.add(ack.node)
+                return
+            _acknowledge(ack.node)
+
+        def on_ack(ack: Ack) -> None:
+            if not ack.ok:
+                # The node could not patch (no base table, or the
+                # grown table overflows capacity): fall back to one
+                # full-table overlap install for this node.
+                if ack.node in session.fallback_nodes:
+                    session.refused_nodes.add(ack.node)
+                    return
+                session.fallback_nodes.add(ack.node)
+                session.rules_shipped += configs[ack.node].num_rules
+                session.rules_installed += configs[ack.node].num_rules
+                self.channel.send(loop, agents[ack.node],
+                                  ConfigMessage(
+                                      MessageKind.OVERLAP_INSTALL,
+                                      session.version, ack.node,
+                                      configs[ack.node]),
+                                  on_full_ack)
+                return
+            _acknowledge(ack.node)
+
+        for node in targets:
+            delta = deltas[node]
+            if delta.is_empty:
+                # The table is already exact — nothing to ship.
+                _acknowledge(node)
+                continue
+            session.rules_shipped += len(delta.installs)
+            session.rules_installed += len(delta.installs)
+            self.channel.send(
+                loop, agents[node],
+                ConfigMessage(MessageKind.DELTA_INSTALL,
+                              session.version, node,
+                              delta=ConfigDelta(
+                                  node=node,
+                                  installs=delta.installs)),
+                on_ack)
 
     def _run_two_phase(self, loop, agents, configs, targets, session,
                        finish) -> None:
@@ -320,6 +455,8 @@ class RolloutDriver:
                 finish(RolloutOutcome.ABORTED)
 
         for node in targets:
+            session.rules_shipped += configs[node].num_rules
+            session.rules_installed += configs[node].num_rules
             self.channel.send(loop, agents[node], ConfigMessage(
                 MessageKind.PREPARE, session.version, node,
                 configs[node]), on_vote)

@@ -155,6 +155,8 @@ class EpochRecord:
     emulated_alerts: int
     events_fired: int
     solve_wall_seconds: Optional[float] = None
+    rules_shipped: Optional[int] = None
+    rules_installed: Optional[int] = None
 
     def deterministic_dict(self) -> Dict:
         out = {
@@ -173,6 +175,8 @@ class EpochRecord:
             "emulated_max_work": self.emulated_max_work,
             "emulated_alerts": self.emulated_alerts,
             "events_fired": self.events_fired,
+            "rules_shipped": self.rules_shipped,
+            "rules_installed": self.rules_installed,
         }
         return out
 
@@ -212,6 +216,11 @@ class ScenarioReport:
                                    default=0.0),
             "mean_rollout_latency": (sum(latencies) / len(latencies)
                                      if latencies else None),
+            "rules_shipped": sum(r.rules_shipped for r in self.records
+                                 if r.rules_shipped is not None),
+            "rules_installed": sum(r.rules_installed
+                                   for r in self.records
+                                   if r.rules_installed is not None),
             "final_lp_load_cost": next(
                 (r.lp_load_cost for r in reversed(self.records)
                  if r.lp_load_cost is not None), None),
@@ -428,10 +437,14 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
             solve_wall_seconds=(refresh.solve_wall_seconds
                                 if refresh is not None else None)))
 
-    # Rollout latencies are known only once sessions complete (a slow
-    # rollout can span epochs), so fill them in after the run.
+    # Rollout latencies and shipped-rule counts are known only once
+    # sessions complete (a slow rollout can span epochs), so fill them
+    # in after the run.
     for epoch, refresh in pending_refresh:
         records[epoch].rollout_latency = refresh.session.latency
+        records[epoch].rules_shipped = refresh.session.rules_shipped
+        records[epoch].rules_installed = \
+            refresh.session.rules_installed
 
     return ScenarioReport(scenario=scenario, records=records)
 

@@ -15,6 +15,14 @@ from repro.shim.batch import (
     MirrorLinkIndex,
     UnsupportedShimConfig,
 )
+from repro.shim.budget import BudgetedLowering, budgeted_hash_ranges
+from repro.shim.diff import (
+    ConfigDelta,
+    apply_delta,
+    canonical_config,
+    diff_config,
+    diff_configs,
+)
 from repro.shim.hashing import (
     FiveTuple,
     bob_hash,
@@ -38,6 +46,8 @@ from repro.shim.shim import Shim, ShimDecision
 
 __all__ = [
     "BatchShimKernel",
+    "BudgetedLowering",
+    "ConfigDelta",
     "FiveTuple",
     "HashRange",
     "MirrorLinkIndex",
@@ -47,13 +57,18 @@ __all__ = [
     "ShimDecision",
     "ShimRule",
     "UnsupportedShimConfig",
+    "apply_delta",
     "bob_hash",
     "bob_hash_batch",
+    "budgeted_hash_ranges",
     "build_aggregation_configs",
     "build_replication_configs",
     "build_split_configs",
+    "canonical_config",
     "canonical_five_tuple",
     "compile_hash_ranges",
+    "diff_config",
+    "diff_configs",
     "field_hash",
     "field_hash_batch",
     "session_hash",

@@ -136,6 +136,15 @@ class BatchShimKernel:
     def num_tables(self) -> int:
         return len(self._tables)
 
+    @property
+    def max_table_rules(self) -> int:
+        """Largest compiled (node, class, direction) range table —
+        the per-table occupancy a TCAM rule budget bounds. Budgeted
+        configs (``build_*_configs(budget=B)``) always lower to
+        tables of at most ``B`` rows."""
+        return max((len(table.starts)
+                    for table in self._tables.values()), default=0)
+
     def decide(self, node_ids: np.ndarray, class_ids: np.ndarray,
                directions: np.ndarray,
                hash_columns: Dict[HashMode, np.ndarray]

@@ -29,7 +29,9 @@ from repro.core.results import (
     ReplicationResult,
     SplitTrafficResult,
 )
-from repro.shim.ranges import HashRange, compile_hash_ranges
+from repro.obs import get_registry
+from repro.shim.budget import BudgetedLowering, budgeted_hash_ranges
+from repro.shim.ranges import HashRange
 
 
 class ShimAction(enum.Enum):
@@ -95,7 +97,19 @@ class ShimConfig:
 
     @property
     def num_rules(self) -> int:
-        return sum(len(rules) for rules in self.rules.values())
+        """Installable rule count — the exact quantity the runtime
+        agents charge against ``rule_capacity``.
+
+        Zero-width ranges can never match a packet (``contains`` is
+        start-inclusive/end-exclusive), so they occupy no table entry
+        and are not counted; builders avoid emitting them. Keeping
+        this definition shared between compiler and agents is what
+        makes "compiled within budget" imply "installable within
+        budget".
+        """
+        return sum(1 for rules in self.rules.values()
+                   for rule in rules
+                   if rule.hash_range.end > rule.hash_range.start)
 
 
 def _empty_configs(state: NetworkState) -> Dict[str, ShimConfig]:
@@ -103,16 +117,49 @@ def _empty_configs(state: NetworkState) -> Dict[str, ShimConfig]:
             for node in state.nids_nodes}
 
 
-def build_replication_configs(state: NetworkState,
-                              result: ReplicationResult
-                              ) -> Dict[str, ShimConfig]:
+def _record_budget_metrics(
+        configs: Dict[str, ShimConfig],
+        lowerings: Dict[str, BudgetedLowering]) -> None:
+    """Publish the budgeted-compile fidelity metrics.
+
+    ``shim.coverage_error`` gets one sample per compiled layout (the
+    Linf deviation of realized widths from the LP fractions) and
+    ``shim.rules_per_node`` one sample per node (total rules across
+    classes) — the two quantities a TCAM-bounded deployment watches.
+    """
+    metrics = get_registry()
+    if not metrics.enabled:
+        return
+    for lowering in lowerings.values():
+        metrics.observe("shim.coverage_error", lowering.error_linf)
+    for config in configs.values():
+        metrics.observe("shim.rules_per_node", config.num_rules)
+
+
+def build_replication_configs(
+        state: NetworkState, result: ReplicationResult,
+        budget: Optional[int] = None,
+        lowerings: Optional[Dict[str, BudgetedLowering]] = None
+        ) -> Dict[str, ShimConfig]:
     """Compile Section 4 decisions into per-node shim configs.
 
     For each class, lays out the ``p_{c,j}`` ranges first and the
     ``o_{c,j,j'}`` ranges after them (Section 7.1's two loops), then
     installs each range at the node that must act on it.
+
+    Args:
+        budget: optional per-class rule budget — the layout is lowered
+            through :func:`~repro.shim.budget.budgeted_hash_ranges`,
+            emitting at most ``budget`` ranges per class (so no node
+            installs more than ``budget`` rules for any class) whose
+            widths approximate the LP fractions. ``None`` reproduces
+            the exact, unbounded lowering.
+        lowerings: when provided, filled with each class's
+            :class:`~repro.shim.budget.BudgetedLowering` so callers
+            can inspect the quantified coverage error.
     """
     configs = _empty_configs(state)
+    recorded: Dict[str, BudgetedLowering] = {}
     for cls in state.classes:
         entries: List[Tuple[tuple, float]] = []
         process = result.process_fractions.get(cls.name, {})
@@ -122,7 +169,9 @@ def build_replication_configs(state: NetworkState,
         for node, mirror in sorted(offload):
             entries.append((("replicate", node, mirror),
                             offload[(node, mirror)]))
-        for rng in compile_hash_ranges(entries):
+        lowering = budgeted_hash_ranges(entries, budget)
+        recorded[cls.name] = lowering
+        for rng in lowering.ranges:
             if rng.key[0] == "process":
                 _, node = rng.key
                 rule = ShimRule(cls.name, rng, ShimAction.PROCESS)
@@ -133,17 +182,23 @@ def build_replication_configs(state: NetworkState,
             configs[node].rules.setdefault(cls.name, []).append(rule)
         # The replication target must also process what it receives:
         # give mirrors PROCESS rules over the ranges replicated to them.
-        for rng in compile_hash_ranges(entries):
+        for rng in lowering.ranges:
             if rng.key[0] == "replicate":
                 _, _, mirror = rng.key
                 configs[mirror].rules.setdefault(cls.name, []).append(
                     ShimRule(cls.name, rng, ShimAction.PROCESS))
+    if lowerings is not None:
+        lowerings.update(recorded)
+    if budget is not None:
+        _record_budget_metrics(configs, recorded)
     return configs
 
 
-def build_split_configs(state: NetworkState,
-                        result: SplitTrafficResult
-                        ) -> Dict[str, ShimConfig]:
+def build_split_configs(
+        state: NetworkState, result: SplitTrafficResult,
+        budget: Optional[int] = None,
+        lowerings: Optional[Dict[str, BudgetedLowering]] = None
+        ) -> Dict[str, ShimConfig]:
     """Compile Section 5 decisions with bidirectional semantics.
 
     Layout per class: ``p`` ranges occupy ``[0, sum_p)`` and apply to
@@ -151,17 +206,33 @@ def build_split_configs(state: NetworkState,
     ``sum_p`` independently. A session hash below
     ``min(cov_fwd, cov_rev)`` therefore has both its directions
     analyzed at a single location (a common node or the datacenter).
+
+    Args:
+        budget: optional per-class-per-direction rule budget. The
+            shared local prefix is lowered within ``budget`` ranges;
+            each direction's offload tail then gets whatever is left
+            of the budget after the shared rules (a direction's
+            rule table is shared + its own offloads). A fully
+            consumed budget drops that direction's offloads entirely
+            — split coverage is partial by design, so this trades
+            coverage, not correctness.
+        lowerings: filled per compiled segment — key ``cls`` for the
+            shared prefix, ``cls:fwd`` / ``cls:rev`` for the
+            direction tails.
     """
     dc = state.dc_node
     configs = _empty_configs(state)
+    recorded: Dict[str, BudgetedLowering] = {}
     for cls in state.classes:
         process = result.process_fractions.get(cls.name, {})
         shared: List[Tuple[tuple, float]] = []
         for node in sorted(process):
             shared.append((("process", node), process[node]))
-        shared_ranges = compile_hash_ranges(
-            shared, require_full_coverage=False)
-        local_total = sum(max(0.0, f) for _, f in shared)
+        shared_lowering = budgeted_hash_ranges(
+            shared, budget, require_full_coverage=False)
+        shared_ranges = shared_lowering.ranges
+        recorded[cls.name] = shared_lowering
+        local_total = sum(rng.width for rng in shared_ranges)
 
         for rng in shared_ranges:
             _, node = rng.key
@@ -169,17 +240,28 @@ def build_split_configs(state: NetworkState,
                 ShimRule(cls.name, rng, ShimAction.PROCESS,
                          direction="both"))
 
+        tail_budget = (None if budget is None
+                       else budget - len(shared_ranges))
         for direction, offloads in (("fwd", result.fwd_offloads),
                                     ("rev", result.rev_offloads)):
             fractions = offloads.get(cls.name, {})
-            cursor = local_total
-            for node in sorted(fractions):
-                fraction = max(0.0, fractions[node])
-                if fraction <= 1e-9:
+            entries = [(("replicate", node),
+                        max(0.0, min(fractions[node],
+                                     1.0 - local_total)))
+                       for node in sorted(fractions)]
+            if tail_budget is not None and tail_budget < 1:
+                continue  # shared prefix consumed the whole budget
+            tail = budgeted_hash_ranges(
+                entries, tail_budget, require_full_coverage=False)
+            recorded[f"{cls.name}:{direction}"] = tail
+            for offset_rng in tail.ranges:
+                _, node = offset_rng.key
+                rng = HashRange(offset_rng.key,
+                                local_total + offset_rng.start,
+                                min(1.0,
+                                    local_total + offset_rng.end))
+                if rng.end <= rng.start:
                     continue
-                rng = HashRange(("replicate", node),
-                                cursor, min(1.0, cursor + fraction))
-                cursor += fraction
                 configs[node].rules.setdefault(cls.name, []).append(
                     ShimRule(cls.name, rng, ShimAction.REPLICATE,
                              target=dc, direction=direction))
@@ -187,23 +269,41 @@ def build_split_configs(state: NetworkState,
                     configs[dc].rules.setdefault(cls.name, []).append(
                         ShimRule(cls.name, rng, ShimAction.PROCESS,
                                  direction=direction))
+    if lowerings is not None:
+        lowerings.update(recorded)
+    if budget is not None:
+        _record_budget_metrics(configs, recorded)
     return configs
 
 
-def build_aggregation_configs(state: NetworkState,
-                              result: AggregationResult,
-                              hash_mode: HashMode = HashMode.SOURCE
-                              ) -> Dict[str, ShimConfig]:
+def build_aggregation_configs(
+        state: NetworkState, result: AggregationResult,
+        hash_mode: HashMode = HashMode.SOURCE,
+        budget: Optional[int] = None,
+        lowerings: Optional[Dict[str, BudgetedLowering]] = None
+        ) -> Dict[str, ShimConfig]:
     """Compile Section 6 decisions: per-source (or per-destination)
-    counting ranges for each on-path node."""
+    counting ranges for each on-path node.
+
+    ``budget``/``lowerings`` behave as in
+    :func:`build_replication_configs` (at most ``budget`` counting
+    ranges per class, realized widths approximating the fractions).
+    """
     configs = _empty_configs(state)
+    recorded: Dict[str, BudgetedLowering] = {}
     for cls in state.classes:
         process = result.process_fractions.get(cls.name, {})
         entries = [(("process", node), process[node])
                    for node in sorted(process)]
-        for rng in compile_hash_ranges(entries):
+        lowering = budgeted_hash_ranges(entries, budget)
+        recorded[cls.name] = lowering
+        for rng in lowering.ranges:
             _, node = rng.key
             configs[node].rules.setdefault(cls.name, []).append(
                 ShimRule(cls.name, rng, ShimAction.PROCESS,
                          hash_mode=hash_mode))
+    if lowerings is not None:
+        lowerings.update(recorded)
+    if budget is not None:
+        _record_budget_metrics(configs, recorded)
     return configs

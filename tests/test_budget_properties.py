@@ -1,0 +1,185 @@
+"""Property-based tests for the rule-budgeted lowering.
+
+For arbitrary fraction vectors and budgets,
+:func:`~repro.shim.budget.budgeted_hash_ranges` must emit at most
+``budget`` ranges that tile [0, 1) exactly (contiguous, no overlap,
+no gap), reproduce the unbudgeted compiler bit-for-bit when the
+budget is absent or slack, and lose fidelity *monotonically* — a
+bigger table is never worse. These are the invariants the TCAM
+approximation (Sadeh/Rottenstreich/Kaplan) is allowed to rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shim.budget import budgeted_hash_ranges
+from repro.shim.ranges import compile_hash_ranges
+
+EPS = 1e-9
+
+
+def _entries_from_weights(weights):
+    """Positive weights -> (key, fraction) pairs summing exactly to 1."""
+    total = sum(weights)
+    fractions = [w / total for w in weights]
+    fractions[-1] = 1.0 - sum(fractions[:-1])
+    return [(f"k{i}", fraction)
+            for i, fraction in enumerate(fractions)]
+
+
+weight_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1, max_size=10,
+).filter(lambda ws: sum(ws) > 0.01)
+
+budgets = st.integers(min_value=1, max_value=12)
+
+
+class TestBudgetedTiling:
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors, budget=budgets)
+    def test_tiles_unit_interval_without_overlap(self, weights,
+                                                 budget):
+        """Budgeted ranges start at 0, are contiguous (no overlap, no
+        gap), and the last one ends exactly at 1.0 — the approximation
+        moves boundaries, never coverage."""
+        entries = _entries_from_weights(weights)
+        lowering = budgeted_hash_ranges(entries, budget)
+        ranges = lowering.ranges
+        assert ranges, "a unit-sum layout always emits ranges"
+        assert ranges[0].start == 0.0
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert cur.start == prev.end  # contiguous: no gap/overlap
+        assert ranges[-1].end == 1.0
+        for rng in ranges:
+            assert rng.width > 0.0
+
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors, budget=budgets)
+    def test_never_exceeds_budget(self, weights, budget):
+        entries = _entries_from_weights(weights)
+        lowering = budgeted_hash_ranges(entries, budget)
+        assert lowering.num_rules <= budget
+        assert set(lowering.dropped_keys).isdisjoint(
+            rng.key for rng in lowering.ranges)
+
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors, budget=budgets)
+    def test_realized_accounts_every_key(self, weights, budget):
+        """`realized` covers every target key (dropped ones at 0) and
+        its widths sum to the full unit of hash space."""
+        entries = _entries_from_weights(weights)
+        lowering = budgeted_hash_ranges(entries, budget)
+        assert set(lowering.realized) == set(lowering.targets)
+        assert sum(lowering.realized.values()) == pytest.approx(1.0)
+        for key in lowering.dropped_keys:
+            assert lowering.realized[key] == 0.0
+
+
+class TestBudgetedFidelity:
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors, budget=budgets)
+    def test_error_monotone_in_budget(self, weights, budget):
+        """Growing the budget by one never increases either error
+        norm (proportional redistribution: L1 = 2x dropped mass,
+        Linf bounded by shrinking terms)."""
+        entries = _entries_from_weights(weights)
+        small = budgeted_hash_ranges(entries, budget)
+        large = budgeted_hash_ranges(entries, budget + 1)
+        assert large.error_l1 <= small.error_l1 + 1e-9
+        assert large.error_linf <= small.error_linf + 1e-9
+
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors, budget=budgets)
+    def test_l1_error_is_twice_dropped_mass(self, weights, budget):
+        """The dropped mass re-lands on kept keys, so the L1 norm is
+        exactly twice the dropped target mass (modulo the final
+        snap-to-1.0 float correction)."""
+        entries = _entries_from_weights(weights)
+        lowering = budgeted_hash_ranges(entries, budget)
+        dropped_mass = sum(lowering.targets[key]
+                           for key in lowering.dropped_keys)
+        assert lowering.error_l1 == pytest.approx(2.0 * dropped_mass,
+                                                  abs=1e-6)
+
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors)
+    def test_slack_budget_is_exact(self, weights):
+        """A budget at least as large as the nonzero-fraction count
+        realizes the targets exactly: zero error in both norms."""
+        entries = _entries_from_weights(weights)
+        nonzero = sum(1 for _, f in entries if f > EPS)
+        lowering = budgeted_hash_ranges(entries, nonzero)
+        assert lowering.error_l1 == pytest.approx(0.0, abs=1e-6)
+        assert lowering.error_linf == pytest.approx(0.0, abs=1e-6)
+        assert not lowering.dropped_keys
+
+
+class TestUnbudgetedParity:
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors)
+    def test_budget_none_matches_compile_hash_ranges(self, weights):
+        """budget=None reproduces the unbudgeted compiler
+        bit-for-bit — same keys, same float boundaries."""
+        entries = _entries_from_weights(weights)
+        lowering = budgeted_hash_ranges(entries, None)
+        assert list(lowering.ranges) == compile_hash_ranges(entries)
+        # epsilon-skipped slivers and the snap-to-1.0 of the last
+        # range leave sub-1e-6 float dust, never real error
+        assert lowering.error_l1 == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=120, deadline=None)
+    @given(weights=weight_vectors, extra=st.integers(0, 5))
+    def test_slack_budget_matches_compile_hash_ranges(self, weights,
+                                                      extra):
+        """Any budget >= the nonzero count is also bit-identical to
+        the unbudgeted compile (the budgeted path is a strict
+        superset, not a parallel implementation)."""
+        entries = _entries_from_weights(weights)
+        nonzero = sum(1 for _, f in entries if f > EPS)
+        lowering = budgeted_hash_ranges(entries, nonzero + extra)
+        assert list(lowering.ranges) == compile_hash_ranges(entries)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weights=weight_vectors, budget=budgets,
+           cut=st.floats(min_value=0.1, max_value=0.9))
+    def test_partial_coverage_preserves_span(self, weights, budget,
+                                             cut):
+        """With require_full_coverage=False the budgeted ranges tile
+        the same *prefix* span the fractions add up to."""
+        entries = [(key, fraction * cut)
+                   for key, fraction in _entries_from_weights(weights)]
+        lowering = budgeted_hash_ranges(entries, budget,
+                                        require_full_coverage=False)
+        span = sum(rng.width for rng in lowering.ranges)
+        target_span = sum(f for _, f in entries)
+        assert span == pytest.approx(target_span, abs=1e-9)
+        assert lowering.num_rules <= budget
+        cursor = 0.0
+        for rng in lowering.ranges:
+            assert rng.start == pytest.approx(cursor, abs=1e-12)
+            cursor = rng.end
+
+
+class TestBudgetValidation:
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            budgeted_hash_ranges([("a", 1.0)], 0)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            budgeted_hash_ranges([("a", -0.5), ("b", 1.5)], 2)
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            budgeted_hash_ranges([("a", 0.5), ("a", 0.5)], 2)
+
+    def test_deterministic_tie_break(self):
+        """Equal fractions keep the earliest layout position, so the
+        same inputs always compile to the same table."""
+        entries = [("a", 0.25), ("b", 0.25), ("c", 0.25),
+                   ("d", 0.25)]
+        lowering = budgeted_hash_ranges(entries, 2)
+        assert [rng.key for rng in lowering.ranges] == ["a", "b"]
+        assert lowering.dropped_keys == ("c", "d")

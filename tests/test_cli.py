@@ -193,3 +193,51 @@ class TestScenario:
                      "--json", "/nonexistent-dir/x.json"]) == 1
         err = capsys.readouterr().err
         assert "cannot write" in err
+
+
+class TestBudgetSweep:
+    def test_prints_curve_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        assert main(["budget-sweep", "--topology", "tinet",
+                     "--budgets", "1,2,inf", "--mirror", "dc",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rule-budget sweep on tinet" in out
+        assert "Linf err" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["experiment"] == "budget-sweep"
+        budgets = [pt["budget"]
+                   for pt in payload["series"][0]["points"]]
+        assert budgets == [1, 2, None]
+
+    def test_bad_budget_rejected(self, capsys):
+        assert main(["budget-sweep", "--topology", "tinet",
+                     "--budgets", "0"]) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_unknown_mirror_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["budget-sweep", "--mirror", "teleport"])
+
+
+class TestScenarioStrategy:
+    def test_delta_strategy_flag(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "report.json"
+        assert main(["scenario", "steady-drift", "--epochs", "3",
+                     "--strategy", "delta", "--json",
+                     str(json_path)]) == 0
+        report = json.loads(json_path.read_text())
+        assert report["scenario"]["strategy"] == "delta"
+        installed = [epoch["rules_installed"]
+                     for epoch in report["epochs"]
+                     if epoch["rules_installed"] is not None]
+        assert installed and all(n >= 0 for n in installed)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "steady-drift", "--strategy", "magic"])

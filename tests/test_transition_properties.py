@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.core.transitions import OverlapTransition, union_config
 from repro.runtime.rollout import coverage_report
 from repro.shim.config import ShimAction, ShimConfig, ShimRule
+from repro.shim.diff import ConfigDelta, apply_delta, diff_configs
 from repro.shim.ranges import compile_hash_ranges
 from repro.traffic.classes import TrafficClass
 
@@ -107,3 +108,57 @@ class TestOverlapNeverUncovers:
                 for cfg in (old[node], new[node])
                 for rule in cfg.rules_for(CLASS.name))
             assert abs(merged_mass - parts_mass) <= EPS
+
+
+class TestDeltaRolloutNeverUncovers:
+    """The delta strategy's phase ordering (all installs land before
+    any retire goes out) gives the same zero-gap guarantee as full
+    overlap, with the deltas applied node-by-node in any order."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(old_weights=weight_vectors, new_weights=weight_vectors,
+           install_order=st.permutations(NODES),
+           retire_order=st.permutations(NODES))
+    def test_no_unowned_point_under_any_interleaving(
+            self, old_weights, new_weights, install_order,
+            retire_order):
+        old = _configs_from_weights(old_weights)
+        new = _configs_from_weights(new_weights)
+        deltas = diff_configs(old, new)
+        running = dict(old)
+
+        union, total = _masses(running)
+        assert union >= 1.0 - EPS          # before: old covers all
+
+        for node in install_order:         # install phase, any order
+            running[node] = apply_delta(
+                running[node],
+                ConfigDelta(node=node,
+                            installs=deltas[node].installs))
+            union, total = _masses(running)
+            assert union >= 1.0 - EPS      # never a gap mid-rollout
+            assert total <= 2.0 + EPS      # at most old+new work
+
+        for node in retire_order:          # retires only after acks
+            running[node] = apply_delta(
+                running[node],
+                ConfigDelta(node=node,
+                            retires=deltas[node].retires))
+            union, total = _masses(running)
+            assert union >= 1.0 - EPS      # retires never uncover
+
+        union, total = _masses(running)
+        assert total <= 1.0 + EPS          # after: exactly new
+
+    @settings(max_examples=60, deadline=None)
+    @given(old_weights=weight_vectors, new_weights=weight_vectors)
+    def test_deltas_converge_on_fresh_compile(self, old_weights,
+                                              new_weights):
+        from repro.shim.diff import canonical_config
+
+        old = _configs_from_weights(old_weights)
+        new = _configs_from_weights(new_weights)
+        deltas = diff_configs(old, new)
+        for node in NODES:
+            assert apply_delta(old[node], deltas[node]) == \
+                canonical_config(new[node])
