@@ -25,6 +25,13 @@ CoNEXT'12, Sections 4 and 7):
   *exactly* — the approximation moves range boundaries, never opens
   gaps — and no (node, class, direction) bucket may hold more than
   ``B`` rules, the declared TCAM capacity.
+- **Sharded control plane** (SHRD001-SHRD002): the per-region config
+  sets produced by the sharded planner, *unioned*, must still tile
+  every class's hash space exactly (each class is planned by exactly
+  one region, so cross-region double-coverage or a dropped class is a
+  coordination bug), and the coordinator's summed per-region capacity
+  allocations at any shared node must not exceed the node's actual
+  capacity.
 
 :func:`precheck` is the library pre-solve guard: call it (or export
 ``REPRO_VERIFY_MODELS=1`` to have every
@@ -42,7 +49,8 @@ tables.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Set, Tuple)
 
 from repro.analysis.engine import Finding, Severity
 from repro.lpsolve.constraint import Constraint, ConstraintSense
@@ -429,6 +437,131 @@ def check_budgeted_configs(configs: Mapping[str, ShimConfig],
                 f"class {cls_name!r} ({direction}): budgeted "
                 f"PROCESS ranges end at {cursor}, not {space} — "
                 "the tail of the hash space is unowned"))
+    return findings
+
+
+# -- sharded control plane ------------------------------------------------
+
+def check_sharded_configs(
+        regional_configs: Mapping[str, Mapping[str, ShimConfig]],
+        class_names: Sequence[str]) -> List[Finding]:
+    """SHRD001 — the union of regional configs tiles every class.
+
+    The sharded planner assigns each traffic class to exactly one
+    region, and that region's configs must own the class's *entire*
+    hash space ``[0, 2^32)``. Measured in exact integer hash units
+    with the SHIM003 cursor walk over the union of all regions'
+    PROCESS ranges: an overlap means two regional controllers both
+    claimed the hash units (sessions analyzed twice), a gap or a
+    missing class means no region claimed them (silent miss). Every
+    name in ``class_names`` must be covered — a class that vanished
+    from every region is exactly the failover bug this rule exists
+    to catch.
+    """
+    findings: List[Finding] = []
+    spans_by_class: Dict[Tuple[str, str],
+                         List[Tuple[int, int, str, str]]] = {}
+    owners: Dict[str, Set[str]] = {}
+    for region in sorted(regional_configs):
+        configs = regional_configs[region]
+        for node in sorted(configs):
+            for cls_name, rules in sorted(configs[node].rules.items()):
+                owners.setdefault(cls_name, set()).add(region)
+                for rule in rules:
+                    if rule.action is not ShimAction.PROCESS:
+                        continue
+                    start = _hash_units(rule.hash_range.start)
+                    end = _hash_units(rule.hash_range.end)
+                    if end <= start:
+                        continue
+                    for direction in _directions(rule):
+                        spans_by_class.setdefault(
+                            (cls_name, direction), []).append(
+                            (start, end, region, node))
+
+    space = int(_HASH_SPACE)
+    for cls_name in sorted(class_names):
+        regions = sorted(owners.get(cls_name, ()))
+        if len(regions) > 1:
+            findings.append(_finding(
+                "SHRD001", "<shard:union>",
+                f"class {cls_name!r} is configured by "
+                f"{len(regions)} regions ({', '.join(regions)}) — "
+                "the partition must assign each class to exactly "
+                "one region"))
+        for direction in ("fwd", "rev"):
+            spans = spans_by_class.get((cls_name, direction), [])
+            spans.sort(key=lambda item: (item[0], item[1]))
+            cursor = 0
+            for start, end, region, node in spans:
+                if start < cursor:
+                    findings.append(_finding(
+                        "SHRD001", "<shard:union>",
+                        f"class {cls_name!r} ({direction}): PROCESS "
+                        f"range [{start}, {end}) from region "
+                        f"{region!r} (node {node!r}) overlaps "
+                        f"coverage up to {cursor} — two regional "
+                        "controllers claim the same hash units"))
+                elif start > cursor:
+                    findings.append(_finding(
+                        "SHRD001", "<shard:union>",
+                        f"class {cls_name!r} ({direction}): no "
+                        f"region owns hash units [{cursor}, {start})"
+                        " — sessions hashing there are analyzed "
+                        "nowhere"))
+                cursor = max(cursor, end)
+            if cursor != space:
+                findings.append(_finding(
+                    "SHRD001", "<shard:union>",
+                    f"class {cls_name!r} ({direction}): the union "
+                    f"of regional PROCESS ranges ends at {cursor}, "
+                    f"not {space} — the tail of the hash space is "
+                    "unowned"))
+    return findings
+
+
+def check_shard_capacity(
+        capacities: Mapping[str, float],
+        allocations: Mapping[str, Mapping[str, float]]
+        ) -> List[Finding]:
+    """SHRD002 — summed regional allocations fit the real capacity.
+
+    The coordinator hands every region a slice of each shared node's
+    capacity (datacenter, shared mirrors, cross-region path nodes) in
+    absolute capacity units. Regions plan against their slice, so the
+    merged assignment is only feasible if, per node, the slices sum
+    to at most the node's actual capacity (within tolerance). An
+    allocation for a node with no known capacity is flagged too — the
+    coordinator is handing out capacity that does not exist.
+    """
+    findings: List[Finding] = []
+    totals: Dict[str, float] = {}
+    for region in sorted(allocations):
+        for node, amount in sorted(allocations[region].items()):
+            if node not in capacities:
+                findings.append(_finding(
+                    "SHRD002", "<shard:capacity>",
+                    f"region {region!r} holds an allocation of "
+                    f"{amount:g} at unknown node {node!r}"))
+                continue
+            if amount < 0:
+                findings.append(_finding(
+                    "SHRD002", "<shard:capacity>",
+                    f"region {region!r} holds a negative allocation "
+                    f"of {amount:g} at node {node!r}"))
+                continue
+            totals[node] = totals.get(node, 0.0) + amount
+    for node in sorted(totals):
+        capacity = capacities[node]
+        if totals[node] > capacity * (1.0 + _TOL) + _TOL:
+            regions = sorted(r for r in allocations
+                             if node in allocations[r])
+            findings.append(_finding(
+                "SHRD002", "<shard:capacity>",
+                f"node {node!r}: regional allocations sum to "
+                f"{totals[node]:g} across {', '.join(regions)} but "
+                f"the node's capacity is {capacity:g} — the "
+                "coordinator oversubscribed a shared node"))
     return findings
 
 

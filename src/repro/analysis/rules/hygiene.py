@@ -5,6 +5,12 @@
   every variable; even now that the call is idempotent, a loop around
   it is either dead weight or a misunderstanding of the
   build-once/patch-many lifecycle (use ``resolve()`` for sweeps).
+  Inside the controller package the same rule also flags
+  ``*Problem(...)`` constructions in loop bodies: planners keep one
+  warm problem per shard and patch it via ``resolve_traffic()``, so a
+  per-iteration constructor there silently discards the warm LP. The
+  one legitimate lazy-construction site carries an inline
+  ``# repro-lint: allow[HYG001]`` pragma.
 - HYG002 — mutable default arguments, the classic shared-state bug.
 - HYG003 — unused module-level imports (the bulk of what
   ``ruff check``'s default F-rules flag; checking it here keeps the
@@ -25,6 +31,10 @@ from repro.analysis.rules.common import call_name, path_in_scope
 #: packages the CI mypy job checks in strict mode
 STRICT_TYPING_SCOPE = ("/lpsolve/", "/obs/", "/analysis/")
 
+#: packages where problem objects follow the build-once/patch-many
+#: lifecycle — constructing one inside a loop abandons the warm LP
+PLANNER_SCOPE = ("/core/controller/",)
+
 _LOOP_NODES = (ast.For, ast.While, ast.AsyncFor)
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
                    ast.GeneratorExp)
@@ -37,12 +47,23 @@ _MUTABLE_CTORS = frozenset({
 
 
 class BuildModelInLoopRule(Rule):
-    """HYG001 — ``build_model()`` invoked inside a loop body."""
+    """HYG001 — build-once/patch-many objects rebuilt inside a loop.
+
+    Flags ``build_model()`` calls in any loop body, plus — inside the
+    controller package (:data:`PLANNER_SCOPE`) — ``*Problem(...)``
+    constructor calls, which throw away the warm compiled LP a planner
+    is supposed to keep patching via ``resolve_traffic()``.
+    """
 
     rule_id = "HYG001"
-    title = "build_model() called inside a loop"
+    title = "build-once object rebuilt inside a loop"
+
+    def __init__(self, planner_scope: Sequence[str] = PLANNER_SCOPE
+                 ) -> None:
+        self.planner_scope = tuple(planner_scope)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        in_planner = path_in_scope(ctx.posix_path, self.planner_scope)
         for loop in ast.walk(ctx.tree):
             if isinstance(loop, _LOOP_NODES):
                 bodies = [*loop.body, *loop.orelse]
@@ -52,8 +73,10 @@ class BuildModelInLoopRule(Rule):
                 continue
             for body_node in bodies:
                 for node in ast.walk(body_node):
-                    if (isinstance(node, ast.Call)
-                            and call_name(node) == "build_model"):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = call_name(node)
+                    if name == "build_model":
                         yield self.finding(
                             ctx, node.lineno,
                             "build_model() inside a loop: the model "
@@ -61,6 +84,17 @@ class BuildModelInLoopRule(Rule):
                             "should patch parameters via resolve() "
                             "(see Formulation), not rebuild per "
                             "iteration")
+                    elif (in_planner and name is not None
+                            and name.endswith("Problem")):
+                        yield self.finding(
+                            ctx, node.lineno,
+                            f"{name}(...) constructed inside a loop: "
+                            "planners keep one warm problem per "
+                            "shard and patch it via "
+                            "resolve_traffic(); rebuilding per "
+                            "iteration abandons the compiled LP "
+                            "(pragma the one lazy-construction site "
+                            "with allow[HYG001])")
 
 
 class MutableDefaultRule(Rule):

@@ -12,6 +12,10 @@ Commands:
   replay and report the collected metrics (optionally as JSONL).
 - ``budget-sweep`` — sweep the per-class TCAM rule budget and report
   coverage-error and realized-load curves (optionally as JSON).
+- ``shard-gap`` — compare the sharded control plane (regional LPs +
+  coordinator) against the global LP: optimality gap, coordination
+  rounds, and wall-time speedup per region count (optionally as
+  JSON).
 - ``scenario`` — play a canned closed-loop scenario through the
   discrete-event runtime and print the epoch timeline (optionally
   writing the full report and a per-epoch timeline as JSON/JSONL).
@@ -216,6 +220,31 @@ def _build_parser() -> argparse.ArgumentParser:
     budget.add_argument("--json", default=None, metavar="PATH",
                         help="write the sweep curves as JSON "
                              "('-' for stdout)")
+
+    shard = sub.add_parser(
+        "shard-gap",
+        help="compare the sharded control plane against the global "
+             "LP: optimality gap, rounds, and speedup")
+    shard.add_argument("--topology", action="append", default=None,
+                       choices=builtin_topology_names(),
+                       metavar="NAME", dest="topologies",
+                       help="topology to compare (repeatable; "
+                            "default: sprint, level3 and ntt)")
+    shard.add_argument("--regions", default=None, metavar="LIST",
+                       help="comma-separated region counts "
+                            "(default: 2,3,4)")
+    shard.add_argument("--mirror", default="dc",
+                       choices=sorted(_MIRROR_CHOICES))
+    shard.add_argument("--max-link-load", type=float, default=0.4)
+    shard.add_argument("--dc-capacity", type=float, default=1.0)
+    shard.add_argument("--seed", type=int, default=0,
+                       help="region partitioner seed")
+    shard.add_argument("--jobs", type=int, default=None,
+                       help="concurrent per-region solves (default: "
+                            "one per region up to the CPU count)")
+    shard.add_argument("--json", default=None, metavar="PATH",
+                       help="write the comparison as JSON "
+                            "('-' for stdout)")
 
     from repro.runtime.scenario import CANNED_SCENARIOS
 
@@ -444,6 +473,60 @@ def _parse_budgets(text: Optional[str]):
     return budgets
 
 
+def _parse_regions(text: Optional[str]):
+    if text is None:
+        return None
+    regions = []
+    for chunk in text.split(","):
+        value = chunk.strip()
+        if not value:
+            continue
+        count = int(value)
+        if count < 1:
+            raise ValueError(f"region count {count} must be >= 1")
+        regions.append(count)
+    if not regions:
+        raise ValueError("no region counts given")
+    return regions
+
+
+def _cmd_shard_gap(args) -> int:
+    from repro.experiments import (format_shard_gap, run_shard_gap,
+                                   shard_gap_to_json)
+
+    try:
+        regions = _parse_regions(args.regions)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {
+        "topologies": args.topologies,
+        "mirror": args.mirror,
+        "max_link_load": args.max_link_load,
+        "dc_capacity_factor": args.dc_capacity,
+        "seed": args.seed,
+        "jobs": args.jobs,
+    }
+    if regions is not None:
+        kwargs["regions"] = regions
+    series = run_shard_gap(**kwargs)
+    print(format_shard_gap(series))
+    if args.json:
+        payload = shard_gap_to_json(series)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.json}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote shard-gap comparison to {args.json}")
+    return 0
+
+
 def _cmd_budget_sweep(args) -> int:
     from repro.experiments import (format_budget_sweep,
                                    run_budget_sweep, sweep_to_json)
@@ -636,6 +719,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "budget-sweep":
         return _cmd_budget_sweep(args)
+    if args.command == "shard-gap":
+        return _cmd_shard_gap(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "lint":

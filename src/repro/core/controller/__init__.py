@@ -1,0 +1,32 @@
+"""The network-wide NIDS controller package.
+
+Split across three modules: :mod:`base` (the controller's refresh
+cycle), :mod:`planner` (the pluggable solve strategy and the default
+global LP), and :mod:`sharded` (regional LP decomposition with a
+capacity-reconciling coordinator). The public import path
+``repro.core.controller`` re-exports everything the rest of the
+codebase and downstream users need.
+"""
+
+from repro.core.controller.base import NIDSController, Rollout
+from repro.core.controller.planner import (
+    GlobalPlanner,
+    PlanOutcome,
+    SolvePlanner,
+)
+from repro.core.controller.sharded import (
+    RegionalReplicationProblem,
+    ShardCoordinator,
+    ShardedPlanner,
+)
+
+__all__ = [
+    "GlobalPlanner",
+    "NIDSController",
+    "PlanOutcome",
+    "RegionalReplicationProblem",
+    "Rollout",
+    "ShardCoordinator",
+    "ShardedPlanner",
+    "SolvePlanner",
+]

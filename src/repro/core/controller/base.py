@@ -12,7 +12,12 @@ configuration, re-optimizes on demand (:meth:`refresh`), compiles shim
 configs, validates them, and hands back an
 :class:`~repro.core.transitions.OverlapTransition` so the rollout is
 coverage-safe. Traffic triggers are supported via a configurable
-drift threshold.
+drift threshold. The solve step itself is pluggable (see
+:mod:`repro.core.controller.planner`): the default
+:class:`~repro.core.controller.planner.GlobalPlanner` runs one
+network-wide LP; a
+:class:`~repro.core.controller.sharded.ShardedPlanner` decomposes it
+into coordinated per-region LPs.
 """
 
 from __future__ import annotations
@@ -20,10 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.controller.planner import GlobalPlanner, SolvePlanner
 from repro.core.inputs import NetworkState
 from repro.obs import get_registry
 from repro.core.mirrors import MirrorPolicy
-from repro.core.replication import ReplicationProblem
 from repro.core.results import ReplicationResult
 from repro.core.transitions import OverlapTransition
 from repro.core.validation import validate_replication
@@ -40,7 +45,8 @@ class Rollout:
         configs: compiled per-node shim configurations.
         transition: coverage-safe old->new rollout coordinator
             (``None`` for the very first configuration — there is
-            nothing to overlap with).
+            nothing to overlap with — and after a change of node
+            universe, where old and new configs are incomparable).
     """
 
     result: ReplicationResult
@@ -59,24 +65,30 @@ class NIDSController:
         drift_threshold: relative traffic-volume change that counts as
             "significant" for :meth:`needs_refresh` (the paper's
             trigger on traffic changes).
+        planner: the solve strategy; ``None`` uses a
+            :class:`~repro.core.controller.planner.GlobalPlanner`
+            built from the arguments above (the paper's single global
+            LP).
     """
 
     def __init__(self, state: NetworkState,
                  mirror_policy: Optional[MirrorPolicy] = None,
                  max_link_load: float = 0.4,
-                 drift_threshold: float = 0.2) -> None:
+                 drift_threshold: float = 0.2,
+                 planner: Optional[SolvePlanner] = None) -> None:
         if drift_threshold < 0:
             raise ValueError("drift_threshold must be non-negative")
         self.state = state
         self.mirror_policy = mirror_policy or MirrorPolicy.datacenter()
         self.max_link_load = max_link_load
         self.drift_threshold = drift_threshold
+        self.planner: SolvePlanner = planner if planner is not None \
+            else GlobalPlanner(state,
+                               mirror_policy=self.mirror_policy,
+                               max_link_load=max_link_load)
         self._current_configs: Optional[Dict[str, ShimConfig]] = None
         self._current_result: Optional[ReplicationResult] = None
         self._current_classes: List[TrafficClass] = list(state.classes)
-        # The formulation is kept across refreshes so a traffic update
-        # is an incremental re-solve of the compiled LP, not a rebuild.
-        self._problem: Optional[ReplicationProblem] = None
         self.refresh_count = 0
 
     # -- observability ---------------------------------------------------
@@ -149,17 +161,8 @@ class NIDSController:
             if classes is not None:
                 self._current_classes = list(classes)
 
-            if self._problem is None:
-                self._problem = ReplicationProblem(
-                    self.state.with_traffic(self._current_classes),
-                    mirror_policy=self.mirror_policy,
-                    max_link_load=self.max_link_load)
-                result = self._problem.solve()
-            else:
-                result = self._problem.resolve_traffic(
-                    self._current_classes,
-                    max_link_load=self.max_link_load)
-            state = self._problem.state
+            outcome = self.planner.plan(self._current_classes)
+            state, result = outcome.state, outcome.result
             problems = validate_replication(state, result)
             if problems:
                 raise RuntimeError(
@@ -169,15 +172,28 @@ class NIDSController:
 
             transition = None
             if self._current_configs is not None:
-                transition = OverlapTransition(self._current_configs,
-                                               configs)
-                transition.begin()
+                old_configs = self._current_configs
+                if set(old_configs) == set(configs):
+                    transition = OverlapTransition(old_configs,
+                                                   configs)
+                    transition.begin()
                 # Overlap size: total rules honored during the
                 # transient (old and new unioned at every node).
+                # Nodes present on only one side — a shard adoption
+                # or topology change mid-epoch — carry just their
+                # single config, so they are counted once instead of
+                # raising a KeyError.
+                shared = set(old_configs) & set(configs)
                 overlap_rules = sum(
-                    self._current_configs[node].num_rules
+                    old_configs[node].num_rules
                     + configs[node].num_rules
-                    for node in configs)
+                    for node in shared)
+                overlap_rules += sum(
+                    old_configs[node].num_rules
+                    for node in set(old_configs) - shared)
+                overlap_rules += sum(
+                    configs[node].num_rules
+                    for node in set(configs) - shared)
                 metrics.gauge("controller.transition.nodes",
                               len(configs))
                 metrics.gauge("controller.transition.union_rules",

@@ -75,6 +75,13 @@ from repro.experiments.budget_sweep import (
     run_budget_sweep,
     sweep_to_json,
 )
+from repro.experiments.shard_gap import (
+    ShardGapPoint,
+    ShardGapSeries,
+    format_shard_gap,
+    run_shard_gap,
+    shard_gap_to_json,
+)
 from repro.experiments.strategy_ablation import (
     StrategyRow,
     format_strategies,
@@ -115,6 +122,11 @@ __all__ = [
     "SlackRow",
     "format_failures",
     "run_failure_ablation",
+    "ShardGapPoint",
+    "ShardGapSeries",
+    "format_shard_gap",
+    "run_shard_gap",
+    "shard_gap_to_json",
     "StrategyRow",
     "format_strategies",
     "run_strategy_ablation",

@@ -1,0 +1,217 @@
+"""Sharded-controller optimality gap and solve-time speedup.
+
+The sharded control plane (:mod:`repro.core.controller.sharded`)
+trades optimality for scalability: per-region LPs with a bounded
+coordination loop instead of one global LP per refresh. This
+experiment quantifies both sides of the trade. For each topology it
+
+- solves the global replication LP once (the optimality oracle and
+  the wall-time baseline), then
+- for each region count runs the sharded planner — per-region solves
+  concurrent by default — and reports the relative **LoadCost gap**
+  against the global optimum, the **coordination rounds** used, the
+  wall-clock **speedup** of the full sharded plan over the global
+  solve, and the partition shape (region node counts).
+
+The gap of the most-sharded run is published on the
+``controller.shard.gap`` gauge so dashboards track it alongside the
+solver health metrics. Wall-clock numbers are reported for operators;
+everything else (gaps, rounds, partitions) is deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import GlobalPlanner, ShardedPlanner
+from repro.core.mirrors import MirrorPolicy
+from repro.experiments.common import format_table, setup_topology
+from repro.obs import get_registry
+
+DEFAULT_REGIONS: Tuple[int, ...] = (2, 3, 4)
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("sprint", "level3", "ntt")
+DEFAULT_MIRROR = "dc"
+DEFAULT_DC_CAPACITY_FACTOR = 1.0
+
+_MIRRORS = {
+    "none": MirrorPolicy.none,
+    "dc": MirrorPolicy.datacenter,
+    "one-hop": lambda: MirrorPolicy.neighbors(1),
+    "two-hop": lambda: MirrorPolicy.neighbors(2),
+    "dc+one-hop": lambda: MirrorPolicy.datacenter_plus_neighbors(1),
+}
+
+
+@dataclass
+class ShardGapPoint:
+    """One region count's row of the gap curve."""
+
+    regions: int
+    load_cost: float
+    gap: float
+    rounds: int
+    lp_solves: int
+    region_sizes: List[int]
+    solve_wall_seconds: float
+    speedup: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "regions": self.regions,
+            "load_cost": self.load_cost,
+            "gap": self.gap,
+            "rounds": self.rounds,
+            "lp_solves": self.lp_solves,
+            "region_sizes": list(self.region_sizes),
+            "solve_wall_seconds": self.solve_wall_seconds,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class ShardGapSeries:
+    """One topology's sharded-vs-global comparison."""
+
+    topology: str
+    mirror: str
+    max_link_load: float
+    seed: int
+    global_load_cost: float
+    global_wall_seconds: float
+    points: List[ShardGapPoint]
+
+    def point(self, regions: int) -> ShardGapPoint:
+        for pt in self.points:
+            if pt.regions == regions:
+                return pt
+        raise KeyError(f"no point for {regions} regions")
+
+    def to_dict(self) -> Dict:
+        return {
+            "topology": self.topology,
+            "mirror": self.mirror,
+            "max_link_load": self.max_link_load,
+            "seed": self.seed,
+            "global_load_cost": self.global_load_cost,
+            "global_wall_seconds": self.global_wall_seconds,
+            "points": [pt.to_dict() for pt in self.points],
+        }
+
+
+def _gap_one(name: str, regions: Sequence[int], mirror: str,
+             max_link_load: float,
+             dc_capacity_factor: Optional[float], seed: int,
+             jobs: Optional[int]) -> ShardGapSeries:
+    needs_dc = mirror in ("dc", "dc+one-hop")
+    setup = setup_topology(
+        name, dc_capacity_factor=dc_capacity_factor
+        if needs_dc else None)
+    state = setup.state
+
+    oracle = GlobalPlanner(state, mirror_policy=_MIRRORS[mirror](),
+                           max_link_load=max_link_load)
+    start = time.perf_counter()
+    global_outcome = oracle.plan(setup.classes)
+    global_wall = time.perf_counter() - start
+    global_cost = global_outcome.result.load_cost
+
+    metrics = get_registry()
+    points: List[ShardGapPoint] = []
+    for count in regions:
+        planner = ShardedPlanner(
+            state, mirror_policy=_MIRRORS[mirror](),
+            max_link_load=max_link_load, num_regions=count,
+            seed=seed, jobs=jobs)
+        outcome, wall = planner.timed_plan(setup.classes)
+        gap = ((outcome.result.load_cost - global_cost) / global_cost
+               if global_cost > 0 else 0.0)
+        metrics.gauge("controller.shard.gap", gap)
+        assert planner.partition is not None
+        points.append(ShardGapPoint(
+            regions=count,
+            load_cost=outcome.result.load_cost,
+            gap=gap,
+            rounds=planner.last_rounds,
+            lp_solves=planner.solve_count,
+            region_sizes=[len(region.nodes)
+                          for region in planner.partition.regions],
+            solve_wall_seconds=wall,
+            speedup=global_wall / wall if wall > 0 else 0.0))
+    return ShardGapSeries(
+        topology=name, mirror=mirror, max_link_load=max_link_load,
+        seed=seed, global_load_cost=global_cost,
+        global_wall_seconds=global_wall, points=points)
+
+
+def run_shard_gap(
+        topologies: Optional[Sequence[str]] = None,
+        regions: Sequence[int] = DEFAULT_REGIONS,
+        mirror: str = DEFAULT_MIRROR,
+        max_link_load: float = 0.4,
+        dc_capacity_factor: Optional[float] =
+        DEFAULT_DC_CAPACITY_FACTOR,
+        seed: int = 0,
+        jobs: Optional[int] = None) -> List[ShardGapSeries]:
+    """Compare the sharded planner to the global LP per topology.
+
+    Args:
+        topologies: topology names (default sprint/level3/ntt — the
+            three largest, where decomposition matters most).
+        regions: region counts to sweep.
+        mirror: replication shape (needs a DC for ``dc`` variants).
+        seed: partitioner seed, forwarded to every sharded run.
+        jobs: per-region solver threads (``None`` = one per region up
+            to the CPU count; 1 = serial).
+    """
+    if mirror not in _MIRRORS:
+        raise ValueError(f"unknown mirror {mirror!r}; choose from "
+                         f"{sorted(_MIRRORS)}")
+    if not regions:
+        raise ValueError("need at least one region count")
+    for count in regions:
+        if count < 1:
+            raise ValueError("region counts must be >= 1")
+    return [_gap_one(name, regions, mirror, max_link_load,
+                     dc_capacity_factor, seed, jobs)
+            for name in (topologies or DEFAULT_TOPOLOGIES)]
+
+
+def shard_gap_to_json(series: Sequence[ShardGapSeries],
+                      indent: Optional[int] = 2) -> str:
+    """The comparison as a JSON document (the CI artifact format)."""
+    return json.dumps({
+        "schema": 1,
+        "experiment": "shard-gap",
+        "series": [s.to_dict() for s in series],
+    }, indent=indent, sort_keys=True)
+
+
+def format_shard_gap(series: Sequence[ShardGapSeries]) -> str:
+    blocks = []
+    for entry in series:
+        rows = []
+        for pt in entry.points:
+            rows.append([
+                str(pt.regions),
+                f"{pt.load_cost:.4f}",
+                f"{100.0 * pt.gap:.2f}%",
+                str(pt.rounds),
+                str(pt.lp_solves),
+                "/".join(str(size) for size in pt.region_sizes),
+                f"{pt.solve_wall_seconds:.2f}s",
+                f"{pt.speedup:.2f}x",
+            ])
+        blocks.append(format_table(
+            ["Regions", "LoadCost", "Gap", "Rounds", "Solves",
+             "Sizes", "Wall", "Speedup"],
+            rows,
+            title=f"sharded control plane on {entry.topology} "
+                  f"({entry.mirror}, MaxLinkLoad "
+                  f"{entry.max_link_load:g}, global LoadCost "
+                  f"{entry.global_load_cost:.4f} in "
+                  f"{entry.global_wall_seconds:.2f}s)"))
+    return "\n\n".join(blocks)

@@ -7,15 +7,26 @@ by routing and traffic changes" — and hands every refresh to a
 :class:`~repro.runtime.rollout.RolloutDriver` for coverage-safe
 distribution:
 
-- **bootstrap** — the very first cycle (no configs exist yet);
-- **periodic** — ``refresh_period`` simulated seconds elapsed;
-- **drift** — :meth:`NIDSController.needs_refresh` fired on the
-  traffic feed;
+- **bootstrap** — the daemon's very first cycle (nothing deployed
+  anywhere yet);
 - **structural** — the topology changed under it (node/link faults):
   the warm incremental LP is useless because the variable universe
   changed, so the daemon rebuilds a fresh controller on the surviving
   state and pushes configs directly (there is no meaningful overlap
-  across different node sets).
+  across different node sets);
+- **failover** — a regional controller died (sharded control plane):
+  the planner merged the dead shard into a neighbor and the merged
+  region must re-solve; the node universe is unchanged, so the
+  rollout stays coverage-safe (overlap/delta);
+- **periodic** — ``refresh_period`` simulated seconds elapsed;
+- **drift** — :meth:`NIDSController.needs_refresh` fired on the
+  traffic feed.
+
+Trigger precedence is exactly that order. Structural and failover
+pressure is *latched* (:meth:`replace_state` / :meth:`fail_region`
+set a flag consumed by the next successful :meth:`step`), so
+:meth:`refresh_reason` itself reports them — callers never need to
+force a reason label from outside.
 
 Within one topology epoch the controller's compiled LP stays warm, so
 periodic and drift refreshes ride the incremental ``resolve()`` path
@@ -27,9 +38,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.core.controller import NIDSController, Rollout
+from repro.core.controller import NIDSController, Rollout, SolvePlanner
 from repro.core.inputs import NetworkState
 from repro.core.mirrors import MirrorPolicy
 from repro.obs import get_registry
@@ -43,7 +54,7 @@ from repro.traffic.classes import TrafficClass
 class RefreshRecord:
     """One completed daemon cycle (solve + rollout kickoff)."""
 
-    reason: str                     # bootstrap|periodic|drift|structural
+    reason: str             # bootstrap|structural|failover|periodic|drift
     time: float                     # sim time of the decision
     rollout: Rollout
     session: RolloutSession
@@ -62,13 +73,20 @@ class ControllerDaemon:
         refresh_period: simulated seconds between unconditional
             re-optimizations; ``None`` disables the periodic trigger
             (drift/structural triggers still fire).
+        planner_factory: builds the controller's solve planner for a
+            given state; ``None`` keeps the default global LP. Called
+            again on every structural rebuild, so a sharded planner
+            re-partitions the surviving topology.
     """
 
     def __init__(self, state: NetworkState, driver: RolloutDriver,
                  mirror_policy: Optional[MirrorPolicy] = None,
                  max_link_load: float = 0.4,
                  drift_threshold: float = 0.2,
-                 refresh_period: Optional[float] = None) -> None:
+                 refresh_period: Optional[float] = None,
+                 planner_factory: Optional[
+                     Callable[[NetworkState], SolvePlanner]] = None
+                 ) -> None:
         if refresh_period is not None and refresh_period <= 0:
             raise ValueError("refresh_period must be positive")
         self.driver = driver
@@ -76,15 +94,22 @@ class ControllerDaemon:
         self.max_link_load = max_link_load
         self.drift_threshold = drift_threshold
         self.refresh_period = refresh_period
+        self.planner_factory = planner_factory
         self.controller = self._make_controller(state)
         self.last_refresh_time: Optional[float] = None
         self.refresh_records: list[RefreshRecord] = []
+        self._bootstrapped = False
+        self._structural_pending = False
+        self._failover_pending = False
 
     def _make_controller(self, state: NetworkState) -> NIDSController:
+        planner = (self.planner_factory(state)
+                   if self.planner_factory is not None else None)
         return NIDSController(
             state, mirror_policy=self.mirror_policy,
             max_link_load=self.max_link_load,
-            drift_threshold=self.drift_threshold)
+            drift_threshold=self.drift_threshold,
+            planner=planner)
 
     # -- triggers ----------------------------------------------------------
 
@@ -93,13 +118,22 @@ class ControllerDaemon:
                        ) -> Optional[str]:
         """Why a refresh should run right now, or ``None``.
 
-        Precedence: bootstrap (nothing deployed yet), then the
-        periodic timer, then the traffic-drift trigger.
+        Precedence: bootstrap (the daemon never deployed anything),
+        then latched structural pressure from :meth:`replace_state`,
+        then latched failover pressure from :meth:`fail_region`, then
+        the periodic timer, then the traffic-drift trigger. A
+        structural rebuild replaces the controller (so its configs are
+        ``None`` again), but only the daemon's first-ever cycle counts
+        as bootstrap.
         """
-        if self.controller.current_configs is None:
+        if not self._bootstrapped:
             # Let the controller count its own bootstrap trigger.
             self.controller.needs_refresh(classes)
             return "bootstrap"
+        if self._structural_pending:
+            return "structural"
+        if self._failover_pending:
+            return "failover"
         if (self.refresh_period is not None and
                 self.last_refresh_time is not None and
                 now - self.last_refresh_time >=
@@ -117,10 +151,40 @@ class ControllerDaemon:
         The warm compiled LP is tied to the old variable universe
         (per-node fractions for nodes that may no longer exist), so a
         fresh controller is the honest restart. Previous configs are
-        abandoned — the next :meth:`step` pushes a direct rollout.
+        abandoned — the next :meth:`step` reports reason
+        ``"structural"`` and pushes a direct rollout.
         """
         self.controller = self._make_controller(state)
+        self._structural_pending = True
         get_registry().inc("runtime.structural_rebuilds")
+
+    def fail_region(self, target: str) -> str:
+        """Regional controller failure: hand the shard to a neighbor.
+
+        Delegates the adoption to the active planner (only a sharded
+        planner exposes ``fail_region``) and latches failover pressure
+        so the next :meth:`step` re-solves and rolls the adopted
+        assignment out coverage-safely.
+
+        Args:
+            target: the dead region's name, or any node it owns.
+
+        Returns:
+            The adopting region's name.
+
+        Raises:
+            ValueError: when the active planner has no regional
+                controllers (global planner).
+        """
+        fail = getattr(self.controller.planner, "fail_region", None)
+        if fail is None:
+            raise ValueError(
+                "controller-down fault needs a sharded planner; the "
+                "active planner has no regional controllers")
+        adopter: str = fail(target)
+        self._failover_pending = True
+        get_registry().inc("runtime.controller_failovers")
+        return adopter
 
     def step(self, loop: EventLoop, agents: Dict[str, NodeAgent],
              classes: Sequence[TrafficClass],
@@ -132,9 +196,9 @@ class ControllerDaemon:
             loop: the event loop (rollout messages schedule into it).
             agents: the nodes to distribute configs to.
             classes: the epoch's observed traffic feed.
-            reason: force a refresh with this label (the scenario
-                passes ``"structural"`` after :meth:`replace_state`);
-                ``None`` consults :meth:`refresh_reason`.
+            reason: force a refresh with this label; ``None`` (the
+                normal case) consults :meth:`refresh_reason`, which
+                reports structural/failover pressure by itself.
 
         Returns:
             The :class:`RefreshRecord`, or ``None`` when no trigger
@@ -146,11 +210,7 @@ class ControllerDaemon:
             return None
         metrics = get_registry()
         start = time.perf_counter()
-        if reason == "structural":
-            # The fresh controller already carries the new traffic.
-            rollout = self.controller.refresh()
-        else:
-            rollout = self.controller.refresh(classes)
+        rollout = self.controller.refresh(classes)
         solve_wall = time.perf_counter() - start
         metrics.observe("runtime.solve.seconds", solve_wall)
         metrics.inc(f"runtime.refresh.{reason}")
@@ -158,6 +218,9 @@ class ControllerDaemon:
         session = self.driver.start(loop, agents, rollout.configs,
                                     rollout.transition)
         self.last_refresh_time = loop.now
+        self._bootstrapped = True
+        self._structural_pending = False
+        self._failover_pending = False
         record = RefreshRecord(reason=reason, time=loop.now,
                                rollout=rollout, session=session,
                                solve_wall_seconds=solve_wall)

@@ -16,6 +16,10 @@ schedule the runtime replays:
   are scaled by a factor for a bounded number of epochs (the
   operational counterpart of the Section 9 slack discussion in
   :mod:`repro.core.robustness`).
+- ``CONTROLLER_DOWN`` — a *regional controller* dies (sharded control
+  plane only): the data plane is untouched, but the region's shard
+  must be adopted by a neighboring controller and re-solved. The
+  target names the dead region (``region-N``) or any node inside it.
 
 :class:`NetworkFaultState` folds the currently active faults over a
 baseline :class:`~repro.core.inputs.NetworkState`; the daemon detects
@@ -44,6 +48,7 @@ class FaultKind(enum.Enum):
     DC_OUTAGE = "dc-outage"
     LINK_CUT = "link-cut"
     TRAFFIC_SURGE = "traffic-surge"
+    CONTROLLER_DOWN = "controller-down"
 
 
 @dataclass(frozen=True)
@@ -54,9 +59,9 @@ class FaultEvent:
         epoch: epoch index at whose start the fault fires.
         kind: what happens.
         target: node name (``NODE_DOWN``/``NODE_UP``), ``"A|B"`` link
-            spec (``LINK_CUT``), or a class-name prefix — ``"*"`` for
-            all classes — (``TRAFFIC_SURGE``). ``DC_OUTAGE`` needs no
-            target.
+            spec (``LINK_CUT``), a class-name prefix — ``"*"`` for
+            all classes — (``TRAFFIC_SURGE``), or a region/node name
+            (``CONTROLLER_DOWN``). ``DC_OUTAGE`` needs no target.
         factor: surge multiplier (> 0).
         duration_epochs: surge lifetime; 0 means until the run ends.
     """
@@ -73,7 +78,8 @@ class FaultEvent:
         if self.kind is FaultKind.TRAFFIC_SURGE and self.factor <= 0:
             raise ValueError("surge factor must be positive")
         if self.kind in (FaultKind.NODE_DOWN, FaultKind.NODE_UP,
-                         FaultKind.LINK_CUT) and not self.target:
+                         FaultKind.LINK_CUT,
+                         FaultKind.CONTROLLER_DOWN) and not self.target:
             raise ValueError(f"{self.kind.value} needs a target")
 
     def describe(self) -> str:
@@ -118,6 +124,7 @@ class NetworkFaultState:
     dead_nodes: List[str] = field(default_factory=list)
     cut_links: List[Tuple[str, str]] = field(default_factory=list)
     surges: List[_Surge] = field(default_factory=list)
+    dead_controllers: List[str] = field(default_factory=list)
 
     def apply(self, fault: FaultEvent,
               baseline: NetworkState) -> None:
@@ -145,6 +152,12 @@ class NetworkFaultState:
                      if fault.duration_epochs else None)
             self.surges.append(_Surge(fault.target or "*",
                                       fault.factor, until))
+        elif fault.kind is FaultKind.CONTROLLER_DOWN:
+            # Control-plane only: no topology/traffic effect and no
+            # entry in the structural signature — the runtime handles
+            # shard adoption through the daemon.
+            if fault.target not in self.dead_controllers:
+                self.dead_controllers.append(fault.target)
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 

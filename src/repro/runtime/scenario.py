@@ -38,6 +38,8 @@ from repro.runtime.agents import NodeAgent, build_agents
 from repro.runtime.daemon import ControllerDaemon, RefreshRecord
 from repro.runtime.events import EventLoop
 from repro.runtime.faults import (
+    FaultEvent,
+    FaultKind,
     FaultSchedule,
     NetworkFaultState,
     cascading_failure_schedule,
@@ -81,6 +83,8 @@ class Scenario:
     faults: FaultSchedule = field(default_factory=FaultSchedule)
     sessions_per_epoch: int = 300
     rule_capacity: Optional[int] = None
+    planner: str = "global"
+    regions: int = 2
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -91,6 +95,20 @@ class Scenario:
             raise ValueError(f"unknown mirror {self.mirror!r}")
         if self.drift_sigma < 0:
             raise ValueError("drift_sigma must be non-negative")
+        if self.planner not in ("global", "sharded"):
+            raise ValueError(f"unknown planner {self.planner!r}")
+        if self.regions < 1:
+            raise ValueError("regions must be >= 1")
+        for fault in self.faults.events:
+            if fault.kind is FaultKind.CONTROLLER_DOWN:
+                if self.planner != "sharded":
+                    raise ValueError(
+                        "controller-down faults need the sharded "
+                        "planner")
+                if fault.epoch < 1:
+                    raise ValueError(
+                        "controller-down faults must fire after the "
+                        "bootstrap epoch")
 
     @property
     def refresh_period(self) -> Optional[float]:
@@ -127,6 +145,8 @@ class Scenario:
             ],
             "sessions_per_epoch": self.sessions_per_epoch,
             "rule_capacity": self.rule_capacity,
+            "planner": self.planner,
+            "regions": self.regions,
         }
 
 
@@ -309,12 +329,25 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
     channel = ConfigChannel(scenario.channel,
                             seed=scenario.seed * 7919 + 1)
     driver = RolloutDriver(channel, scenario.strategy)
+    planner_factory = None
+    if scenario.planner == "sharded":
+        from repro.core.controller import ShardedPlanner
+
+        def planner_factory(state):
+            return ShardedPlanner(
+                state,
+                mirror_policy=MIRROR_CHOICES[scenario.mirror](),
+                max_link_load=scenario.max_link_load,
+                num_regions=scenario.regions,
+                seed=scenario.seed,
+                jobs=1)  # deterministic replay stays single-threaded
     daemon = ControllerDaemon(
         baseline_state, driver,
         mirror_policy=MIRROR_CHOICES[scenario.mirror](),
         max_link_load=scenario.max_link_load,
         drift_threshold=scenario.drift_threshold,
-        refresh_period=scenario.refresh_period)
+        refresh_period=scenario.refresh_period,
+        planner_factory=planner_factory)
     agents = build_agents(baseline_state.node_capacity,
                           rule_capacity=scenario.rule_capacity)
 
@@ -362,14 +395,13 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         prev_signature = signature
         solve_ok, solve_error, refresh = True, None, None
         try:
+            for fault in fired:
+                if fault.kind is FaultKind.CONTROLLER_DOWN:
+                    daemon.fail_region(fault.target)
             if structural:
                 daemon.replace_state(current_state)
-                refresh = daemon.step(loop, agents,
-                                      current_state.classes,
-                                      reason="structural")
-            else:
-                refresh = daemon.step(loop, agents,
-                                      current_state.classes)
+            refresh = daemon.step(loop, agents,
+                                  current_state.classes)
         except (LPError, RuntimeError, ValueError) as exc:
             solve_ok = False
             solve_error = f"{type(exc).__name__}: {exc}"
@@ -561,8 +593,30 @@ def cascading_failure_scenario(topology: str = "internet2",
                                           recover_epoch=7))
 
 
+def regional_failover_scenario(topology: str = "internet2",
+                               epochs: int = 8,
+                               seed: int = 17,
+                               regions: int = 2) -> Scenario:
+    """Sharded control plane under a regional controller failure: the
+    busiest PoP's controller dies mid-run, its neighbor adopts the
+    shard, and the re-solved assignment rolls out coverage-safely
+    (the node universe is unchanged, so overlap applies)."""
+    victim = _busiest_source(topology)
+    return Scenario(
+        name="regional-failover", topology=topology, seed=seed,
+        epochs=epochs, drift_sigma=0.1, drift_threshold=0.3,
+        refresh_period_epochs=None,
+        channel=ChannelSpec(base_delay=2.0, jitter=2.0, loss=0.05,
+                            retransmit_timeout=8.0),
+        strategy="overlap",
+        planner="sharded", regions=regions,
+        faults=FaultSchedule([FaultEvent(
+            3, FaultKind.CONTROLLER_DOWN, victim)]))
+
+
 CANNED_SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "steady-drift": steady_drift_scenario,
     "flash-crowd": flash_crowd_scenario,
     "cascading-failure": cascading_failure_scenario,
+    "regional-failover": regional_failover_scenario,
 }

@@ -18,6 +18,11 @@ from repro.topology.generators import (
     synthetic_enterprise_topology,
     synthetic_isp_topology,
 )
+from repro.topology.partition import (
+    Region,
+    RegionPartition,
+    partition_topology,
+)
 from repro.topology.routing import RoutingTable, shortest_path_routing
 from repro.topology.asymmetry import (
     AsymmetricRoute,
@@ -30,11 +35,14 @@ __all__ = [
     "AsymmetricRoutingModel",
     "Link",
     "PAPER_TOPOLOGIES",
+    "Region",
+    "RegionPartition",
     "RoutingTable",
     "Topology",
     "builtin_topology",
     "builtin_topology_names",
     "jaccard_overlap",
+    "partition_topology",
     "shortest_path_routing",
     "synthetic_enterprise_topology",
     "synthetic_isp_topology",

@@ -1,0 +1,17 @@
+"""HYG001 planner-scope non-trigger: warm problems, pragma'd lazy build.
+
+Problems are constructed once (lazily, under an inline pragma) and
+every later round goes through the warm ``resolve_traffic()`` path.
+"""
+
+
+def solve_round(shards, policy):
+    results = {}
+    for shard in shards:
+        if shard.problem is None:
+            # repro-lint: allow[HYG001]
+            shard.problem = ReplicationProblem(
+                shard.state, mirror_policy=policy)
+        results[shard.name] = shard.problem.resolve_traffic(
+            shard.classes)
+    return results

@@ -1,0 +1,14 @@
+"""HYG001 planner-scope trigger: a problem rebuilt per iteration.
+
+Inside /core/controller/ the rule also flags ``*Problem(...)``
+constructors in loop bodies — a planner is supposed to keep one warm
+problem per shard and patch it via ``resolve_traffic()``.
+"""
+
+
+def solve_round(shards, policy):
+    results = {}
+    for shard in shards:
+        problem = ReplicationProblem(shard.state, mirror_policy=policy)
+        results[shard.name] = problem.resolve_traffic(shard.classes)
+    return results

@@ -54,6 +54,9 @@ RULE_CASES = [
      "shim/num002_clean.py"),
     (BuildModelInLoopRule, "HYG001", "hyg001_trigger.py", 1,
      "hyg001_clean.py"),
+    (BuildModelInLoopRule, "HYG001",
+     "core/controller/hyg001_problem_trigger.py", 1,
+     "core/controller/hyg001_problem_clean.py"),
     (MutableDefaultRule, "HYG002", "hyg002_trigger.py", 2,
      "hyg002_clean.py"),
     (UnusedImportRule, "HYG003", "hyg003_trigger.py", 2,

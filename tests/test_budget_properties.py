@@ -154,7 +154,9 @@ class TestUnbudgetedParity:
                                         require_full_coverage=False)
         span = sum(rng.width for rng in lowering.ranges)
         target_span = sum(f for _, f in entries)
-        assert span == pytest.approx(target_span, abs=1e-9)
+        # same sub-1e-6 dust bound as the budget=None parity test:
+        # epsilon-skipped slivers can each be ~EPS wide
+        assert span == pytest.approx(target_span, abs=1e-6)
         assert lowering.num_rules <= budget
         cursor = 0.0
         for rng in lowering.ranges:

@@ -223,6 +223,38 @@ class TestBudgetSweep:
             main(["budget-sweep", "--mirror", "teleport"])
 
 
+class TestShardGapCli:
+    def test_prints_table_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "shard-gap.json"
+        assert main(["shard-gap", "--topology", "tinet",
+                     "--regions", "2", "--jobs", "1",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sharded control plane on tinet" in out
+        assert "Gap" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["experiment"] == "shard-gap"
+        (entry,) = payload["series"]
+        assert [pt["regions"] for pt in entry["points"]] == [2]
+
+    def test_bad_regions_rejected(self, capsys):
+        assert main(["shard-gap", "--topology", "tinet",
+                     "--regions", "0"]) == 2
+        assert "region" in capsys.readouterr().err
+
+    def test_empty_regions_rejected(self, capsys):
+        assert main(["shard-gap", "--topology", "tinet",
+                     "--regions", " "]) == 2
+        assert "region" in capsys.readouterr().err
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["shard-gap", "--topology", "atlantis"])
+
+
 class TestScenarioStrategy:
     def test_delta_strategy_flag(self, capsys, tmp_path):
         import json

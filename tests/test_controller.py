@@ -83,3 +83,44 @@ class TestTriggers:
     def test_threshold_validation(self, line_state_dc):
         with pytest.raises(ValueError):
             NIDSController(line_state_dc, drift_threshold=-0.1)
+
+
+class _ScriptedPlanner:
+    """Replays pre-computed outcomes, one per refresh."""
+
+    def __init__(self, outcomes):
+        self._outcomes = list(outcomes)
+
+    def plan(self, classes):
+        return self._outcomes.pop(0)
+
+
+class TestNodeUniverseChange:
+    def test_mismatched_node_sets_skip_transition(self, line_state_dc,
+                                                  line_classes):
+        """A refresh across different node universes (e.g. a shard
+        adoption mid-epoch) must not build an overlap transition —
+        and must not crash summing union rules over one-sided nodes.
+        """
+        from repro.core.controller import GlobalPlanner
+        from repro.core.failures import fail_node
+        from repro.obs import MetricsRegistry, use_registry
+
+        first = GlobalPlanner(line_state_dc).plan(line_classes)
+        shrunken, impact = fail_node(line_state_dc, "A")
+        assert impact.dropped_classes == ["A->D"]
+        second = GlobalPlanner(shrunken).plan(shrunken.classes)
+        assert set(first.state.nids_nodes) != \
+            set(second.state.nids_nodes)
+
+        controller = NIDSController(
+            line_state_dc,
+            planner=_ScriptedPlanner([first, second]))
+        with use_registry(MetricsRegistry()) as metrics:
+            assert controller.refresh().transition is None
+            rollout = controller.refresh(shrunken.classes)
+            gauges = metrics.snapshot()["gauges"]
+        assert rollout.transition is None
+        assert controller.current_configs is rollout.configs
+        # The union-rule gauge counted one-sided nodes once each.
+        assert gauges["controller.transition.union_rules"] > 0

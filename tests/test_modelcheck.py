@@ -18,6 +18,8 @@ from repro.analysis.modelcheck import (
     ModelCheckError,
     check_model,
     check_result,
+    check_shard_capacity,
+    check_sharded_configs,
     check_shim_configs,
     precheck,
 )
@@ -253,6 +255,109 @@ class TestCheckShimConfigs:
                                _process(0.7, 1.0, "rev")]),
         }
         assert check_shim_configs(configs) == []
+
+
+# -- sharded control plane (SHRD) -----------------------------------------
+
+def _cls_rule(cls_name, start, end, direction="both"):
+    return ShimRule(cls_name, HashRange(("p",), start, end),
+                    ShimAction.PROCESS, direction=direction)
+
+
+def _cls_config(node, cls_name, rules):
+    return ShimConfig(node=node, rules={cls_name: rules})
+
+
+class TestCheckShardedConfigs:
+    def test_disjoint_regions_fully_tiled_are_clean(self):
+        regional = {
+            "region-0": {"A": _cls_config("A", "web",
+                                          [_cls_rule("web", 0.0, 0.5)]),
+                         "B": _cls_config("B", "web",
+                                          [_cls_rule("web", 0.5, 1.0)])},
+            "region-1": {"C": _cls_config("C", "dns",
+                                          [_cls_rule("dns", 0.0, 1.0)])},
+        }
+        assert check_sharded_configs(regional, ["web", "dns"]) == []
+
+    def test_multi_region_class_ownership_is_caught(self):
+        regional = {
+            "region-0": {"A": _cls_config("A", "web",
+                                          [_cls_rule("web", 0.0, 0.5)])},
+            "region-1": {"C": _cls_config("C", "web",
+                                          [_cls_rule("web", 0.5, 1.0)])},
+        }
+        findings = check_sharded_configs(regional, ["web"])
+        assert "SHRD001" in rule_ids(findings)
+        assert any("2 regions" in f.message for f in findings)
+
+    def test_cross_region_overlap_is_caught(self):
+        regional = {
+            "region-0": {"A": _cls_config("A", "web",
+                                          [_cls_rule("web", 0.0, 0.6)])},
+            "region-1": {"C": _cls_config("C", "web",
+                                          [_cls_rule("web", 0.5, 1.0)])},
+        }
+        findings = check_sharded_configs(regional, ["web"])
+        assert any("claim the same hash units" in f.message
+                   for f in findings)
+
+    def test_union_gap_is_caught(self):
+        regional = {
+            "region-0": {"A": _cls_config("A", "web",
+                                          [_cls_rule("web", 0.0, 0.4),
+                                           _cls_rule("web", 0.6, 1.0)])},
+        }
+        findings = check_sharded_configs(regional, ["web"])
+        assert rule_ids(findings) == ["SHRD001"]
+        assert any("analyzed nowhere" in f.message for f in findings)
+
+    def test_uncovered_tail_is_caught(self):
+        regional = {
+            "region-0": {"A": _cls_config("A", "web",
+                                          [_cls_rule("web", 0.0, 0.8)])},
+        }
+        findings = check_sharded_configs(regional, ["web"])
+        assert any("tail" in f.message for f in findings)
+
+    def test_vanished_class_is_caught(self):
+        """A class no region configures — the failover bug SHRD001
+        exists to catch — is reported for both directions."""
+        regional = {
+            "region-0": {"A": _cls_config("A", "web",
+                                          [_cls_rule("web", 0.0, 1.0)])},
+        }
+        findings = check_sharded_configs(regional, ["web", "dns"])
+        assert len(findings) == 2
+        assert all("dns" in f.message for f in findings)
+
+
+class TestCheckShardCapacity:
+    CAPS = {"dc": 100.0, "X": 10.0}
+
+    def test_exact_split_is_clean(self):
+        allocations = {"region-0": {"dc": 60.0},
+                       "region-1": {"dc": 40.0}}
+        assert check_shard_capacity(self.CAPS, allocations) == []
+
+    def test_oversubscription_is_caught(self):
+        allocations = {"region-0": {"dc": 80.0},
+                       "region-1": {"dc": 40.0}}
+        findings = check_shard_capacity(self.CAPS, allocations)
+        assert rule_ids(findings) == ["SHRD002"]
+        assert "dc" in findings[0].message
+
+    def test_unknown_node_is_caught(self):
+        findings = check_shard_capacity(
+            self.CAPS, {"region-0": {"ghost": 5.0}})
+        assert rule_ids(findings) == ["SHRD002"]
+        assert "unknown node" in findings[0].message
+
+    def test_negative_allocation_is_caught(self):
+        findings = check_shard_capacity(
+            self.CAPS, {"region-0": {"X": -1.0}})
+        assert rule_ids(findings) == ["SHRD002"]
+        assert "negative" in findings[0].message
 
 
 # -- the acceptance property on tinet -------------------------------------

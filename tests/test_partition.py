@@ -1,0 +1,145 @@
+"""Tests for the region partitioner behind the sharded control plane.
+
+Small cases run on the conftest line topology; determinism and shape
+properties run on tinet (the smallest evaluation topology).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import setup_topology
+from repro.topology import partition_topology
+
+
+@pytest.fixture(scope="module")
+def tinet():
+    return setup_topology("tinet", dc_capacity_factor=1.0)
+
+
+@pytest.fixture(scope="module")
+def tinet_partition(tinet):
+    return partition_topology(tinet.topology, tinet.classes, 3,
+                              seed=0, dc_node=tinet.state.dc_node)
+
+
+class TestShape:
+    def test_total_and_disjoint(self, tinet, tinet_partition):
+        part = tinet_partition
+        dc = tinet.state.dc_node
+        claimed = [node for region in part.regions
+                   for node in region.nodes]
+        assert len(claimed) == len(set(claimed))
+        assert set(claimed) == {n for n in tinet.topology.nodes
+                                if n != dc}
+        assert dc not in part.node_region
+        assert set(part.node_region) == set(claimed)
+
+    def test_every_class_assigned(self, tinet, tinet_partition):
+        part = tinet_partition
+        names = {cls.name for cls in tinet.classes}
+        assert set(part.class_region) == names
+        for region in part.regions:
+            for cls_name in region.class_names:
+                assert part.region_of_class(cls_name) == region.name
+
+    def test_regions_are_contiguous(self, tinet, tinet_partition):
+        topology = tinet.topology
+        for region in tinet_partition.regions:
+            nodes = region.node_set
+            seen = {region.nodes[0]}
+            frontier = [region.nodes[0]]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in topology.neighbors(node):
+                    if neighbor in nodes and neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            assert seen == nodes, f"{region.name} is disconnected"
+
+    def test_majority_class_ownership(self, tinet, tinet_partition):
+        part = tinet_partition
+        for cls in tinet.classes:
+            hops = {}
+            for node in cls.path:
+                owner = part.node_region.get(node)
+                if owner is not None:
+                    hops[owner] = hops.get(owner, 0) + 1
+            assert hops[part.region_of_class(cls.name)] == \
+                max(hops.values())
+
+    def test_deterministic(self, tinet, tinet_partition):
+        again = partition_topology(tinet.topology, tinet.classes, 3,
+                                   seed=0,
+                                   dc_node=tinet.state.dc_node)
+        assert again.node_region == tinet_partition.node_region
+        assert again.class_region == tinet_partition.class_region
+        assert again.regions == tinet_partition.regions
+
+    def test_adjacency_is_symmetric(self, tinet_partition):
+        adjacency = tinet_partition.adjacency
+        for name, neighbors in adjacency.items():
+            for neighbor in neighbors:
+                assert name in adjacency[neighbor]
+
+    def test_summary_counts(self, tinet, tinet_partition):
+        summary = tinet_partition.summary()
+        assert sum(entry["classes"] for entry in summary.values()) \
+            == len(tinet.classes)
+
+
+class TestValidation:
+    def test_bad_region_count(self, line_topology, line_classes):
+        with pytest.raises(ValueError):
+            partition_topology(line_topology, line_classes, 0)
+        with pytest.raises(ValueError):
+            partition_topology(line_topology, line_classes, 5)
+
+    def test_negative_seed(self, line_topology, line_classes):
+        with pytest.raises(ValueError):
+            partition_topology(line_topology, line_classes, 2,
+                               seed=-1)
+
+    def test_unknown_region_lookup(self, line_topology, line_classes):
+        part = partition_topology(line_topology, line_classes, 2)
+        with pytest.raises(KeyError):
+            part.region("region-9")
+
+
+class TestFailoverOps:
+    def test_adopter_is_lightest_neighbor(self, tinet_partition):
+        part = tinet_partition
+        for region in part.regions:
+            adopter = part.adopter_for(region.name)
+            assert adopter != region.name
+            neighbors = part.adjacency.get(region.name, ())
+            if neighbors:
+                assert adopter in neighbors
+                lightest = min(neighbors,
+                               key=lambda n: (part.region(n).traffic,
+                                              n))
+                assert adopter == lightest
+
+    def test_merge_preserves_totals(self, tinet, tinet_partition):
+        part = tinet_partition
+        dead = part.regions[0].name
+        adopter = part.adopter_for(dead)
+        merged = part.merge(dead, adopter)
+        assert len(merged.regions) == len(part.regions) - 1
+        assert dead not in merged.region_names()
+        all_nodes = {node for region in merged.regions
+                     for node in region.nodes}
+        assert all_nodes == set(part.node_region)
+        assert set(merged.class_region) == set(part.class_region)
+        for cls_name, owner in part.class_region.items():
+            expected = adopter if owner == dead else owner
+            assert merged.region_of_class(cls_name) == expected
+        assert dead not in merged.adjacency
+        for neighbors in merged.adjacency.values():
+            assert dead not in neighbors
+
+    def test_merge_into_self_rejected(self, line_topology,
+                                      line_classes):
+        part = partition_topology(line_topology, line_classes, 2)
+        with pytest.raises(ValueError):
+            part.merge("region-0", "region-0")

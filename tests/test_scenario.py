@@ -55,7 +55,8 @@ class TestScenarioSpec:
 
     def test_canned_registry(self):
         assert set(CANNED_SCENARIOS) == {
-            "steady-drift", "flash-crowd", "cascading-failure"}
+            "steady-drift", "flash-crowd", "cascading-failure",
+            "regional-failover"}
         for builder in CANNED_SCENARIOS.values():
             scenario = builder(epochs=3)
             assert scenario.epochs == 3
@@ -184,6 +185,34 @@ class TestCascadingFailure:
         assert anchor not in victims
 
 
+class TestRegionalFailover:
+    def test_failover_keeps_coverage(self):
+        from repro.runtime.scenario import regional_failover_scenario
+
+        scenario = regional_failover_scenario(epochs=6)
+        report = run_scenario(scenario)
+        failover = [r for r in report.records
+                    if r.refresh_reason == "failover"]
+        assert len(failover) == 1
+        assert failover[0].faults == ["controller-down"] or \
+            any("controller-down" in f for f in failover[0].faults)
+        assert all(r.solve_ok for r in report.records)
+        # The shard adoption re-solves over the same node universe,
+        # so the rollout stays coverage-safe end to end.
+        for record in report.records[1:]:
+            assert record.coverage_min == pytest.approx(1.0), \
+                record.epoch
+            assert record.miss_rate == pytest.approx(0.0)
+        assert report.records[-1].coverage_end == pytest.approx(1.0)
+
+    def test_failover_scenario_is_reproducible(self):
+        from repro.runtime.scenario import regional_failover_scenario
+
+        scenario = regional_failover_scenario(epochs=5)
+        assert run_scenario(scenario).fingerprint() == \
+            run_scenario(scenario).fingerprint()
+
+
 class TestDaemon:
     def test_periodic_and_drift_triggers(self, line_state_dc):
         loop = EventLoop()
@@ -229,6 +258,133 @@ class TestDaemon:
         assert record.session.strategy == "direct"
         loop.run_until(100.0)
         assert record.session.latency is not None
+
+    def test_structural_reason_is_latched(self, line_state_dc):
+        """replace_state routes through the reason machinery: the
+        next un-forced step reports "structural" by itself."""
+        from repro.core.failures import fail_node
+
+        loop = EventLoop()
+        channel = ConfigChannel(ChannelSpec(base_delay=1.0), seed=1)
+        daemon = ControllerDaemon(
+            line_state_dc, RolloutDriver(channel, "overlap"))
+        agents = build_agents(line_state_dc.node_capacity)
+        daemon.step(loop, agents, line_state_dc.classes)
+        loop.run_until(50.0)
+
+        old_controller = daemon.controller
+        new_state, _ = fail_node(line_state_dc, "A")
+        daemon.replace_state(new_state)
+        assert daemon.refresh_reason(loop.now,
+                                     new_state.classes) == \
+            "structural"
+        # The warm LP is abandoned with the old controller object.
+        assert daemon.controller is not old_controller
+        assert daemon.controller.current_configs is None
+
+        record = daemon.step(loop, agents, new_state.classes)
+        assert record.reason == "structural"
+        # No old configs on the fresh controller -> direct push.
+        assert record.rollout.transition is None
+        assert record.session.strategy == "direct"
+        # The latch is consumed: the daemon goes quiet again.
+        assert daemon.step(loop, agents, new_state.classes) is None
+
+    def test_trigger_precedence(self, line_state_dc):
+        """bootstrap > structural > periodic > drift."""
+        from repro.core.failures import fail_node
+
+        loop = EventLoop()
+        channel = ConfigChannel(ChannelSpec(base_delay=1.0), seed=1)
+        daemon = ControllerDaemon(
+            line_state_dc, RolloutDriver(channel, "overlap"),
+            drift_threshold=0.2, refresh_period=10.0)
+        agents = build_agents(line_state_dc.node_capacity)
+        classes = line_state_dc.classes
+
+        # Structural pressure before the first cycle: bootstrap wins.
+        new_state, _ = fail_node(line_state_dc, "A")
+        daemon.replace_state(new_state)
+        assert daemon.refresh_reason(loop.now,
+                                     new_state.classes) == "bootstrap"
+        daemon.step(loop, agents, new_state.classes)
+
+        # Expired period AND drifted traffic AND structural pressure:
+        # structural wins, then the timer, then drift.
+        loop.run_until(20.0)
+        daemon.replace_state(new_state)
+        drifted = [cls.scaled(4.0) for cls in new_state.classes]
+        assert daemon.refresh_reason(loop.now, drifted) == \
+            "structural"
+        daemon.step(loop, agents, new_state.classes)
+        loop.run_until(40.0)
+        assert daemon.refresh_reason(loop.now, drifted) == "periodic"
+        daemon.step(loop, agents, new_state.classes)
+        assert daemon.refresh_reason(loop.now, drifted) == "drift"
+
+    def test_structural_restart_keeps_counters_straight(
+            self, line_state_dc):
+        """A structural restart is not a bootstrap and not a drift:
+        the controller counters must say so."""
+        from repro.core.failures import fail_node
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as metrics:
+            loop = EventLoop()
+            channel = ConfigChannel(ChannelSpec(base_delay=1.0),
+                                    seed=1)
+            daemon = ControllerDaemon(
+                line_state_dc, RolloutDriver(channel, "overlap"))
+            agents = build_agents(line_state_dc.node_capacity)
+            daemon.step(loop, agents, line_state_dc.classes)
+            loop.run_until(50.0)
+            new_state, _ = fail_node(line_state_dc, "A")
+            daemon.replace_state(new_state)
+            daemon.step(loop, agents, new_state.classes)
+            counters = metrics.snapshot()["counters"]
+        assert counters.get("controller.bootstrap_refreshes") == 1
+        assert counters.get("runtime.refresh.bootstrap") == 1
+        assert counters.get("runtime.refresh.structural") == 1
+        assert counters.get("runtime.structural_rebuilds") == 1
+        assert "controller.drift_triggers" not in counters
+
+    def test_regional_failover_reason(self, line_state_dc):
+        from repro.core.controller import ShardedPlanner
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as metrics:
+            loop = EventLoop()
+            channel = ConfigChannel(ChannelSpec(base_delay=1.0),
+                                    seed=1)
+            daemon = ControllerDaemon(
+                line_state_dc, RolloutDriver(channel, "overlap"),
+                planner_factory=lambda state: ShardedPlanner(
+                    state, num_regions=2, jobs=1))
+            agents = build_agents(line_state_dc.node_capacity)
+            daemon.step(loop, agents, line_state_dc.classes)
+            loop.run_until(50.0)
+
+            adopter = daemon.fail_region("A")
+            assert adopter.startswith("region-")
+            record = daemon.step(loop, agents,
+                                 line_state_dc.classes)
+            counters = metrics.snapshot()["counters"]
+        assert record.reason == "failover"
+        # The node universe is unchanged, so the rollout stays
+        # coverage-safe.
+        assert record.rollout.transition is not None
+        assert counters.get("runtime.controller_failovers") == 1
+        assert counters.get("runtime.refresh.failover") == 1
+
+    def test_fail_region_needs_sharded_planner(self, line_state_dc):
+        loop = EventLoop()
+        channel = ConfigChannel(ChannelSpec(base_delay=1.0), seed=1)
+        daemon = ControllerDaemon(
+            line_state_dc, RolloutDriver(channel, "overlap"))
+        agents = build_agents(line_state_dc.node_capacity)
+        daemon.step(loop, agents, line_state_dc.classes)
+        with pytest.raises(ValueError):
+            daemon.fail_region("A")
 
     def test_bootstrap_counter_fires(self, line_state_dc):
         from repro.obs import MetricsRegistry, use_registry
