@@ -35,12 +35,14 @@ from repro.analysis.rules.metrics import (
 from repro.analysis.rules.numerics import (
     FloatEqualityRule,
     HashDtypeRule,
+    MemmapDtypeRule,
 )
 
 __all__ = [
     "BuildModelInLoopRule",
     "FloatEqualityRule",
     "HashDtypeRule",
+    "MemmapDtypeRule",
     "MetricsDocRule",
     "MutableDefaultRule",
     "StrictAnnotationRule",
@@ -65,6 +67,7 @@ def default_rules(project_root: Optional[Path] = None) -> List[Rule]:
         UnseededRandomRule(),
         FloatEqualityRule(),
         HashDtypeRule(),
+        MemmapDtypeRule(),
         BuildModelInLoopRule(),
         MutableDefaultRule(),
         UnusedImportRule(),

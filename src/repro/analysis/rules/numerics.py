@@ -7,7 +7,11 @@ comparison is a latent flake (use ``math.isclose`` /
 vectorized hash path: lookup3 is bit-exact only when every array on
 the path wraps modulo 2^32, which in numpy means *explicit*
 ``uint32`` dtypes — an implicit ``int64`` array silently changes
-hashes for the top half of the space.
+hashes for the top half of the space. NUM003 guards the zero-copy
+trace path: ``np.memmap`` / ``np.frombuffer`` reinterpret raw bytes
+as whatever dtype they are told — and their *defaults* disagree
+(``uint8`` vs ``float64``), so a dtype-less call silently decodes
+the trace store's columns as the wrong width.
 """
 
 from __future__ import annotations
@@ -33,6 +37,13 @@ _ARRAY_CTORS = frozenset({
     "numpy.array", "numpy.asarray", "numpy.zeros", "numpy.ones",
     "numpy.empty", "numpy.full", "numpy.arange",
 })
+
+#: modules where raw-byte reinterpretation feeds the replay engines
+TRACE_PATH_SCOPE = ("/simulation/",)
+
+#: byte-reinterpreting constructors that must pin a dtype on the
+#: trace path (their defaults disagree: uint8 vs float64)
+_RAW_BYTE_CTORS = frozenset({"numpy.memmap", "numpy.frombuffer"})
 
 
 def _is_solution_value(node: ast.AST) -> bool:
@@ -108,3 +119,36 @@ class HashDtypeRule(Rule):
                     "path; lookup3 is bit-exact only under "
                     "disciplined uint32 (or an explicitly chosen) "
                     "dtype — implicit int64 silently changes hashes")
+
+
+class MemmapDtypeRule(Rule):
+    """NUM003 — ``np.memmap`` / ``np.frombuffer`` without an explicit
+    dtype on the zero-copy trace path."""
+
+    rule_id = "NUM003"
+    title = "trace-path byte reinterpretation without explicit dtype"
+
+    def __init__(self,
+                 scope: Sequence[str] = TRACE_PATH_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not path_in_scope(ctx.posix_path, self.scope):
+            return
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.qualify(node.func)
+            if qualified not in _RAW_BYTE_CTORS:
+                continue
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            if not has_dtype:
+                ctor = qualified.rsplit(".", 1)[1]
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"np.{ctor}(...) without dtype= on the trace "
+                    "path; it reinterprets raw bytes and the "
+                    "defaults disagree (memmap=uint8, "
+                    "frombuffer=float64) — a dtype-less call decodes "
+                    "trace-store columns at the wrong width")

@@ -19,6 +19,9 @@ Commands:
 - ``scenario`` — play a canned closed-loop scenario through the
   discrete-event runtime and print the epoch timeline (optionally
   writing the full report and a per-epoch timeline as JSON/JSONL).
+- ``trace`` — ``pack`` a synthesized trace into a zero-copy on-disk
+  store, ``info`` its manifest, or ``replay`` it through the
+  signature emulation in bounded-memory chunks.
 """
 
 from __future__ import annotations
@@ -271,6 +274,54 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--timeline", default=None, metavar="PATH",
                           help="write the per-epoch metric timeline "
                                "as JSON lines")
+
+    trace = sub.add_parser(
+        "trace",
+        help="pack, inspect, and replay zero-copy columnar trace "
+             "stores (memmap-backed slabs)")
+    trace_sub = trace.add_subparsers(dest="trace_command",
+                                     required=True)
+
+    pack = trace_sub.add_parser(
+        "pack",
+        help="synthesize a trace (vectorized direct build) and pack "
+             "it into an on-disk trace store")
+    pack.add_argument("path", metavar="DIR",
+                      help="directory for the trace store")
+    pack.add_argument("--topology", default="internet2",
+                      choices=builtin_topology_names())
+    pack.add_argument("--sessions", type=int, default=5000)
+    pack.add_argument("--seed", type=int, default=7)
+    pack.add_argument("--scanners", type=int, default=0,
+                      help="injected scanner sources")
+    pack.add_argument("--payload-sigma", type=float, default=0.0,
+                      help="lognormal payload-size spread (0 = fixed)")
+    pack.add_argument("--dc-capacity", type=float, default=8.0)
+
+    info = trace_sub.add_parser(
+        "info", help="print a trace store's manifest summary")
+    info.add_argument("path", metavar="DIR")
+    info.add_argument("--verify", action="store_true",
+                      help="recompute the content fingerprint "
+                           "(reads every column)")
+
+    replay = trace_sub.add_parser(
+        "replay",
+        help="stream a stored trace through the signature emulation "
+             "in bounded-memory chunks")
+    replay.add_argument("path", metavar="DIR")
+    replay.add_argument("--chunk", type=int, default=65536,
+                        help="target packets per replay slab")
+    replay.add_argument("--mirror", default="dc",
+                        choices=sorted(_MIRROR_CHOICES))
+    replay.add_argument("--max-link-load", type=float, default=0.4)
+    replay.add_argument("--topology", default=None,
+                        choices=builtin_topology_names(),
+                        help="override the topology recorded in the "
+                             "store manifest")
+    replay.add_argument("--dc-capacity", type=float, default=None,
+                        help="override the DC capacity recorded in "
+                             "the store manifest")
 
     lint = sub.add_parser(
         "lint",
@@ -628,6 +679,124 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.simulation.tracestore import TraceStore, TraceStoreError
+
+    if args.trace_command == "pack":
+        from repro.simulation.tracegen import TraceGenerator, TraceSpec
+
+        setup = setup_topology(args.topology,
+                               dc_capacity_factor=args.dc_capacity)
+        state = setup.state
+        generator = TraceGenerator(
+            state.topology.nodes, state.classes,
+            spec=TraceSpec(total_sessions=args.sessions,
+                           payload_sigma=args.payload_sigma,
+                           scanner_count=args.scanners),
+            seed=args.seed)
+        batch = generator.generate_batch(tuple(state.nids_nodes),
+                                         direct=True)
+        try:
+            store = TraceStore.pack(batch, args.path, meta={
+                "topology": args.topology,
+                "seed": str(args.seed),
+                "sessions": str(args.sessions),
+                "dc_capacity": str(args.dc_capacity),
+            })
+        except OSError as exc:
+            print(f"error: cannot write {args.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"packed {store.num_packets} packets "
+              f"({store.num_sessions} sessions, "
+              f"{store.payload_bytes:,} payload bytes) "
+              f"into {store.path}")
+        print(f"  fingerprint: {store.fingerprint[:16]}")
+        return 0
+
+    try:
+        store = TraceStore.open(args.path)
+    except (TraceStoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "info":
+        meta = store.manifest.get("meta", {})
+        print(f"trace store {store.path}")
+        print(f"  format: {store.manifest['format']} "
+              f"v{store.manifest['version']}")
+        print(f"  fingerprint: {store.fingerprint}")
+        print(f"  sessions: {store.num_sessions}  "
+              f"packets: {store.num_packets}  "
+              f"payload bytes: {store.payload_bytes:,}")
+        print(f"  classes: {len(store.manifest['class_names'])}  "
+              f"nodes: {len(store.manifest['node_order'])}  "
+              f"paths: {len(store.manifest['paths'])}  "
+              f"hash seed: {store.manifest['hash_seed']}")
+        if meta:
+            pairs = ", ".join(f"{k}={v}"
+                              for k, v in sorted(meta.items()))
+            print(f"  meta: {pairs}")
+        if args.verify:
+            if store.verify():
+                print("  verify: fingerprint OK")
+            else:
+                print("  verify: FINGERPRINT MISMATCH",
+                      file=sys.stderr)
+                return 1
+        return 0
+
+    # replay
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.simulation.emulation import Emulation
+    from repro.simulation.tracegen import PrefixClassifier
+    from repro.simulation.tracestore import ChunkedReplay
+    from repro.shim.config import build_replication_configs
+
+    meta = store.manifest.get("meta", {})
+    topology = args.topology or meta.get("topology")
+    if topology is None:
+        print("error: store manifest records no topology; pass "
+              "--topology", file=sys.stderr)
+        return 2
+    dc_capacity = args.dc_capacity
+    if dc_capacity is None:
+        dc_capacity = float(meta.get("dc_capacity", 8.0))
+    setup = setup_topology(topology, dc_capacity_factor=dc_capacity)
+    state = setup.state
+    if tuple(store.manifest["node_order"]) != \
+            tuple(state.nids_nodes):
+        print(f"error: store node order does not match topology "
+              f"{topology!r} (was it packed against a different "
+              f"topology or DC setting?)", file=sys.stderr)
+        return 2
+    result = ReplicationProblem(
+        state, mirror_policy=_MIRROR_CHOICES[args.mirror](),
+        max_link_load=args.max_link_load).solve()
+    configs = build_replication_configs(state, result)
+    classifier = PrefixClassifier(state.topology.nodes, state.classes)
+    emulation = Emulation(state, configs, classifier,
+                          hash_seed=int(store.manifest["hash_seed"]))
+    replay = ChunkedReplay(store.batch(), args.chunk)
+    with use_registry(MetricsRegistry()) as metrics:
+        report = emulation.run_signature_chunked(replay)
+        pps = metrics.gauge_value("emulation.packets_per_second")
+        bps = metrics.gauge_value("emulation.bytes_per_second")
+    top = sorted(report.work_units.items(), key=lambda kv: kv[1],
+                 reverse=True)[:5]
+    print(f"replayed {report.packets_total} packets in "
+          f"{replay.num_chunks} chunk(s) of <= {args.chunk} "
+          f"(+session alignment)")
+    print(f"  alerts: {report.alerts}  replicated: "
+          f"{report.replicated_bytes:,.0f} bytes")
+    print(f"  throughput: {pps:,.0f} packets/s, {bps:,.0f} bytes/s")
+    print(format_table(
+        ["Node", "Work units"],
+        [[node, f"{work:,.0f}"] for node, work in top],
+        title="top 5 node work"))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -723,6 +892,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_shard_gap(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_experiment(args)

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.mirrors import MirrorPolicy
 from repro.core.replication import ReplicationProblem
 from repro.experiments.common import format_table, setup_topology
-from repro.experiments.parallel import ParallelSweepRunner
+from repro.experiments.parallel import ParallelSweepRunner, SlabChannel
 from repro.shim.config import build_replication_configs
 from repro.simulation.emulation import Emulation
 from repro.simulation.tracegen import TraceGenerator, TraceSpec
@@ -48,25 +48,35 @@ class Fig10Result:
         return top_plain / top_repl if top_repl > 0 else float("inf")
 
 
-def _fig10_policy(args: Tuple[str, int, int, float, float, bool]
+def _fig10_policy(args: Tuple[str, int, int, float, float, bool,
+                              Optional[str]]
                   ) -> Tuple[str, Dict[str, float], float, int]:
     """One architecture's LP + replay, rebuilt from plain arguments
-    (a picklable sweep point for :class:`ParallelSweepRunner`)."""
+    (a picklable sweep point for :class:`ParallelSweepRunner`).
+
+    ``trace_path`` names the parent's slab-channel trace store; the
+    worker memmaps it instead of re-generating the trace. ``None``
+    (the scalar path) regenerates Session objects locally.
+    """
     (label, total_sessions, seed, dc_capacity_factor, max_link_load,
-     fast) = args
+     fast, trace_path) = args
     setup = setup_topology("internet2",
                            dc_capacity_factor=dc_capacity_factor)
     state = setup.state
     generator = TraceGenerator(
         state.topology.nodes, state.classes,
         spec=TraceSpec(total_sessions=total_sessions), seed=seed)
-    sessions = generator.generate(with_payloads=True)
     result = ReplicationProblem(
         state, mirror_policy=_POLICIES[label](),
         max_link_load=max_link_load).solve()
     configs = build_replication_configs(state, result)
     emulation = Emulation(state, configs, generator.classifier)
-    report = emulation.run_signature(sessions, fast=fast)
+    if trace_path is not None:
+        report = emulation.run_signature(
+            SlabChannel.open_batch(trace_path), fast=True)
+    else:
+        report = emulation.run_signature(
+            generator.generate(with_payloads=True), fast=fast)
     return (label, report.work_units,
             result.max_load(exclude_dc=True), report.alerts)
 
@@ -78,15 +88,37 @@ def run_fig10(total_sessions: int = 4000, seed: int = 7,
               fast: bool = True) -> Fig10Result:
     """Run the Internet2 emulation for both architectures.
 
+    With ``fast=True`` the trace is synthesized once (vectorized
+    direct build), spilled to a slab channel, and memmapped by both
+    architectures' workers — the trace is neither pickled nor built
+    twice. Reports are bit-identical to the scalar per-worker path.
+
     Args:
         jobs: fan the two architectures across processes (``--jobs``
             on the CLI); results are identical to the serial run.
         fast: replay through the vectorized engine (bit-identical to
             the scalar oracle; set False to force the scalar path).
     """
-    points = [(label, total_sessions, seed, dc_capacity_factor,
-               max_link_load, fast) for label in _POLICIES]
-    results = ParallelSweepRunner(jobs).map(_fig10_policy, points)
+    state = setup_topology(
+        "internet2", dc_capacity_factor=dc_capacity_factor).state
+    channel: Optional[SlabChannel] = None
+    if fast:
+        generator = TraceGenerator(
+            state.topology.nodes, state.classes,
+            spec=TraceSpec(total_sessions=total_sessions), seed=seed)
+        channel = SlabChannel(
+            generator.generate_batch(tuple(state.nids_nodes),
+                                     direct=True),
+            meta={"topology": "internet2", "seed": str(seed)})
+    try:
+        points = [(label, total_sessions, seed, dc_capacity_factor,
+                   max_link_load, fast,
+                   channel.path if channel else None)
+                  for label in _POLICIES]
+        results = ParallelSweepRunner(jobs).map(_fig10_policy, points)
+    finally:
+        if channel is not None:
+            channel.close()
 
     work: Dict[str, Dict[str, float]] = {}
     lp_max: Dict[str, float] = {}
@@ -95,8 +127,6 @@ def run_fig10(total_sessions: int = 4000, seed: int = 7,
         work[label] = work_units
         lp_max[label] = max_load
         alerts[label] = alert_count
-    state = setup_topology(
-        "internet2", dc_capacity_factor=dc_capacity_factor).state
 
     nodes = [n for n in state.nids_nodes if n != state.dc_node]
     return Fig10Result(

@@ -12,11 +12,21 @@ Workers must be module-level (picklable) functions; each rebuilds its
 state from plain arguments rather than receiving live ``Emulation``
 objects, so nothing process-local (metrics registries, instrumented
 shims, caches) leaks across the fork boundary.
+
+Traces don't cross that boundary at all: :class:`SlabChannel` spills a
+columnar batch to a :class:`~repro.simulation.tracestore.TraceStore`
+once in the parent and hands workers the *path* (a short string).
+Each worker memmaps the same files read-only, so all workers share one
+page-cached copy of the trace instead of each unpickling or
+re-generating its own.
 """
 
 from __future__ import annotations
 
+import math
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -25,12 +35,15 @@ from typing import (
     Optional,
     Sequence,
     TypeVar,
+    Union,
 )
 
 from repro.core.inputs import NetworkState
 from repro.shim.config import ShimConfig
+from repro.simulation.batch import PacketBatch
 from repro.simulation.emulation import Emulation, ScanEmulationReport
 from repro.simulation.packets import Session
+from repro.simulation.tracestore import TraceStore
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -51,26 +64,82 @@ class ParallelSweepRunner:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs or 1
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+    def auto_chunksize(self, num_items: int) -> int:
+        """Default pickling granularity: ~4 chunks per worker —
+        coarse enough to amortize the per-item round-trip, fine
+        enough to keep the pool load-balanced."""
+        if num_items <= 0:
+            return 1
+        return max(1, math.ceil(num_items / (4 * self.jobs)))
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T],
+            chunksize: Optional[int] = None) -> List[R]:
         """Apply ``fn`` to every item, in order.
 
         With ``jobs > 1``, ``fn`` must be picklable (a module-level
         function or a ``functools.partial`` over one).
+        ``chunksize`` controls how many items ship per worker
+        round-trip (``pool.map``'s knob; default one pickle per
+        item batch via :meth:`auto_chunksize`).
         """
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        if chunksize is None:
+            chunksize = self.auto_chunksize(len(items))
+        elif chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+
+class SlabChannel:
+    """Shares one packed trace with worker processes by path.
+
+    Packs ``batch`` into a temporary :class:`TraceStore` on
+    construction; :attr:`path` is what goes into worker argument
+    tuples (pickling a short string), and workers reopen with
+    :meth:`open_batch`. The parent owns the store's lifetime — call
+    :meth:`close` (or use as a context manager) after the sweep.
+    """
+
+    def __init__(self, batch: PacketBatch,
+                 meta: Optional[Dict[str, str]] = None,
+                 dir: Optional[Union[str, Path]] = None) -> None:
+        self._tmpdir = tempfile.TemporaryDirectory(
+            prefix="repro-slab-", dir=dir)
+        self.store = TraceStore.pack(
+            batch, Path(self._tmpdir.name) / "trace", meta=meta)
+        self.path = str(self.store.path)
+
+    @staticmethod
+    def open_batch(path: Union[str, Path]) -> PacketBatch:
+        """Worker side: memmap the shared trace (read-only)."""
+        return TraceStore.open(path).batch()
+
+    def close(self) -> None:
+        self._tmpdir.cleanup()
+
+    def __enter__(self) -> "SlabChannel":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def _scan_epoch_worker(args) -> ScanEmulationReport:
-    """One epoch of the scan sweep, rebuilt from plain arguments."""
-    (state, configs, classifier, hash_seed, sessions, threshold,
+    """One epoch of the scan sweep, rebuilt from plain arguments.
+
+    The epoch trace arrives either as Session objects (scalar path)
+    or as a slab-channel path to memmap (fast path).
+    """
+    (state, configs, classifier, hash_seed, trace, threshold,
      class_gateway, fast) = args
+    if isinstance(trace, str):
+        trace = SlabChannel.open_batch(trace)
     emulation = Emulation(state, configs, classifier,
                           hash_seed=hash_seed)
-    return emulation.run_scan(sessions, threshold, class_gateway,
+    return emulation.run_scan(trace, threshold, class_gateway,
                               fast=fast)
 
 
@@ -82,7 +151,8 @@ def run_scan_epoch_sweep(state: NetworkState,
                          class_gateway: Optional[Dict[str, str]] = None,
                          hash_seed: int = 0,
                          jobs: Optional[int] = None,
-                         fast: bool = False
+                         fast: bool = False,
+                         chunksize: Optional[int] = None
                          ) -> List[ScanEmulationReport]:
     """Scan detection over measurement epochs, optionally in parallel.
 
@@ -91,9 +161,31 @@ def run_scan_epoch_sweep(state: NetworkState,
     replays one epoch against its own ``Emulation`` rebuilt from the
     same state/configs; reports return in epoch order and equal the
     sequential :meth:`Emulation.run_scan_epochs` output exactly.
+
+    With ``fast=True`` each epoch is columnarized once here and
+    spilled through a :class:`SlabChannel`, so workers memmap their
+    epoch instead of unpickling Session object graphs. ``chunksize``
+    batches epochs per worker round-trip (default
+    :meth:`ParallelSweepRunner.auto_chunksize`).
     """
     runner = ParallelSweepRunner(jobs)
-    return runner.map(_scan_epoch_worker,
-                      [(state, configs, classifier, hash_seed,
-                        list(epoch), threshold, class_gateway, fast)
-                       for epoch in epochs])
+    node_order = tuple(state.nids_nodes)
+    channels: List[SlabChannel] = []
+    try:
+        points = []
+        for epoch in epochs:
+            trace: Union[List[Session], str]
+            if fast:
+                channel = SlabChannel(PacketBatch.from_sessions(
+                    list(epoch), classifier, node_order, hash_seed))
+                channels.append(channel)
+                trace = channel.path
+            else:
+                trace = list(epoch)
+            points.append((state, configs, classifier, hash_seed,
+                           trace, threshold, class_gateway, fast))
+        return runner.map(_scan_epoch_worker, points,
+                          chunksize=chunksize)
+    finally:
+        for channel in channels:
+            channel.close()

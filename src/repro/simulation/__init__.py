@@ -15,6 +15,12 @@ from repro.simulation.tracegen import (
     PrefixClassifier,
     TraceGenerator,
 )
+from repro.simulation.tracestore import (
+    ChunkedReplay,
+    TraceStore,
+    TraceStoreError,
+    trace_fingerprint,
+)
 from repro.simulation.emulation import (
     Emulation,
     EmulationReport,
@@ -34,6 +40,7 @@ from repro.simulation.metrics import (
 )
 
 __all__ = [
+    "ChunkedReplay",
     "Emulation",
     "EmulationReport",
     "Packet",
@@ -46,6 +53,9 @@ __all__ = [
     "StatefulEmulationReport",
     "Supernode",
     "TraceGenerator",
+    "TraceStore",
+    "TraceStoreError",
+    "trace_fingerprint",
     "peak_to_mean",
     "pop_prefix_ip",
     "predicted_work_shares",

@@ -24,7 +24,7 @@ which dedupe on the ``FiveTuple`` they are handed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,7 +56,9 @@ class SessionBatch:
                  class_names: Tuple[str, ...],
                  fwd_path_id: np.ndarray, rev_path_id: np.ndarray,
                  paths: List[np.ndarray],
-                 node_order: Tuple[str, ...], hash_seed: int = 0) -> None:
+                 node_order: Tuple[str, ...], hash_seed: int = 0,
+                 session_key: Optional[np.ndarray] = None,
+                 num_keys: Optional[int] = None) -> None:
         self.proto = proto
         self.src_ip = src_ip
         self.src_port = src_port
@@ -71,16 +73,25 @@ class SessionBatch:
         self.node_order = node_order
         self.hash_seed = hash_seed
         self.num_sessions = len(proto)
-        tuples = np.stack([proto.astype(np.int64),
-                           src_ip.astype(np.int64),
-                           src_port.astype(np.int64),
-                           dst_ip.astype(np.int64),
-                           dst_port.astype(np.int64)], axis=1)
-        _, self.session_key = np.unique(tuples, axis=0,
-                                        return_inverse=True)
-        self.session_key = self.session_key.reshape(-1).astype(np.int64)
-        self.num_keys = (int(self.session_key.max()) + 1
-                         if self.num_sessions else 0)
+        if session_key is None:
+            tuples = np.stack([proto.astype(np.int64),
+                               src_ip.astype(np.int64),
+                               src_port.astype(np.int64),
+                               dst_ip.astype(np.int64),
+                               dst_port.astype(np.int64)], axis=1)
+            _, session_key = np.unique(tuples, axis=0,
+                                       return_inverse=True)
+            session_key = session_key.reshape(-1)
+        # Injected keys (trace-store reopen, chunked sub-batches) may
+        # span a larger universe than this batch's rows, so num_keys
+        # travels with them — chunked distinct-session accounting
+        # needs the *global* key space.
+        self.session_key = np.asarray(session_key,
+                                      dtype=np.int64).reshape(-1)
+        if num_keys is None:
+            num_keys = (int(self.session_key.max()) + 1
+                        if len(self.session_key) else 0)
+        self.num_keys = num_keys
         self._hash_cache: Dict[HashMode, np.ndarray] = {}
         self._flow_obs: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
@@ -206,11 +217,17 @@ class SessionBatch:
 
 
 class PacketBatch:
-    """Struct-of-arrays view of a packet trace (plus its sessions)."""
+    """Struct-of-arrays view of a packet trace (plus its sessions).
+
+    ``payload_buffer`` is normally ``bytes``; a trace-store reopen
+    supplies a read-only uint8 ``np.memmap`` instead (zero-copy —
+    payload bytes are only paged in when a consumer scans them).
+    """
 
     def __init__(self, sessions: SessionBatch,
                  session_of_packet: np.ndarray, direction: np.ndarray,
-                 size_bytes: np.ndarray, payload_buffer: bytes,
+                 size_bytes: np.ndarray,
+                 payload_buffer: Union[bytes, np.ndarray],
                  payload_offsets: np.ndarray) -> None:
         self.sessions = sessions
         self.session_of_packet = session_of_packet
@@ -281,6 +298,8 @@ class PacketBatch:
         """
         counts = np.zeros(self.num_packets, dtype=np.int64)
         buffer = self.payload_buffer
+        if not isinstance(buffer, bytes):
+            buffer = buffer.tobytes()
         offsets = self.payload_offsets
         for pattern in patterns:
             width = len(pattern)

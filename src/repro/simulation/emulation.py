@@ -28,7 +28,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -58,6 +68,9 @@ from repro.shim.shim import Classifier, Shim
 from repro.simulation.batch import DIR_FWD, PacketBatch, SessionBatch
 from repro.simulation.packets import Session
 from repro.topology.topology import Link
+
+if TYPE_CHECKING:
+    from repro.simulation.tracestore import ChunkedReplay
 
 Trace = Union[Sequence[Session], PacketBatch]
 FlowTrace = Union[Sequence[Session], SessionBatch, PacketBatch]
@@ -158,12 +171,16 @@ class Emulation:
 
     def _publish_run_metrics(self, kind: str,
                              work_units: Dict[str, float],
-                             packets: int, elapsed: float) -> None:
+                             packets: int, elapsed: float,
+                             bytes_total: Optional[float] = None
+                             ) -> None:
         """End-of-run observability: throughput and per-node work.
 
         Published once per replay (never per packet), so the emulation
         loop itself carries no instrumentation overhead. For the
         flow-level scan/flood replays ``packets`` counts flows.
+        ``bytes_total`` (wire bytes replayed) additionally publishes
+        byte throughput when the caller tracked it.
         """
         metrics = get_registry()
         if not metrics.enabled:
@@ -174,6 +191,9 @@ class Emulation:
         if elapsed > 0:
             metrics.gauge("emulation.packets_per_second",
                           packets / elapsed)
+            if bytes_total is not None:
+                metrics.gauge("emulation.bytes_per_second",
+                              bytes_total / elapsed)
         for node, work in work_units.items():
             metrics.gauge(f"emulation.work_units.{node}", work)
 
@@ -383,7 +403,94 @@ class Emulation:
         self._note_fast_run()
         self._publish_run_metrics("signature", report.work_units,
                                   batch.num_packets,
-                                  time.perf_counter() - start)
+                                  time.perf_counter() - start,
+                                  bytes_total=float(
+                                      batch.size_bytes.sum()))
+        return report
+
+    def run_signature_chunked(self, replay: "ChunkedReplay"
+                              ) -> EmulationReport:
+        """Signature replay over a chunk stream — bit-identical to
+        :meth:`run_signature` with ``fast=True`` on the whole batch,
+        at O(chunk) instead of O(trace) memory.
+
+        Per-node byte work, alerts, replicated bytes, and per-link
+        bytes are integer-valued float sums, exact in any grouping, so
+        they accumulate across chunks directly. Distinct (node,
+        five-tuple) delivery pairs are **not** additive — the same
+        session's packets may recur in later chunks on another node's
+        range, and duplicate five-tuples can span chunks — so each
+        chunk contributes its distinct global-key pairs and the union
+        is deduplicated once at the end.
+        """
+        kernel = self._kernel(replay.class_names)
+        if tuple(replay.node_order) != tuple(self.state.nids_nodes):
+            raise ValueError("batch node order does not match "
+                             "this network's NIDS nodes")
+        start = time.perf_counter()
+        num_nodes = len(replay.node_order)
+        keys = max(replay.num_keys, 1)
+        byte_work = np.zeros(num_nodes, dtype=np.float64)
+        pair_chunks: List[np.ndarray] = []
+        alerts = 0
+        replicated = 0.0
+        bytes_total = 0.0
+        link_bytes: Dict[Link, float] = {}
+        for chunk in replay:
+            sess = chunk.sessions
+            obs_pkt, obs_node = chunk.packet_observers()
+            obs_sess = chunk.session_of_packet[obs_pkt]
+            actions, targets = self._decide_batch(
+                kernel, sess, obs_sess, obs_node,
+                chunk.direction[obs_pkt].astype(np.int64))
+            deliver = delivery_nodes(actions, targets, obs_node)
+            mask = deliver >= 0
+
+            payload_len = chunk.payload_lengths
+            byte_work += accumulate_per_node(
+                deliver, payload_len[obs_pkt].astype(np.float64),
+                num_nodes)
+            pair = (deliver[mask] * keys +
+                    sess.session_key[obs_sess[mask]])
+            pair_chunks.append(np.unique(pair))
+
+            match_counts = chunk.payload_match_counts(
+                DEFAULT_SIGNATURES)
+            alerts += int(match_counts[obs_pkt[mask]].sum())
+
+            repl = actions == ACTION_REPLICATE
+            repl_sizes = chunk.size_bytes[obs_pkt[repl]]
+            if repl.any():
+                replicated += float(repl_sizes.sum())
+            for link, value in self._links().link_bytes(
+                    obs_node[repl], targets[repl].astype(np.int64),
+                    repl_sizes).items():
+                link_bytes[link] = link_bytes.get(link, 0.0) + value
+            bytes_total += float(chunk.size_bytes.sum())
+
+        if pair_chunks:
+            distinct_pairs = np.unique(np.concatenate(pair_chunks))
+        else:
+            distinct_pairs = np.zeros(0, dtype=np.int64)
+        session_counts = np.bincount(distinct_pairs // keys,
+                                     minlength=num_nodes)
+        work = byte_work + 100.0 * session_counts
+
+        report = EmulationReport(
+            work_units={n: float(work[i])
+                        for i, n in enumerate(replay.node_order)},
+            sessions_processed={n: int(session_counts[i])
+                                for i, n in
+                                enumerate(replay.node_order)},
+            alerts=alerts,
+            replicated_bytes=replicated,
+            link_replicated_bytes=link_bytes,
+            packets_total=replay.num_packets)
+        self._note_fast_run()
+        self._publish_run_metrics("signature", report.work_units,
+                                  replay.num_packets,
+                                  time.perf_counter() - start,
+                                  bytes_total=bytes_total)
         return report
 
     # -- stateful / split traffic ------------------------------------------

@@ -7,6 +7,18 @@ number of packets per session, optional payloads seeded with signature
 strings (so the Signature engine has something to find), and optional
 injected scanners (sources contacting many distinct destinations across
 paths, for the Scan/aggregation experiments).
+
+All randomness is drawn up front into a :class:`_TracePlan` — a set of
+phase-ordered, whole-array numpy draws (host pairs, ports, payload
+sizes, one concatenated payload byte buffer). Both synthesis paths
+consume the identical plan: :meth:`TraceGenerator.generate`
+materializes Python ``Session`` objects from it (the scalar oracle),
+while :meth:`TraceGenerator.generate_batch` with ``direct=True``
+assembles the columnar :class:`~repro.simulation.batch.PacketBatch`
+straight from the plan's arrays — bit-identical columns, no per-packet
+Python objects, no per-session RNG calls. The parity suite
+(`tests/test_tracestore.py`) pins the two paths column-for-column,
+the same pattern as fast-vs-scalar replay parity.
 """
 
 from __future__ import annotations
@@ -17,8 +29,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 import numpy as np
 
 from repro.nids.signature import DEFAULT_SIGNATURES
+from repro.obs import get_registry
 from repro.shim.hashing import FiveTuple
 from repro.simulation.packets import (
+    _BASE_IP,
     Session,
     pop_index_of_ip,
     pop_prefix_ip,
@@ -27,6 +41,9 @@ from repro.traffic.classes import TrafficClass
 
 if TYPE_CHECKING:
     from repro.simulation.batch import PacketBatch
+
+#: destination ports drawn for classes without a declared port
+_DEFAULT_DST_PORTS = (80, 443, 22, 25, 6667)
 
 
 class PrefixClassifier:
@@ -118,6 +135,32 @@ class TraceSpec:
             raise ValueError("payload_sigma must be non-negative")
 
 
+@dataclass
+class _TracePlan:
+    """All randomness of one trace, drawn up front as whole arrays.
+
+    One row per session, in generation order (normal sessions grouped
+    by class, then scanner sessions). ``payload`` packs every packet's
+    body contiguously (session-major, forward packets first) with
+    signatures already pasted in; ``payload_offsets`` has one entry per
+    packet plus a terminator, all-zero when payloads are disabled.
+    """
+
+    class_idx: np.ndarray  # int64[n] -> index into generator.classes
+    src_ip: np.ndarray  # int64[n]
+    dst_ip: np.ndarray  # int64[n]
+    src_port: np.ndarray  # int64[n]
+    dst_port: np.ndarray  # int64[n]
+    malicious: np.ndarray  # bool[n]
+    payload_size: np.ndarray  # int64[n] per-packet body bytes
+    payload: np.ndarray  # uint8[total_bytes]
+    payload_offsets: np.ndarray  # int64[num_packets + 1]
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.class_idx)
+
+
 class TraceGenerator:
     """Generates synthetic session traces over a topology's classes.
 
@@ -162,83 +205,308 @@ class TraceGenerator:
             quotas[name] += 1
         return quotas
 
-    def _session_payload_bytes(self, rng: np.random.Generator) -> int:
-        """Per-session payload size (fixed, or lognormal-tailed)."""
-        if self.spec.payload_sigma <= 0:
-            return self.spec.payload_bytes
-        sigma = self.spec.payload_sigma
-        mu = np.log(self.spec.payload_bytes) - sigma * sigma / 2.0
-        return max(8, int(rng.lognormal(mu, sigma)))
-
-    def _payload(self, rng: np.random.Generator, size: int,
-                 embed_signature: bool) -> bytes:
-        body = rng.integers(0, 256, size=size,
-                            dtype=np.uint8).tobytes()
-        if not embed_signature:
-            return body
-        pattern = DEFAULT_SIGNATURES[
-            int(rng.integers(len(DEFAULT_SIGNATURES)))]
-        if len(pattern) >= size:
-            return pattern[:size]
-        offset = int(rng.integers(max(1, size - len(pattern))))
-        return body[:offset] + pattern + body[offset + len(pattern):]
-
-    def _make_session(self, cls: TrafficClass, host_pair: Tuple[int, int],
-                      rng: np.random.Generator,
-                      with_payloads: bool) -> Session:
-        src_index = self.classifier.pop_index(cls.source)
-        dst_index = self.classifier.pop_index(cls.target)
-        dst_port = self.class_ports.get(cls.name)
-        if dst_port is None:
-            dst_port = int(rng.choice([80, 443, 22, 25, 6667]))
-        tup = FiveTuple(
-            proto=6,
-            src_ip=pop_prefix_ip(src_index, host_pair[0]),
-            src_port=int(rng.integers(1024, 65535)),
-            dst_ip=pop_prefix_ip(dst_index, host_pair[1]),
-            dst_port=dst_port)
-        session = Session(five_tuple=tup, class_name=cls.name,
-                          fwd_path=cls.path,
-                          rev_path=cls.rev_path)
-        malicious = (with_payloads and
-                     rng.random() < self.spec.signature_session_fraction)
-        size = self._session_payload_bytes(rng)
+    def _packets_per_session(self) -> int:
         fwd_count, rev_count = self.spec.packets_per_session
-        for i in range(fwd_count):
-            payload = (self._payload(rng, size, malicious and i == 0)
-                       if with_payloads else b"")
-            session.add_packet("fwd", size + 40, payload)
-        for _ in range(rev_count):
-            payload = (self._payload(rng, size, False)
-                       if with_payloads else b"")
-            session.add_packet("rev", size + 40, payload)
-        return session
+        return fwd_count + rev_count
+
+    def _class_rows(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-session class index plus host columns, in generation
+        order: normal sessions grouped by class, then scanners.
+
+        Normal hosts are placeholders (-1) to be drawn; scanner hosts
+        are deterministic (source ``2**15 + id``, distinct victims
+        ``2**14 + i``), outside the normal host range.
+        """
+        quotas = self._session_quota()
+        idx_parts: List[np.ndarray] = []
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        counts = np.array([quotas.get(cls.name, 0)
+                           for cls in self.classes], dtype=np.int64)
+        n_normal = int(counts.sum())
+        if n_normal:
+            idx_parts.append(np.repeat(
+                np.arange(len(self.classes), dtype=np.int64), counts))
+            src_parts.append(np.full(n_normal, -1, dtype=np.int64))
+            dst_parts.append(np.full(n_normal, -1, dtype=np.int64))
+        if self.spec.scanner_count > 0:
+            by_source: Dict[str, List[int]] = {}
+            for ci, cls in enumerate(self.classes):
+                by_source.setdefault(cls.source, []).append(ci)
+            source_pops = sorted(by_source)
+            fanout = self.spec.scanner_fanout
+            lanes = np.arange(fanout, dtype=np.int64)
+            for scanner_id in range(self.spec.scanner_count):
+                pop = source_pops[scanner_id % len(source_pops)]
+                targets = np.array(by_source[pop], dtype=np.int64)
+                idx_parts.append(targets[lanes % len(targets)])
+                src_parts.append(np.full(
+                    fanout, 2 ** 15 + scanner_id, dtype=np.int64))
+                dst_parts.append(2 ** 14 + lanes)
+        if not idx_parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        return (np.concatenate(idx_parts), np.concatenate(src_parts),
+                np.concatenate(dst_parts))
+
+    def _draw_plan(self, with_payloads: bool) -> _TracePlan:
+        """Draw every random quantity of the trace, phase-ordered:
+        hosts, destination ports, source ports, payload sizes,
+        malicious flags, payload bodies, signature placements. Each
+        phase is one whole-array draw, so the plan costs O(columns)
+        numpy calls instead of O(sessions) scalar RNG calls.
+        """
+        rng = np.random.default_rng(self.seed)
+        spec = self.spec
+        class_idx, host_src, host_dst = self._class_rows()
+        n = len(class_idx)
+        fwd_count, _ = spec.packets_per_session
+        ppcount = self._packets_per_session()
+
+        normal = host_src < 0
+        n_normal = int(normal.sum())
+        host_src[normal] = rng.integers(1, 2 ** 12, size=n_normal)
+        host_dst[normal] = rng.integers(1, 2 ** 12, size=n_normal)
+
+        cls_src_pop = np.array(
+            [self.classifier.pop_index(cls.source)
+             for cls in self.classes], dtype=np.int64)
+        cls_dst_pop = np.array(
+            [self.classifier.pop_index(cls.target)
+             for cls in self.classes], dtype=np.int64)
+        src_pop = cls_src_pop[class_idx] if n else class_idx
+        dst_pop = cls_dst_pop[class_idx] if n else class_idx
+        src_ip = _BASE_IP | (src_pop << 16) | host_src
+        dst_ip = _BASE_IP | (dst_pop << 16) | host_dst
+
+        cls_port = np.array(
+            [self.class_ports.get(cls.name, -1)
+             for cls in self.classes], dtype=np.int64)
+        dst_port = cls_port[class_idx] if n else class_idx.copy()
+        unknown = dst_port < 0
+        dst_port[unknown] = rng.choice(
+            np.array(_DEFAULT_DST_PORTS, dtype=np.int64),
+            size=int(unknown.sum()))
+        src_port = rng.integers(1024, 65535, size=n)
+
+        if spec.payload_sigma > 0:
+            sigma = spec.payload_sigma
+            mu = np.log(spec.payload_bytes) - sigma * sigma / 2.0
+            payload_size = np.maximum(
+                8, rng.lognormal(mu, sigma, n).astype(np.int64))
+        else:
+            payload_size = np.full(n, spec.payload_bytes,
+                                   dtype=np.int64)
+
+        if with_payloads:
+            malicious = (rng.random(n) <
+                         spec.signature_session_fraction)
+        else:
+            malicious = np.zeros(n, dtype=bool)
+
+        if with_payloads and ppcount > 0:
+            offsets = np.zeros(n * ppcount + 1, dtype=np.int64)
+            np.cumsum(np.repeat(payload_size, ppcount),
+                      out=offsets[1:])
+            payload = rng.integers(0, 256, size=int(offsets[-1]),
+                                   dtype=np.uint8)
+        else:
+            offsets = np.zeros(n * ppcount + 1, dtype=np.int64)
+            payload = np.zeros(0, dtype=np.uint8)
+
+        embed_rows = (np.flatnonzero(malicious)
+                      if with_payloads and fwd_count > 0
+                      else np.zeros(0, dtype=np.int64))
+        if len(embed_rows):
+            pat_idx = rng.integers(len(DEFAULT_SIGNATURES),
+                                   size=len(embed_rows))
+            pat_frac = rng.random(len(embed_rows))
+            for row, pi, frac in zip(embed_rows, pat_idx, pat_frac):
+                pattern = DEFAULT_SIGNATURES[int(pi)]
+                size = int(payload_size[row])
+                base = int(offsets[int(row) * ppcount])
+                pat = np.frombuffer(pattern, dtype=np.uint8)
+                if len(pattern) >= size:
+                    payload[base:base + size] = pat[:size]
+                    continue
+                offset = int(frac * max(1, size - len(pattern)))
+                payload[base + offset:
+                        base + offset + len(pattern)] = pat
+        return _TracePlan(class_idx, src_ip, dst_ip, src_port,
+                          dst_port, malicious, payload_size, payload,
+                          offsets)
+
+    def _rev_path(self, cls: TrafficClass) -> Tuple[str, ...]:
+        if cls.rev_path is not None:
+            return tuple(cls.rev_path)
+        return tuple(reversed(cls.path))
+
+    def _materialize(self, plan: _TracePlan,
+                     with_payloads: bool) -> List[Session]:
+        """Scalar oracle: expand the plan into ``Session`` objects."""
+        fwd_count, rev_count = self.spec.packets_per_session
+        ppcount = fwd_count + rev_count
+        offsets = plan.payload_offsets
+        buf = plan.payload
+        sessions: List[Session] = []
+        for row in range(plan.num_sessions):
+            cls = self.classes[int(plan.class_idx[row])]
+            tup = FiveTuple(
+                proto=6,
+                src_ip=int(plan.src_ip[row]),
+                src_port=int(plan.src_port[row]),
+                dst_ip=int(plan.dst_ip[row]),
+                dst_port=int(plan.dst_port[row]))
+            session = Session(five_tuple=tup, class_name=cls.name,
+                              fwd_path=cls.path,
+                              rev_path=cls.rev_path)
+            size = int(plan.payload_size[row])
+            base = row * ppcount
+            for i in range(ppcount):
+                if with_payloads:
+                    payload = buf[offsets[base + i]:
+                                  offsets[base + i + 1]].tobytes()
+                else:
+                    payload = b""
+                direction = "fwd" if i < fwd_count else "rev"
+                session.add_packet(direction, size + 40, payload)
+            sessions.append(session)
+        return sessions
 
     def generate(self, with_payloads: bool = True) -> List[Session]:
         """Generate the trace: normal sessions plus injected scanners."""
-        rng = np.random.default_rng(self.seed)
-        sessions: List[Session] = []
-        quotas = self._session_quota()
-        for cls in self.classes:
-            quota = quotas.get(cls.name, 0)
-            for _ in range(quota):
-                host_pair = (int(rng.integers(1, 2 ** 12)),
-                             int(rng.integers(1, 2 ** 12)))
-                sessions.append(self._make_session(
-                    cls, host_pair, rng, with_payloads))
-        sessions.extend(self._scanner_sessions(rng, with_payloads))
-        return sessions
+        return self._materialize(self._draw_plan(with_payloads),
+                                 with_payloads)
+
+    def _direct_batch(self, plan: _TracePlan,
+                      node_order: Sequence[str], with_payloads: bool,
+                      hash_seed: int) -> "PacketBatch":
+        """Assemble the columnar batch straight from the plan —
+        no per-packet Python objects. Must stay bit-identical to
+        ``PacketBatch.from_sessions(self._materialize(plan), ...)``;
+        the parity tests enforce it column by column.
+        """
+        from repro.simulation.batch import (
+            DIR_FWD,
+            DIR_REV,
+            PacketBatch,
+            SessionBatch,
+        )
+
+        n = plan.num_sessions
+        fwd_count, rev_count = self.spec.packets_per_session
+        ppcount = fwd_count + rev_count
+
+        # Class-name universe: trace-declared names plus whatever the
+        # classifier assigns. The classifier only looks at (src PoP,
+        # dst PoP, dst port), so one call per unique (class, port)
+        # pair covers every session.
+        trace_names = {self.classes[int(ci)].name
+                       for ci in np.unique(plan.class_idx)}
+        assigned_of_pair: Dict[Tuple[int, int], Optional[str]] = {}
+        if n:
+            pairs, inverse = np.unique(
+                np.stack([plan.class_idx, plan.dst_port], axis=1),
+                axis=0, return_inverse=True)
+            for ci, port in pairs:
+                cls = self.classes[int(ci)]
+                probe = FiveTuple(
+                    proto=6,
+                    src_ip=pop_prefix_ip(
+                        self.classifier.pop_index(cls.source), 1),
+                    src_port=1024,
+                    dst_ip=pop_prefix_ip(
+                        self.classifier.pop_index(cls.target), 1),
+                    dst_port=int(port))
+                assigned_of_pair[(int(ci), int(port))] = \
+                    self.classifier(probe)
+        assigned_names = {name for name in assigned_of_pair.values()
+                          if name is not None}
+        names = sorted(trace_names | assigned_names)
+        name_index = {name: i for i, name in enumerate(names)}
+
+        if n:
+            pair_class_id = np.array(
+                [-1 if assigned_of_pair[(int(ci), int(port))] is None
+                 else name_index[assigned_of_pair[(int(ci),
+                                                   int(port))]]
+                 for ci, port in pairs], dtype=np.int32)
+            class_id = pair_class_id[inverse.reshape(-1)]
+        else:
+            class_id = np.full(0, -1, dtype=np.int32)
+        cls_trace_id = np.array(
+            [name_index.get(cls.name, -1) for cls in self.classes],
+            dtype=np.int32)
+        trace_class_id = (cls_trace_id[plan.class_idx]
+                          if n else np.full(0, -1, dtype=np.int32))
+
+        # Path registry in first-seen session order: every session of
+        # a class shares its paths, so walking classes by first
+        # occurrence (fwd then rev) reproduces from_sessions' ids.
+        node_index = {name: i for i, name in enumerate(node_order)}
+        paths: List[np.ndarray] = []
+        path_index: Dict[Tuple[str, ...], int] = {}
+
+        def path_id(path: Tuple[str, ...]) -> int:
+            pid = path_index.get(path)
+            if pid is None:
+                pid = len(paths)
+                path_index[path] = pid
+                paths.append(np.array(
+                    [node_index[node] for node in path],
+                    dtype=np.int64))
+            return pid
+
+        cls_fwd_pid = np.zeros(len(self.classes), dtype=np.int32)
+        cls_rev_pid = np.zeros(len(self.classes), dtype=np.int32)
+        if n:
+            _, first_pos = np.unique(plan.class_idx,
+                                     return_index=True)
+            for ci in plan.class_idx[np.sort(first_pos)]:
+                cls = self.classes[int(ci)]
+                cls_fwd_pid[int(ci)] = path_id(tuple(cls.path))
+                cls_rev_pid[int(ci)] = path_id(self._rev_path(cls))
+        fwd_path_id = (cls_fwd_pid[plan.class_idx]
+                       if n else np.zeros(0, dtype=np.int32))
+        rev_path_id = (cls_rev_pid[plan.class_idx]
+                       if n else np.zeros(0, dtype=np.int32))
+
+        sessions = SessionBatch(
+            np.full(n, 6, dtype=np.uint32),
+            plan.src_ip.astype(np.uint32),
+            plan.src_port.astype(np.uint32),
+            plan.dst_ip.astype(np.uint32),
+            plan.dst_port.astype(np.uint32),
+            class_id, trace_class_id, tuple(names),
+            fwd_path_id, rev_path_id, paths,
+            tuple(node_order), hash_seed)
+
+        session_of_packet = np.repeat(
+            np.arange(n, dtype=np.int64), ppcount)
+        direction = np.tile(
+            np.array([DIR_FWD] * fwd_count + [DIR_REV] * rev_count,
+                     dtype=np.uint8), n)
+        size_bytes = np.repeat(
+            (plan.payload_size + 40).astype(np.float64), ppcount)
+        payload_buffer = (plan.payload.tobytes()
+                          if with_payloads else b"")
+        return PacketBatch(sessions, session_of_packet, direction,
+                           size_bytes, payload_buffer,
+                           plan.payload_offsets)
 
     def generate_batch(self, node_order: Sequence[str],
-                       with_payloads: bool = True, hash_seed: int = 0
-                       ) -> "PacketBatch":
+                       with_payloads: bool = True, hash_seed: int = 0,
+                       direct: bool = False) -> "PacketBatch":
         """Generate the trace directly as a columnar
         :class:`~repro.simulation.batch.PacketBatch` for the
         vectorized replay engine.
 
-        Same RNG stream as :meth:`generate` (the Session objects are
-        materialized then columnarized), so a batch and a Session list
-        from the same seed describe the identical trace.
+        Both paths consume the identical draw plan, so a batch and a
+        Session list from the same seed describe the identical trace.
+        With ``direct=True`` the columns are assembled straight from
+        the plan's arrays (no per-packet Python objects) — the fast
+        path; ``direct=False`` materializes Sessions and columnarizes
+        them, kept as the bit-exactness oracle.
 
         Args:
             node_order: node-name universe for observer indices —
@@ -246,32 +514,16 @@ class TraceGenerator:
             with_payloads: include payload bytes (needed for
                 signature replay).
             hash_seed: network-wide hash seed for the hash columns.
+            direct: vectorized column assembly (bit-identical,
+                much faster).
         """
         from repro.simulation.batch import PacketBatch
 
-        return PacketBatch.from_sessions(
-            self.generate(with_payloads), self.classifier,
-            node_order, hash_seed)
-
-    def _scanner_sessions(self, rng: np.random.Generator,
-                          with_payloads: bool) -> List[Session]:
-        """Scanners: one fixed source host contacting many distinct
-        destination hosts, spread over that source's classes."""
-        sessions: List[Session] = []
-        if self.spec.scanner_count <= 0:
-            return sessions
-        by_source: Dict[str, List[TrafficClass]] = {}
-        for cls in self.classes:
-            by_source.setdefault(cls.source, []).append(cls)
-        source_pops = sorted(by_source)
-        for scanner_id in range(self.spec.scanner_count):
-            pop = source_pops[scanner_id % len(source_pops)]
-            scanner_host = 2 ** 15 + scanner_id  # outside normal range
-            targets = by_source[pop]
-            for i in range(self.spec.scanner_fanout):
-                cls = targets[i % len(targets)]
-                victim_host = 2 ** 14 + i  # distinct destinations
-                sessions.append(self._make_session(
-                    cls, (scanner_host, victim_host), rng,
-                    with_payloads))
-        return sessions
+        with get_registry().span("emulation.batch_build"):
+            plan = self._draw_plan(with_payloads)
+            if direct:
+                return self._direct_batch(plan, node_order,
+                                          with_payloads, hash_seed)
+            return PacketBatch.from_sessions(
+                self._materialize(plan, with_payloads),
+                self.classifier, node_order, hash_seed)

@@ -1,0 +1,346 @@
+"""Zero-copy on-disk trace storage and bounded-memory replay.
+
+A :class:`TraceStore` persists every column of a
+:class:`~repro.simulation.batch.PacketBatch` to a directory — one
+``.npy`` file per numeric column, payload bytes as a raw
+``payload.bin``, and a JSON manifest recording the format version,
+per-column dtype/shape, class/node universes, path tables, and a
+sha256 content fingerprint. Reopening maps each column back as a
+read-only view (``np.load(..., mmap_mode="r")`` / a uint8
+``np.memmap``), so a 10^8-packet trace costs O(1) memory to open and
+pages in only what a replay touches. Worker processes opening the same
+store share the page cache — the slab channel
+:class:`~repro.experiments.parallel.ParallelSweepRunner` uses instead
+of pickling traces across the fork boundary.
+
+:class:`ChunkedReplay` streams a batch (memmapped or in-memory) as
+session-aligned sub-batches of bounded packet count. Sub-batches carry
+the *global* ``session_key`` universe, so
+``Emulation.run_signature_chunked`` can merge per-chunk distinct
+(node, five-tuple) sets exactly — the chunked report is bit-identical
+to the whole-batch fast path, at O(chunk) instead of O(trace) memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs import get_registry
+from repro.simulation.batch import PacketBatch, SessionBatch
+
+FORMAT_NAME = "repro-trace-store"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_NAME = "payload.bin"
+
+#: session-level columns, persisted in this order (fingerprint order)
+_SESSION_COLUMNS = ("proto", "src_ip", "src_port", "dst_ip",
+                    "dst_port", "class_id", "trace_class_id",
+                    "fwd_path_id", "rev_path_id", "session_key")
+#: packet-level columns
+_PACKET_COLUMNS = ("session_of_packet", "direction", "size_bytes",
+                   "payload_offsets")
+
+
+class TraceStoreError(ValueError):
+    """Raised for missing, corrupt, or version-mismatched stores."""
+
+
+def _column_arrays(batch: PacketBatch) -> Dict[str, np.ndarray]:
+    sess = batch.sessions
+    columns = {name: getattr(sess, name) for name in _SESSION_COLUMNS}
+    columns.update({name: getattr(batch, name)
+                    for name in _PACKET_COLUMNS})
+    return columns
+
+
+def _payload_bytes(batch: PacketBatch) -> bytes:
+    buffer = batch.payload_buffer
+    if isinstance(buffer, bytes):
+        return buffer
+    return buffer.tobytes()
+
+
+def trace_fingerprint(batch: PacketBatch) -> str:
+    """sha256 over the batch's metadata and every column's raw bytes,
+    in a fixed order — the store's integrity/equality witness."""
+    sess = batch.sessions
+    digest = hashlib.sha256()
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "hash_seed": sess.hash_seed,
+        "num_keys": sess.num_keys,
+        "class_names": list(sess.class_names),
+        "node_order": list(sess.node_order),
+        "paths": [[int(n) for n in path] for path in sess.paths],
+    }
+    digest.update(json.dumps(header, sort_keys=True).encode("ascii"))
+    for name, array in _column_arrays(batch).items():
+        digest.update(name.encode("ascii"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    digest.update(_payload_bytes(batch))
+    return digest.hexdigest()
+
+
+class TraceStore:
+    """One packed trace on disk; see the module docstring.
+
+    Construct via :meth:`pack` (write) or :meth:`open` (reopen);
+    :meth:`batch` returns the memmap-backed ``PacketBatch`` view.
+    """
+
+    def __init__(self, path: Path, manifest: Dict[str, object],
+                 batch: PacketBatch) -> None:
+        self.path = path
+        self.manifest = manifest
+        self._batch = batch
+
+    # -- write side ------------------------------------------------------
+
+    @classmethod
+    def pack(cls, batch: PacketBatch, path: Union[str, Path],
+             meta: Optional[Dict[str, str]] = None) -> "TraceStore":
+        """Persist ``batch`` under directory ``path`` and reopen it.
+
+        ``meta`` is free-form caller context (topology name, seed, …)
+        recorded in the manifest but excluded from the fingerprint.
+        """
+        root = Path(path)
+        with get_registry().span("tracestore.write"):
+            root.mkdir(parents=True, exist_ok=True)
+            sess = batch.sessions
+            columns_meta: Dict[str, Dict[str, object]] = {}
+            for name, array in _column_arrays(batch).items():
+                filename = f"{name}.npy"
+                np.save(root / filename,
+                        np.ascontiguousarray(array))
+                columns_meta[name] = {
+                    "file": filename,
+                    "dtype": str(array.dtype),
+                    "shape": list(array.shape),
+                }
+            payload = _payload_bytes(batch)
+            if payload:
+                (root / PAYLOAD_NAME).write_bytes(payload)
+            manifest: Dict[str, object] = {
+                "format": FORMAT_NAME,
+                "version": FORMAT_VERSION,
+                "fingerprint": trace_fingerprint(batch),
+                "hash_seed": sess.hash_seed,
+                "num_sessions": sess.num_sessions,
+                "num_keys": sess.num_keys,
+                "num_packets": batch.num_packets,
+                "class_names": list(sess.class_names),
+                "node_order": list(sess.node_order),
+                "paths": [[int(n) for n in p] for p in sess.paths],
+                "payload": {"file": PAYLOAD_NAME,
+                            "bytes": len(payload)},
+                "columns": columns_meta,
+                "meta": dict(meta or {}),
+            }
+            (root / MANIFEST_NAME).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return cls.open(root)
+
+    # -- read side -------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "TraceStore":
+        """Reopen a packed trace as read-only memmap views."""
+        root = Path(path)
+        with get_registry().span("tracestore.open"):
+            manifest_path = root / MANIFEST_NAME
+            if not manifest_path.is_file():
+                raise TraceStoreError(
+                    f"no trace store at {root} (missing "
+                    f"{MANIFEST_NAME})")
+            manifest = json.loads(manifest_path.read_text())
+            if manifest.get("format") != FORMAT_NAME:
+                raise TraceStoreError(
+                    f"{root}: not a {FORMAT_NAME} manifest")
+            if manifest.get("version") != FORMAT_VERSION:
+                raise TraceStoreError(
+                    f"{root}: unsupported store version "
+                    f"{manifest.get('version')!r} (expected "
+                    f"{FORMAT_VERSION})")
+            columns = cls._open_columns(root, manifest)
+            payload_meta = manifest["payload"]
+            payload_len = int(payload_meta["bytes"])
+            if payload_len:
+                payload: Union[bytes, np.ndarray] = np.memmap(
+                    root / str(payload_meta["file"]), dtype=np.uint8,
+                    mode="r", shape=(payload_len,))
+            else:
+                payload = b""
+            sessions = SessionBatch(
+                columns["proto"], columns["src_ip"],
+                columns["src_port"], columns["dst_ip"],
+                columns["dst_port"], columns["class_id"],
+                columns["trace_class_id"],
+                tuple(manifest["class_names"]),
+                columns["fwd_path_id"], columns["rev_path_id"],
+                [np.array(p, dtype=np.int64)
+                 for p in manifest["paths"]],
+                tuple(manifest["node_order"]),
+                hash_seed=int(manifest["hash_seed"]),
+                session_key=columns["session_key"],
+                num_keys=int(manifest["num_keys"]))
+            batch = PacketBatch(
+                sessions, columns["session_of_packet"],
+                columns["direction"], columns["size_bytes"],
+                payload, columns["payload_offsets"])
+        return cls(root, manifest, batch)
+
+    @staticmethod
+    def _open_columns(root: Path, manifest: Dict[str, object]
+                      ) -> Dict[str, np.ndarray]:
+        columns_meta = manifest["columns"]
+        assert isinstance(columns_meta, dict)
+        columns: Dict[str, np.ndarray] = {}
+        for name in _SESSION_COLUMNS + _PACKET_COLUMNS:
+            spec = columns_meta.get(name)
+            if spec is None:
+                raise TraceStoreError(
+                    f"{root}: manifest is missing column {name!r}")
+            array = np.load(root / str(spec["file"]), mmap_mode="r")
+            if str(array.dtype) != spec["dtype"] or \
+                    list(array.shape) != list(spec["shape"]):
+                raise TraceStoreError(
+                    f"{root}: column {name!r} is "
+                    f"{array.dtype}{array.shape}, manifest says "
+                    f"{spec['dtype']}{tuple(spec['shape'])}")
+            columns[name] = array
+        return columns
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        return str(self.manifest["fingerprint"])
+
+    @property
+    def num_sessions(self) -> int:
+        return int(self.manifest["num_sessions"])
+
+    @property
+    def num_packets(self) -> int:
+        return int(self.manifest["num_packets"])
+
+    @property
+    def payload_bytes(self) -> int:
+        payload = self.manifest["payload"]
+        assert isinstance(payload, dict)
+        return int(payload["bytes"])
+
+    def batch(self) -> PacketBatch:
+        """The memmap-backed columnar view (read-only)."""
+        return self._batch
+
+    def verify(self) -> bool:
+        """Recompute the content fingerprint (reads every column)."""
+        return trace_fingerprint(self._batch) == self.fingerprint
+
+
+class ChunkedReplay:
+    """Streams a ``PacketBatch`` as session-aligned bounded slabs.
+
+    Chunk boundaries never split a session's packets (packets are
+    session-contiguous in generated traces; enforced here), and every
+    sub-batch carries the global ``session_key`` space, which is what
+    makes chunked distinct-session accounting exact.
+
+    Args:
+        batch: the source batch (in-memory or trace-store memmap).
+        chunk_packets: target packets per chunk; a chunk may exceed it
+            to reach the owning session's last packet.
+    """
+
+    def __init__(self, batch: PacketBatch, chunk_packets: int) -> None:
+        if chunk_packets <= 0:
+            raise ValueError("chunk_packets must be positive")
+        sop = batch.session_of_packet
+        if len(sop) and np.any(np.diff(sop) < 0):
+            raise ValueError(
+                "packets are not grouped by session; chunked replay "
+                "requires a session-contiguous batch")
+        self.batch = batch
+        self.chunk_packets = chunk_packets
+        self.bounds = self._chunk_bounds()
+
+    def _chunk_bounds(self) -> List[Tuple[int, int]]:
+        sop = self.batch.session_of_packet
+        total = len(sop)
+        bounds: List[Tuple[int, int]] = []
+        cursor = 0
+        while cursor < total:
+            end = min(cursor + self.chunk_packets, total)
+            # Extend to the last packet of the session owning end-1.
+            end = int(np.searchsorted(sop, sop[end - 1],
+                                      side="right"))
+            bounds.append((cursor, end))
+            cursor = end
+        return bounds
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        return self.batch.sessions.class_names
+
+    @property
+    def node_order(self) -> Tuple[str, ...]:
+        return self.batch.sessions.node_order
+
+    @property
+    def num_keys(self) -> int:
+        return self.batch.sessions.num_keys
+
+    @property
+    def num_packets(self) -> int:
+        return self.batch.num_packets
+
+    def _sub_batch(self, start: int, end: int) -> PacketBatch:
+        batch = self.batch
+        sess = batch.sessions
+        sop = batch.session_of_packet
+        lo = int(sop[start])
+        hi = int(sop[end - 1]) + 1
+        sub_sessions = SessionBatch(
+            np.asarray(sess.proto[lo:hi]),
+            np.asarray(sess.src_ip[lo:hi]),
+            np.asarray(sess.src_port[lo:hi]),
+            np.asarray(sess.dst_ip[lo:hi]),
+            np.asarray(sess.dst_port[lo:hi]),
+            np.asarray(sess.class_id[lo:hi]),
+            np.asarray(sess.trace_class_id[lo:hi]),
+            sess.class_names,
+            np.asarray(sess.fwd_path_id[lo:hi]),
+            np.asarray(sess.rev_path_id[lo:hi]),
+            sess.paths, sess.node_order, sess.hash_seed,
+            session_key=np.asarray(sess.session_key[lo:hi]),
+            num_keys=sess.num_keys)
+        offsets = batch.payload_offsets
+        byte_lo = int(offsets[start])
+        byte_hi = int(offsets[end])
+        buffer = batch.payload_buffer[byte_lo:byte_hi]
+        if not isinstance(buffer, bytes):
+            buffer = buffer.tobytes()
+        return PacketBatch(
+            sub_sessions,
+            np.asarray(sop[start:end]) - lo,
+            np.asarray(batch.direction[start:end]),
+            np.asarray(batch.size_bytes[start:end]),
+            buffer,
+            np.asarray(offsets[start:end + 1]) - byte_lo)
+
+    def __iter__(self) -> Iterator[PacketBatch]:
+        for start, end in self.bounds:
+            yield self._sub_batch(start, end)

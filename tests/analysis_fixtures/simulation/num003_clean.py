@@ -1,0 +1,9 @@
+"""NUM003 non-trigger: every byte reinterpretation pins its dtype."""
+
+import numpy as np
+
+
+def open_payload(path, raw):
+    blob = np.memmap(path, dtype=np.uint8, mode="r")
+    pattern = np.frombuffer(raw, dtype=np.uint8)
+    return blob, pattern

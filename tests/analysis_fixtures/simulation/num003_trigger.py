@@ -1,0 +1,9 @@
+"""NUM003 trigger: trace-path byte reinterpretation without dtype."""
+
+import numpy as np
+
+
+def open_payload(path, raw):
+    blob = np.memmap(path, mode="r")
+    pattern = np.frombuffer(raw)
+    return blob, pattern

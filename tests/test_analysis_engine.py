@@ -36,7 +36,11 @@ from repro.analysis.rules.hygiene import (
     UnusedImportRule,
 )
 from repro.analysis.rules.metrics import MetricsDocRule
-from repro.analysis.rules.numerics import FloatEqualityRule, HashDtypeRule
+from repro.analysis.rules.numerics import (
+    FloatEqualityRule,
+    HashDtypeRule,
+    MemmapDtypeRule,
+)
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
@@ -52,6 +56,8 @@ RULE_CASES = [
      "num001_clean.py"),
     (HashDtypeRule, "NUM002", "shim/num002_trigger.py", 2,
      "shim/num002_clean.py"),
+    (MemmapDtypeRule, "NUM003", "simulation/num003_trigger.py", 2,
+     "simulation/num003_clean.py"),
     (BuildModelInLoopRule, "HYG001", "hyg001_trigger.py", 1,
      "hyg001_clean.py"),
     (BuildModelInLoopRule, "HYG001",

@@ -6,8 +6,13 @@ import pytest
 from repro.core import AggregationProblem
 from repro.experiments import ParallelSweepRunner, run_scan_epoch_sweep
 from repro.experiments.fig10_emulation import run_fig10
+from repro.experiments.parallel import SlabChannel
 from repro.shim import build_aggregation_configs
-from repro.simulation import Emulation, TraceGenerator
+from repro.simulation import (
+    Emulation,
+    TraceGenerator,
+    trace_fingerprint,
+)
 from repro.simulation.tracegen import TraceSpec
 
 
@@ -38,6 +43,53 @@ class TestParallelSweepRunner:
 
     def test_default_is_serial(self):
         assert ParallelSweepRunner(None).map(_square, [2, 3]) == [4, 9]
+
+    def test_auto_chunksize_targets_four_chunks_per_worker(self):
+        runner = ParallelSweepRunner(2)
+        # ceil(items / (4 * jobs)), floored at 1
+        assert runner.auto_chunksize(0) == 1
+        assert runner.auto_chunksize(1) == 1
+        assert runner.auto_chunksize(8) == 1
+        assert runner.auto_chunksize(9) == 2
+        assert runner.auto_chunksize(100) == 13
+
+    def test_explicit_chunksize_preserves_results(self):
+        runner = ParallelSweepRunner(2)
+        items = list(range(25))
+        expected = [i * i for i in items]
+        for chunksize in (1, 5, 100):
+            assert runner.map(_square, items,
+                              chunksize=chunksize) == expected
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(2).map(_square, [1, 2, 3], chunksize=0)
+
+
+class TestSlabChannel:
+    def test_round_trip_is_bit_identical(self, line_state):
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=150), seed=9)
+        batch = generator.generate_batch(
+            tuple(line_state.nids_nodes), direct=True)
+        with SlabChannel(batch, meta={"origin": "test"}) as channel:
+            reopened = SlabChannel.open_batch(channel.path)
+            assert trace_fingerprint(reopened) == \
+                trace_fingerprint(batch)
+
+    def test_close_removes_spill(self, line_state):
+        import pathlib
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=50), seed=9)
+        batch = generator.generate_batch(
+            tuple(line_state.nids_nodes), direct=True)
+        channel = SlabChannel(batch)
+        spill = pathlib.Path(channel.path)
+        assert spill.is_dir()
+        channel.close()
+        assert not spill.exists()
 
 
 class TestScanEpochSweep:
@@ -72,6 +124,24 @@ class TestScanEpochSweep:
             line_state, configs, generator.classifier, epochs,
             threshold=8, jobs=2, fast=True)
         assert swept == sequential
+
+    def test_chunksize_does_not_change_reports(self, line_state):
+        lp = AggregationProblem(line_state, beta=0.0).solve()
+        configs = build_aggregation_configs(line_state, lp)
+        generator = TraceGenerator(
+            line_state.topology.nodes, line_state.classes,
+            spec=TraceSpec(total_sessions=150, scanner_count=1,
+                           scanner_fanout=12), seed=31)
+        epochs = [generator.generate(with_payloads=False)
+                  for _ in range(4)]
+        sequential = Emulation(
+            line_state, configs,
+            generator.classifier).run_scan_epochs(epochs, threshold=8)
+        for chunksize in (1, 2, 10):
+            swept = run_scan_epoch_sweep(
+                line_state, configs, generator.classifier, epochs,
+                threshold=8, jobs=2, fast=True, chunksize=chunksize)
+            assert swept == sequential
 
 
 class TestFig10Parallel:

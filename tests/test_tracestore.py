@@ -1,0 +1,276 @@
+"""Zero-copy trace store: direct-synthesis parity, pack/open/replay
+round trips, chunk-boundary edge cases, and corruption handling.
+
+The store's contract is exactness, not approximation: ``generate_batch
+(direct=True)`` must be bit-identical to the Session-materializing
+oracle, and a chunked replay from the memmapped store must reproduce
+the in-memory fast report field-for-field — including across the
+canned scenarios' per-epoch trace recipe.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import MirrorPolicy, ReplicationProblem
+from repro.experiments.common import setup_topology
+from repro.runtime import CANNED_SCENARIOS
+from repro.shim import build_replication_configs
+from repro.simulation import (
+    ChunkedReplay,
+    Emulation,
+    TraceGenerator,
+    TraceStore,
+    TraceStoreError,
+    trace_fingerprint,
+)
+from repro.simulation.tracegen import TraceSpec
+from repro.simulation.tracestore import (
+    _PACKET_COLUMNS,
+    _SESSION_COLUMNS,
+)
+
+_SESSION_ARRAYS = tuple(c for c in _SESSION_COLUMNS)
+_PACKET_ARRAYS = tuple(c for c in _PACKET_COLUMNS)
+
+
+def _assert_batches_identical(left, right):
+    """Every column bit-identical, dtypes included."""
+    for name in _SESSION_ARRAYS:
+        a = getattr(left.sessions, name)
+        b = getattr(right.sessions, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+    for name in _PACKET_ARRAYS:
+        a = getattr(left, name)
+        b = getattr(right, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+    left_payload = left.payload_buffer
+    right_payload = right.payload_buffer
+    if not isinstance(left_payload, bytes):
+        left_payload = left_payload.tobytes()
+    if not isinstance(right_payload, bytes):
+        right_payload = right_payload.tobytes()
+    assert left_payload == right_payload
+    assert left.sessions.num_keys == right.sessions.num_keys
+    assert left.sessions.class_names == right.sessions.class_names
+    assert left.sessions.node_order == right.sessions.node_order
+    assert len(left.sessions.paths) == len(right.sessions.paths)
+    for p, q in zip(left.sessions.paths, right.sessions.paths):
+        assert np.array_equal(p, q)
+
+
+@pytest.fixture(scope="module")
+def tinet_state():
+    return setup_topology("tinet", dc_capacity_factor=10.0).state
+
+
+@pytest.fixture(scope="module")
+def tinet_emulation(tinet_state):
+    """A replication emulation plus the trace it replays."""
+    generator = TraceGenerator(
+        tinet_state.topology.nodes, tinet_state.classes,
+        spec=TraceSpec(total_sessions=400, scanner_count=2,
+                       scanner_fanout=15, payload_sigma=0.5),
+        seed=23)
+    batch = generator.generate_batch(tuple(tinet_state.nids_nodes),
+                                     direct=True)
+    result = ReplicationProblem(
+        tinet_state, mirror_policy=MirrorPolicy.datacenter(),
+        max_link_load=0.4).solve()
+    configs = build_replication_configs(tinet_state, result)
+    emulation = Emulation(tinet_state, configs, generator.classifier)
+    return emulation, batch
+
+
+class TestDirectSynthesisParity:
+    """generate_batch(direct=True) vs the Session-materializing path."""
+
+    @pytest.mark.parametrize("with_payloads", [True, False],
+                             ids=["payloads", "headers-only"])
+    def test_bit_identical_columns(self, tinet_state, with_payloads):
+        node_order = tuple(tinet_state.nids_nodes)
+        spec = TraceSpec(total_sessions=350, scanner_count=3,
+                         scanner_fanout=12, payload_sigma=0.6)
+
+        def build(direct):
+            return TraceGenerator(
+                tinet_state.topology.nodes, tinet_state.classes,
+                spec=spec, seed=41).generate_batch(
+                    node_order, with_payloads=with_payloads,
+                    direct=direct)
+
+        _assert_batches_identical(build(True), build(False))
+
+    def test_fingerprint_matches_oracle(self, tinet_state):
+        node_order = tuple(tinet_state.nids_nodes)
+
+        def build(direct):
+            return TraceGenerator(
+                tinet_state.topology.nodes, tinet_state.classes,
+                spec=TraceSpec(total_sessions=200),
+                seed=5).generate_batch(node_order, direct=direct)
+
+        assert trace_fingerprint(build(True)) == \
+            trace_fingerprint(build(False))
+
+
+class TestRoundTrip:
+    """pack -> open -> replay reproduces the in-memory report."""
+
+    def test_pack_open_is_bit_identical(self, tinet_emulation,
+                                        tmp_path):
+        _, batch = tinet_emulation
+        store = TraceStore.pack(batch, tmp_path / "trace",
+                                meta={"origin": "test"})
+        assert store.fingerprint == trace_fingerprint(batch)
+        assert store.num_sessions == batch.sessions.num_sessions
+        assert store.num_packets == batch.num_packets
+        assert store.verify()
+        _assert_batches_identical(store.batch(), batch)
+
+    def test_reopen_matches_pack(self, tinet_emulation, tmp_path):
+        _, batch = tinet_emulation
+        packed = TraceStore.pack(batch, tmp_path / "trace")
+        reopened = TraceStore.open(tmp_path / "trace")
+        assert reopened.fingerprint == packed.fingerprint
+        assert reopened.manifest == packed.manifest
+        _assert_batches_identical(reopened.batch(), batch)
+
+    def test_chunked_replay_equals_fast_report(self, tinet_emulation,
+                                               tmp_path):
+        emulation, batch = tinet_emulation
+        expected = emulation.run_signature(batch, fast=True)
+        store = TraceStore.pack(batch, tmp_path / "trace")
+        replay = ChunkedReplay(store.batch(), chunk_packets=97)
+        assert replay.num_chunks > 1
+        assert emulation.run_signature_chunked(replay) == expected
+
+    @pytest.mark.parametrize("name", sorted(CANNED_SCENARIOS))
+    def test_scenario_epoch_traces_round_trip(self, name, tmp_path):
+        # The runtime scenarios' per-epoch trace recipe (epoch 0):
+        # the store must round-trip whatever the scenario runner
+        # would replay.
+        scenario = CANNED_SCENARIOS[name]()
+        state = setup_topology(scenario.topology).state
+        generator = TraceGenerator(
+            state.topology.nodes, state.classes,
+            spec=TraceSpec(
+                total_sessions=scenario.sessions_per_epoch),
+            seed=scenario.seed * 100003)
+        batch = generator.generate_batch(tuple(state.nids_nodes),
+                                         direct=True)
+        oracle = generator.generate_batch(tuple(state.nids_nodes),
+                                          direct=False)
+        _assert_batches_identical(batch, oracle)
+        store = TraceStore.pack(batch, tmp_path / name,
+                                meta={"scenario": name})
+        assert store.verify()
+        _assert_batches_identical(store.batch(), batch)
+
+
+class TestChunkEdges:
+    def _reports(self, emulation, batch, store, chunk):
+        replay = ChunkedReplay(store.batch(), chunk_packets=chunk)
+        return (emulation.run_signature_chunked(replay),
+                emulation.run_signature(batch, fast=True))
+
+    @pytest.mark.parametrize("chunk", [1, 13, 10**9],
+                             ids=["one", "small", "whole-trace"])
+    def test_chunk_sizes_are_equivalent(self, tinet_emulation,
+                                        tmp_path, chunk):
+        emulation, batch = tinet_emulation
+        store = TraceStore.pack(batch, tmp_path / "trace")
+        chunked, expected = self._reports(emulation, batch, store,
+                                          chunk)
+        assert chunked == expected
+
+    def test_chunks_are_session_aligned(self, tinet_emulation,
+                                        tmp_path):
+        _, batch = tinet_emulation
+        store = TraceStore.pack(batch, tmp_path / "trace")
+        replay = ChunkedReplay(store.batch(), chunk_packets=7)
+        sop = store.batch().session_of_packet
+        covered = 0
+        for start, end in replay.bounds:
+            assert start == covered
+            if end < len(sop):
+                assert sop[end - 1] != sop[end], (
+                    "chunk boundary split a session")
+            covered = end
+        assert covered == len(sop)
+
+    def test_empty_trace(self, tinet_state, tmp_path):
+        generator = TraceGenerator(
+            tinet_state.topology.nodes, tinet_state.classes,
+            spec=TraceSpec(total_sessions=0), seed=1)
+        batch = generator.generate_batch(
+            tuple(tinet_state.nids_nodes), direct=True)
+        assert batch.num_packets == 0
+        store = TraceStore.pack(batch, tmp_path / "empty")
+        assert store.payload_bytes == 0
+        assert store.verify()
+        replay = ChunkedReplay(store.batch(), chunk_packets=64)
+        assert replay.num_chunks == 0
+        assert list(replay) == []
+
+    def test_nonpositive_chunk_rejected(self, tinet_emulation):
+        _, batch = tinet_emulation
+        with pytest.raises(ValueError):
+            ChunkedReplay(batch, chunk_packets=0)
+
+    def test_unsorted_batch_rejected(self, tinet_emulation):
+        _, batch = tinet_emulation
+        from repro.simulation.batch import PacketBatch
+        shuffled = PacketBatch(
+            batch.sessions,
+            np.asarray(batch.session_of_packet)[::-1].copy(),
+            np.asarray(batch.direction).copy(),
+            np.asarray(batch.size_bytes).copy(),
+            b"", np.zeros(batch.num_packets + 1, dtype=np.int64))
+        with pytest.raises(ValueError):
+            ChunkedReplay(shuffled, chunk_packets=10)
+
+
+class TestStoreErrors:
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(TraceStoreError, match="missing"):
+            TraceStore.open(tmp_path / "nope")
+
+    def test_open_foreign_manifest(self, tmp_path):
+        root = tmp_path / "bad"
+        root.mkdir()
+        (root / "manifest.json").write_text(
+            json.dumps({"format": "something-else"}))
+        with pytest.raises(TraceStoreError, match="not a"):
+            TraceStore.open(root)
+
+    def test_open_future_version(self, tinet_emulation, tmp_path):
+        _, batch = tinet_emulation
+        store = TraceStore.pack(batch, tmp_path / "trace")
+        manifest = dict(store.manifest)
+        manifest["version"] = 99
+        (tmp_path / "trace" / "manifest.json").write_text(
+            json.dumps(manifest))
+        with pytest.raises(TraceStoreError, match="version"):
+            TraceStore.open(tmp_path / "trace")
+
+    def test_shape_mismatch_detected(self, tinet_emulation, tmp_path):
+        _, batch = tinet_emulation
+        TraceStore.pack(batch, tmp_path / "trace")
+        truncated = np.asarray(batch.direction)[:-1].copy()
+        np.save(tmp_path / "trace" / "direction.npy", truncated)
+        with pytest.raises(TraceStoreError, match="direction"):
+            TraceStore.open(tmp_path / "trace")
+
+    def test_verify_catches_tampering(self, tinet_emulation,
+                                      tmp_path):
+        _, batch = tinet_emulation
+        TraceStore.pack(batch, tmp_path / "trace")
+        sizes = np.asarray(batch.size_bytes).copy()
+        sizes[0] += 1.0
+        np.save(tmp_path / "trace" / "size_bytes.npy", sizes)
+        store = TraceStore.open(tmp_path / "trace")
+        assert not store.verify()
