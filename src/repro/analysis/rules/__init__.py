@@ -10,6 +10,8 @@ Rules are grouped by the invariant family they protect:
   the documented table.
 - :mod:`~repro.analysis.rules.hygiene` (HYG) — general code health
   plus the strict-typing scope gate.
+- :mod:`~repro.analysis.rules.sketches` (SKT) — mergeable,
+  reproducibly-seeded streaming estimators.
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ from repro.analysis.rules.numerics import (
     HashDtypeRule,
     MemmapDtypeRule,
 )
+from repro.analysis.rules.sketches import SketchSeedRule
 
 __all__ = [
     "BuildModelInLoopRule",
@@ -45,6 +48,7 @@ __all__ = [
     "MemmapDtypeRule",
     "MetricsDocRule",
     "MutableDefaultRule",
+    "SketchSeedRule",
     "StrictAnnotationRule",
     "UnseededRandomRule",
     "UnusedImportRule",
@@ -72,5 +76,6 @@ def default_rules(project_root: Optional[Path] = None) -> List[Rule]:
         MutableDefaultRule(),
         UnusedImportRule(),
         StrictAnnotationRule(),
+        SketchSeedRule(),
         MetricsDocRule(doc_path),
     ]

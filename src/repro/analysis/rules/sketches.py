@@ -1,0 +1,97 @@
+"""Sketch rules (SKT): keep the streaming estimators mergeable.
+
+OctoSketch-style aggregation (``ClassVolumeSketch.merge``) is only
+lossless when every worker hashes with the *same configured seed* —
+two sketches built from wall-clock or entropy-derived seeds disagree
+on every row permutation and refuse to merge. The estimation layers
+(:mod:`repro.sketch`, :mod:`repro.ingest`) therefore ban wall-clock
+reads and process-global randomness outright, and require every
+``*Sketch(...)`` construction to pass an explicit ``seed=`` keyword
+(the constructors are keyword-only on ``seed`` for exactly this
+reason). ``time.perf_counter`` stays legal — it is the designated
+clock for throughput metrics, which never feed a hash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import ImportMap, path_in_scope
+from repro.analysis.rules.determinism import (
+    UnseededRandomRule,
+    WALL_CLOCK_CALLS,
+)
+
+#: modules whose sketches must stay mergeable across workers
+SKETCH_SCOPE = ("/sketch/", "/ingest/")
+
+
+class SketchSeedRule(Rule):
+    """SKT001 — unseeded or wall-clock sketch state in the
+    estimation layers."""
+
+    rule_id = "SKT001"
+    title = "unseeded or wall-clock sketch state"
+
+    def __init__(self, scope: Sequence[str] = SKETCH_SCOPE) -> None:
+        self.scope = tuple(scope)
+        # DET002's classifier already knows every global/unseeded RNG
+        # spelling; reuse it (same package) rather than fork the list.
+        self._random = UnseededRandomRule(scope=self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not path_in_scope(ctx.posix_path, self.scope):
+            return
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.qualify(node.func)
+            if qualified in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"{qualified}() reads the wall clock in a sketch "
+                    "layer; hash seeds and windows must come from "
+                    "configuration (time.perf_counter is fine for "
+                    "throughput metrics)")
+                continue
+            if qualified is not None:
+                message = self._random._classify(qualified, node)
+                if message is not None:
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"{message}; an entropy-derived seed makes "
+                        "worker sketches unmergeable")
+                    continue
+            yield from self._check_constructor(ctx, node)
+
+    def _check_constructor(self, ctx: FileContext,
+                           node: ast.Call) -> Iterable[Finding]:
+        name = _constructed_name(node)
+        if name is None or not name.endswith("Sketch"):
+            return
+        if not name[0].isupper():
+            return
+        has_splat = any(kw.arg is None for kw in node.keywords)
+        has_seed = any(kw.arg == "seed" for kw in node.keywords)
+        if has_seed or has_splat:
+            # A **kwargs splat may carry the seed; trust it rather
+            # than guess.
+            return
+        yield self.finding(
+            ctx, node.lineno,
+            f"{name}(...) without an explicit seed= keyword; "
+            "mergeable sketches require identical configured hash "
+            "seeds on every worker")
+
+
+def _constructed_name(node: ast.Call) -> str | None:
+    """Trailing class-ish name of a call target, or ``None``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

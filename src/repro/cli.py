@@ -16,12 +16,17 @@ Commands:
   coordinator) against the global LP: optimality gap, coordination
   rounds, and wall-time speedup per region count (optionally as
   JSON).
+- ``sketch-gap`` — sweep count-min sketch widths against the
+  LoadCost gap of the streaming estimator vs the exact-matrix
+  oracle (optionally as JSON).
 - ``scenario`` — play a canned closed-loop scenario through the
   discrete-event runtime and print the epoch timeline (optionally
   writing the full report and a per-epoch timeline as JSON/JSONL).
 - ``trace`` — ``pack`` a synthesized trace into a zero-copy on-disk
   store, ``info`` its manifest, or ``replay`` it through the
-  signature emulation in bounded-memory chunks.
+  signature emulation in bounded-memory chunks (``--follow``
+  streams it through the ingest daemon's sketch estimator
+  instead, as a live-feed fixture).
 """
 
 from __future__ import annotations
@@ -249,6 +254,37 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the comparison as JSON "
                             "('-' for stdout)")
 
+    sketch = sub.add_parser(
+        "sketch-gap",
+        help="sweep count-min sketch widths against the streaming "
+             "estimator's LoadCost gap vs the exact-matrix oracle")
+    sketch.add_argument("--topology", action="append", default=None,
+                        choices=builtin_topology_names(),
+                        metavar="NAME", dest="topologies",
+                        help="topology to sweep (repeatable; "
+                             "default: tinet — many classes, so "
+                             "collisions actually bite)")
+    sketch.add_argument("--widths", default=None, metavar="LIST",
+                        help="comma-separated count-min widths "
+                             "(default: 512,1024,2048,4096)")
+    sketch.add_argument("--depth", type=int, default=4,
+                        help="count-min depth (rows)")
+    sketch.add_argument("--mirror", default="dc",
+                        choices=sorted(_MIRROR_CHOICES))
+    sketch.add_argument("--max-link-load", type=float, default=0.4)
+    sketch.add_argument("--dc-capacity", type=float, default=1.0)
+    sketch.add_argument("--sessions", type=int, default=6000,
+                        help="sampled sessions in the shared epoch "
+                             "trace")
+    sketch.add_argument("--chunk", type=int, default=512,
+                        help="packets per streaming ingest slab")
+    sketch.add_argument("--workers", type=int, default=2,
+                        help="per-worker sketches merged on snapshot")
+    sketch.add_argument("--seed", type=int, default=0)
+    sketch.add_argument("--json", default=None, metavar="PATH",
+                        help="write the sweep as JSON "
+                             "('-' for stdout)")
+
     from repro.runtime.scenario import CANNED_SCENARIOS
 
     scenario = sub.add_parser(
@@ -322,6 +358,22 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--dc-capacity", type=float, default=None,
                         help="override the DC capacity recorded in "
                              "the store manifest")
+    replay.add_argument("--follow", action="store_true",
+                        help="stream the store through the ingest "
+                             "daemon's sketch estimator on the event "
+                             "loop (a live-feed fixture) instead of "
+                             "the signature emulation")
+    replay.add_argument("--width", type=int, default=1024,
+                        help="count-min width for --follow")
+    replay.add_argument("--depth", type=int, default=4,
+                        help="count-min depth for --follow")
+    replay.add_argument("--workers", type=int, default=2,
+                        help="ingest workers for --follow")
+    replay.add_argument("--interval", type=float, default=0.05,
+                        help="simulated seconds between chunk "
+                             "arrivals for --follow")
+    replay.add_argument("--seed", type=int, default=1,
+                        help="sketch hash seed for --follow")
 
     lint = sub.add_parser(
         "lint",
@@ -578,6 +630,63 @@ def _cmd_shard_gap(args) -> int:
     return 0
 
 
+def _parse_widths(text: Optional[str]):
+    if text is None:
+        return None
+    widths = []
+    for chunk in text.split(","):
+        value = chunk.strip()
+        if not value:
+            continue
+        width = int(value)
+        if width < 1:
+            raise ValueError(f"sketch width {width} must be >= 1")
+        widths.append(width)
+    if not widths:
+        raise ValueError("no sketch widths given")
+    return widths
+
+
+def _cmd_sketch_gap(args) -> int:
+    from repro.experiments import (format_sketch_gap, run_sketch_gap,
+                                   sketch_gap_to_json)
+
+    try:
+        widths = _parse_widths(args.widths)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {
+        "topologies": args.topologies,
+        "depth": args.depth,
+        "mirror": args.mirror,
+        "max_link_load": args.max_link_load,
+        "dc_capacity_factor": args.dc_capacity,
+        "sessions": args.sessions,
+        "chunk_packets": args.chunk,
+        "seed": args.seed,
+        "workers": args.workers,
+    }
+    if widths is not None:
+        kwargs["widths"] = widths
+    series = run_sketch_gap(**kwargs)
+    print(format_sketch_gap(series))
+    if args.json:
+        payload = sketch_gap_to_json(series)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.json}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote sketch-gap sweep to {args.json}")
+    return 0
+
+
 def _cmd_budget_sweep(args) -> int:
     from repro.experiments import (format_budget_sweep,
                                    run_budget_sweep, sweep_to_json)
@@ -679,6 +788,66 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _follow_store(store, args) -> int:
+    """``trace replay --follow``: the packed store as a live feed.
+
+    Streams the store's chunks through an
+    :class:`~repro.ingest.daemon.IngestDaemon` on the event loop at
+    a fixed simulated inter-chunk interval, then reports the merged
+    sketch's view against the store's exact per-class counts — the
+    demo/test fixture for the streaming estimation path.
+    """
+    import numpy as np
+
+    from repro.ingest import IngestDaemon
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.runtime.events import EventLoop
+    from repro.simulation.tracestore import ChunkedReplay
+
+    batch = store.batch()
+    class_names = list(batch.sessions.class_names)
+    class_id = np.asarray(batch.sessions.class_id)
+    counts = np.bincount(class_id[class_id >= 0],
+                         minlength=len(class_names))
+    exact = {name: float(count)
+             for name, count in zip(class_names, counts)}
+
+    replay = ChunkedReplay(batch, args.chunk)
+    with use_registry(MetricsRegistry()):
+        ingest = IngestDaemon(class_names, width=args.width,
+                              depth=args.depth, seed=args.seed,
+                              workers=args.workers)
+        loop = EventLoop()
+        ingest.stream(loop, iter(replay), start=0.0,
+                      interval=args.interval)
+        loop.run_all()
+        snapshot = ingest.snapshot()
+    errors = snapshot.estimate_errors(exact)
+    stats = ingest.stats
+
+    volumes = snapshot.class_volumes()
+    top = sorted(zip(class_names, volumes),
+                 key=lambda kv: kv[1], reverse=True)[:5]
+    print(f"followed {stats.packets} packets "
+          f"({stats.sessions} sessions) in {stats.chunks} chunk(s) "
+          f"of <= {args.chunk} (+session alignment), one per "
+          f"{args.interval}s of sim time")
+    print(f"  sketch: width {args.width} x depth {args.depth}, "
+          f"{args.workers} worker(s), {snapshot.state_bytes:,} "
+          f"bytes of state")
+    print(f"  resident high-water: "
+          f"{stats.max_resident_bytes:,} bytes "
+          f"(sketches + one chunk)")
+    print(f"  estimate error: L1 {100.0 * errors['l1_rel']:.2f}% "
+          f"relative, Linf {errors['linf']:.0f} sessions")
+    print(format_table(
+        ["Class", "Estimated sessions", "Exact"],
+        [[name, f"{volume:,.0f}", f"{exact.get(name, 0.0):,.0f}"]
+         for name, volume in top],
+        title="top 5 estimated classes"))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.simulation.tracestore import TraceStore, TraceStoreError
 
@@ -770,6 +939,8 @@ def _cmd_trace(args) -> int:
               f"{topology!r} (was it packed against a different "
               f"topology or DC setting?)", file=sys.stderr)
         return 2
+    if args.follow:
+        return _follow_store(store, args)
     result = ReplicationProblem(
         state, mirror_policy=_MIRROR_CHOICES[args.mirror](),
         max_link_load=args.max_link_load).solve()
@@ -890,6 +1061,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_budget_sweep(args)
     if args.command == "shard-gap":
         return _cmd_shard_gap(args)
+    if args.command == "sketch-gap":
+        return _cmd_sketch_gap(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "trace":

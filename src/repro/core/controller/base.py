@@ -122,7 +122,14 @@ class NIDSController:
             after = new.get(name, 0.0)
             numerator += abs(after - before)
             denominator += max(before, after)
-        return numerator / denominator if denominator else 0.0
+        # Zero-total epochs (a dead feed, or a sketch estimator that
+        # saw nothing yet) must read as "no drift", not raise or pin
+        # the trigger high forever — same zero-total contract as
+        # simulation/metrics.py. The <= guard also catches a
+        # negative-rounding denominator from estimator feeds.
+        if denominator <= 0.0:
+            return 0.0
+        return numerator / denominator
 
     def needs_refresh(self, classes: Sequence[TrafficClass]) -> bool:
         """True when traffic drifted past the threshold (or no

@@ -82,6 +82,15 @@ from repro.experiments.shard_gap import (
     run_shard_gap,
     shard_gap_to_json,
 )
+from repro.experiments.sketch_gap import (
+    DEFAULT_WIDTHS,
+    SketchGapPoint,
+    SketchGapSeries,
+    format_sketch_gap,
+    realized_load_cost,
+    run_sketch_gap,
+    sketch_gap_to_json,
+)
 from repro.experiments.strategy_ablation import (
     StrategyRow,
     format_strategies,
@@ -127,6 +136,13 @@ __all__ = [
     "format_shard_gap",
     "run_shard_gap",
     "shard_gap_to_json",
+    "DEFAULT_WIDTHS",
+    "SketchGapPoint",
+    "SketchGapSeries",
+    "format_sketch_gap",
+    "realized_load_cost",
+    "run_sketch_gap",
+    "sketch_gap_to_json",
     "StrategyRow",
     "format_strategies",
     "run_strategy_ablation",

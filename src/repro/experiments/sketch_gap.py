@@ -1,0 +1,325 @@
+"""Sketch-estimation error vs LP optimality (the estimator gap).
+
+The streaming estimator (:mod:`repro.ingest` + :mod:`repro.sketch`)
+feeds the controller count-min *estimates* instead of exact traffic
+matrices. This experiment quantifies what that costs. For each
+topology it
+
+- solves the replication LP on the **exact** calibrated matrix (the
+  oracle LoadCost);
+- synthesizes a sampled epoch trace, streams it through an
+  :class:`~repro.ingest.daemon.IngestDaemon` chunk by chunk at each
+  sketch width in the sweep, solves the LP on the resulting
+  estimates, and then **evaluates that assignment under the true
+  volumes** with the paper's Eq (3) load accounting — the realized
+  LoadCost an operator would actually see;
+- reports the relative **gap** of realized vs oracle LoadCost, the
+  L1/Linf estimate error, and the sketch bytes-of-state per point.
+
+A trace sample is itself an estimator, so the series also carries the
+``sampling_gap`` — the gap when the LP is solved on the *exact*
+per-class counts of the same sampled trace — which separates
+irreducible sampling error from sketch collision error.
+
+The sweep's gap is published on the ``sketch.gap`` gauge. Everything
+except wall-clock solve latency is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import GlobalPlanner
+from repro.core.inputs import NetworkState
+from repro.core.mirrors import MirrorPolicy
+from repro.core.results import ReplicationResult
+from repro.experiments.common import format_table, setup_topology
+from repro.ingest import IngestDaemon
+from repro.obs import get_registry
+from repro.simulation.tracegen import TraceGenerator, TraceSpec
+from repro.simulation.tracestore import ChunkedReplay
+
+DEFAULT_WIDTHS: Tuple[int, ...] = (512, 1024, 2048, 4096)
+DEFAULT_DEPTH = 4
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("tinet",)
+DEFAULT_SESSIONS = 6000
+DEFAULT_CHUNK_PACKETS = 512
+DEFAULT_MIRROR = "dc"
+DEFAULT_DC_CAPACITY_FACTOR = 1.0
+
+_MIRRORS = {
+    "none": MirrorPolicy.none,
+    "dc": MirrorPolicy.datacenter,
+    "one-hop": lambda: MirrorPolicy.neighbors(1),
+    "two-hop": lambda: MirrorPolicy.neighbors(2),
+    "dc+one-hop": lambda: MirrorPolicy.datacenter_plus_neighbors(1),
+}
+
+
+def realized_load_cost(state: NetworkState,
+                       result: ReplicationResult) -> float:
+    """Eq (3) LoadCost of an assignment under *this* state's volumes.
+
+    The LP may have optimized against estimated volumes; charging its
+    ``p``/``o`` fractions with the true per-class work reveals the
+    load an operator actually experiences. ``("process", j)`` charges
+    node ``j``; offloads charge the mirror — the LP's own accounting.
+    """
+    worst = 0.0
+    for resource in state.resources:
+        loads = {node: 0.0 for node in state.nids_nodes}
+        for cls in state.classes:
+            work = cls.footprint(resource) * cls.num_sessions
+            if work == 0.0:
+                continue
+            fractions = result.process_fractions.get(cls.name, {})
+            for node, fraction in fractions.items():
+                loads[node] += fraction * work / state.capacity(
+                    resource, node)
+            offloads = result.offload_fractions.get(cls.name, {})
+            for (_, mirror), fraction in offloads.items():
+                loads[mirror] += fraction * work / state.capacity(
+                    resource, mirror)
+        if loads:
+            worst = max(worst, max(loads.values()))
+    return worst
+
+
+@dataclass
+class SketchGapPoint:
+    """One sketch width's row of the estimator-gap curve."""
+
+    width: int
+    depth: int
+    state_bytes: int
+    bytes_per_class: float
+    load_cost: float
+    realized_load_cost: float
+    gap: float
+    error_l1_rel: float
+    error_linf: float
+    solve_wall_seconds: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "state_bytes": self.state_bytes,
+            "bytes_per_class": self.bytes_per_class,
+            "load_cost": self.load_cost,
+            "realized_load_cost": self.realized_load_cost,
+            "gap": self.gap,
+            "error_l1_rel": self.error_l1_rel,
+            "error_linf": self.error_linf,
+            "solve_wall_seconds": self.solve_wall_seconds,
+        }
+
+
+@dataclass
+class SketchGapSeries:
+    """One topology's sketch-driven vs exact-matrix comparison."""
+
+    topology: str
+    mirror: str
+    max_link_load: float
+    seed: int
+    sessions: int
+    chunk_packets: int
+    num_classes: int
+    oracle_load_cost: float
+    sampling_gap: float
+    points: List[SketchGapPoint]
+
+    def point(self, width: int) -> SketchGapPoint:
+        for pt in self.points:
+            if pt.width == width:
+                return pt
+        raise KeyError(f"no point for width {width}")
+
+    def budget_point(self, bytes_per_class: float) -> SketchGapPoint:
+        """The largest sketch that fits a per-class byte budget."""
+        within = [pt for pt in self.points
+                  if pt.bytes_per_class <= bytes_per_class]
+        if not within:
+            raise KeyError(
+                f"no point within {bytes_per_class} B/class")
+        return max(within, key=lambda pt: pt.state_bytes)
+
+    def to_dict(self) -> Dict:
+        return {
+            "topology": self.topology,
+            "mirror": self.mirror,
+            "max_link_load": self.max_link_load,
+            "seed": self.seed,
+            "sessions": self.sessions,
+            "chunk_packets": self.chunk_packets,
+            "num_classes": self.num_classes,
+            "oracle_load_cost": self.oracle_load_cost,
+            "sampling_gap": self.sampling_gap,
+            "points": [pt.to_dict() for pt in self.points],
+        }
+
+
+def _gap_one(name: str, widths: Sequence[int], depth: int,
+             mirror: str, max_link_load: float,
+             dc_capacity_factor: Optional[float], sessions: int,
+             chunk_packets: int, seed: int,
+             workers: int) -> SketchGapSeries:
+    needs_dc = mirror in ("dc", "dc+one-hop")
+    setup = setup_topology(
+        name, dc_capacity_factor=dc_capacity_factor
+        if needs_dc else None)
+    state = setup.state
+    classes = list(state.classes)
+    class_names = [cls.name for cls in classes]
+    total_volume = sum(cls.num_sessions for cls in classes)
+
+    planner = GlobalPlanner(state,
+                            mirror_policy=_MIRRORS[mirror](),
+                            max_link_load=max_link_load)
+    oracle = planner.plan(classes)
+    oracle_cost = oracle.result.load_cost
+    true_state = oracle.state
+
+    # One sampled epoch trace shared by every sweep point.
+    generator = TraceGenerator(
+        state.topology.nodes, classes,
+        spec=TraceSpec(total_sessions=sessions),
+        seed=seed * 1009 + 7)
+    batch = generator.generate_batch(state.nids_nodes,
+                                     with_payloads=False,
+                                     direct=True)
+    scale = total_volume / sessions if sessions else 0.0
+    class_id = np.asarray(batch.sessions.class_id)
+    counts = np.bincount(class_id[class_id >= 0],
+                         minlength=len(batch.sessions.class_names))
+    exact = {cls_name: float(count) for cls_name, count in
+             zip(batch.sessions.class_names, counts)}
+
+    def gap_of(result: ReplicationResult) -> Tuple[float, float]:
+        realized = realized_load_cost(true_state, result)
+        gap = ((realized - oracle_cost) / oracle_cost
+               if oracle_cost > 0 else 0.0)
+        return gap, realized
+
+    # Sampling floor: the LP on the trace's exact counts (no sketch).
+    sampled_classes = [
+        replace(cls, num_sessions=exact.get(cls.name, 0.0) * scale)
+        for cls in classes]
+    sampling_gap, _ = gap_of(planner.plan(sampled_classes).result)
+
+    metrics = get_registry()
+    points: List[SketchGapPoint] = []
+    for width in widths:
+        ingest = IngestDaemon(class_names, width=width, depth=depth,
+                              seed=seed * 613 + 11, workers=workers)
+        for chunk in ChunkedReplay(batch, chunk_packets):
+            ingest.consume(chunk)
+        snapshot = ingest.snapshot()
+        errors = snapshot.estimate_errors(exact)
+        estimated = snapshot.estimated_classes(classes, scale=scale)
+        start = time.perf_counter()
+        outcome = planner.plan(estimated)
+        wall = time.perf_counter() - start
+        gap, realized = gap_of(outcome.result)
+        metrics.gauge("sketch.gap", gap)
+        points.append(SketchGapPoint(
+            width=width,
+            depth=depth,
+            state_bytes=snapshot.state_bytes,
+            bytes_per_class=snapshot.state_bytes / len(classes),
+            load_cost=outcome.result.load_cost,
+            realized_load_cost=realized,
+            gap=gap,
+            error_l1_rel=errors["l1_rel"],
+            error_linf=errors["linf"],
+            solve_wall_seconds=wall))
+    return SketchGapSeries(
+        topology=name, mirror=mirror, max_link_load=max_link_load,
+        seed=seed, sessions=sessions, chunk_packets=chunk_packets,
+        num_classes=len(classes), oracle_load_cost=oracle_cost,
+        sampling_gap=sampling_gap, points=points)
+
+
+def run_sketch_gap(
+        topologies: Optional[Sequence[str]] = None,
+        widths: Sequence[int] = DEFAULT_WIDTHS,
+        depth: int = DEFAULT_DEPTH,
+        mirror: str = DEFAULT_MIRROR,
+        max_link_load: float = 0.4,
+        dc_capacity_factor: Optional[float] =
+        DEFAULT_DC_CAPACITY_FACTOR,
+        sessions: int = DEFAULT_SESSIONS,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+        seed: int = 0,
+        workers: int = 2) -> List[SketchGapSeries]:
+    """Sweep sketch widths against the LoadCost-vs-oracle gap.
+
+    Args:
+        topologies: topology names (default tinet — many classes, so
+            sketch collisions actually bite).
+        widths: count-min widths to sweep (depth is fixed across the
+            sweep; width is the memory/error knob).
+        sessions: sampled sessions in the shared epoch trace.
+        chunk_packets: slab size for the streaming ingest.
+        workers: per-worker sketches merged OctoSketch-style.
+    """
+    if mirror not in _MIRRORS:
+        raise ValueError(f"unknown mirror {mirror!r}; choose from "
+                         f"{sorted(_MIRRORS)}")
+    if not widths:
+        raise ValueError("need at least one sketch width")
+    for width in widths:
+        if width < 1:
+            raise ValueError("sketch widths must be >= 1")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+    return [_gap_one(name, widths, depth, mirror, max_link_load,
+                     dc_capacity_factor, sessions, chunk_packets,
+                     seed, workers)
+            for name in (topologies or DEFAULT_TOPOLOGIES)]
+
+
+def sketch_gap_to_json(series: Sequence[SketchGapSeries],
+                       indent: Optional[int] = 2) -> str:
+    """The sweep as a JSON document (the CI artifact format)."""
+    return json.dumps({
+        "schema": 1,
+        "experiment": "sketch-gap",
+        "series": [s.to_dict() for s in series],
+    }, indent=indent, sort_keys=True)
+
+
+def format_sketch_gap(series: Sequence[SketchGapSeries]) -> str:
+    blocks = []
+    for entry in series:
+        rows = []
+        for pt in entry.points:
+            rows.append([
+                str(pt.width),
+                str(pt.depth),
+                f"{pt.state_bytes}",
+                f"{pt.bytes_per_class:.0f}",
+                f"{pt.load_cost:.4f}",
+                f"{pt.realized_load_cost:.4f}",
+                f"{100.0 * pt.gap:.2f}%",
+                f"{100.0 * pt.error_l1_rel:.2f}%",
+                f"{pt.solve_wall_seconds:.2f}s",
+            ])
+        blocks.append(format_table(
+            ["Width", "Depth", "State", "B/class", "LP cost",
+             "Realized", "Gap", "L1 err", "Wall"],
+            rows,
+            title=f"sketch estimator on {entry.topology} "
+                  f"({entry.num_classes} classes, {entry.sessions} "
+                  f"sampled sessions, oracle LoadCost "
+                  f"{entry.oracle_load_cost:.4f}, sampling floor "
+                  f"{100.0 * entry.sampling_gap:.2f}%)"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,13 @@
+"""Streaming ingestion: bounded slabs in, traffic estimates out."""
+
+from repro.ingest.daemon import (
+    IngestDaemon,
+    IngestStats,
+    chunk_resident_bytes,
+)
+
+__all__ = [
+    "IngestDaemon",
+    "IngestStats",
+    "chunk_resident_bytes",
+]

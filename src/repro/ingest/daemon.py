@@ -1,0 +1,239 @@
+"""The streaming ingestion daemon (ROADMAP item 1).
+
+:class:`IngestDaemon` is the long-running process between the packet
+taps and the controller. It consumes an *unbounded* stream of
+session-aligned :class:`~repro.simulation.batch.PacketBatch` slabs —
+a :class:`~repro.simulation.tracestore.ChunkedReplay` over a packed
+trace store, or any generator of slabs — over the discrete-event
+:class:`~repro.runtime.events.EventLoop`, folds each slab into
+per-worker :class:`~repro.sketch.volume.ClassVolumeSketch` instances
+(round-robin, the multi-queue shape of the DPDK+OctoSketch design),
+and on demand merges the workers losslessly into one aggregate from
+which it emits an
+:class:`~repro.traffic.matrix.EstimatedTrafficMatrix` or
+estimate-carrying traffic classes for the controller's
+``resolve_traffic()``.
+
+Memory is the contract here: the daemon never holds more than the
+worker sketches plus the single in-flight slab, so peak resident
+state is O(sketch + chunk) no matter how many packets stream past.
+:attr:`IngestStats.max_resident_bytes` *measures* that bound — the
+estimator scenario asserts it instead of eyeballing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
+
+import numpy as np
+
+from repro.obs import get_registry
+from repro.runtime.events import EventLoop
+from repro.sketch import ClassVolumeSketch
+from repro.traffic.classes import TrafficClass
+from repro.traffic.matrix import EstimatedTrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.batch import PacketBatch
+
+_SESSION_COLUMNS = ("proto", "src_ip", "src_port", "dst_ip",
+                    "dst_port", "class_id", "trace_class_id",
+                    "fwd_path_id", "rev_path_id", "session_key")
+_PACKET_COLUMNS = ("session_of_packet", "direction", "size_bytes",
+                   "payload_offsets")
+
+
+def chunk_resident_bytes(chunk: "PacketBatch") -> int:
+    """Bytes a slab keeps resident while it is being consumed."""
+    total = 0
+    for name in _SESSION_COLUMNS:
+        column = getattr(chunk.sessions, name, None)
+        if isinstance(column, np.ndarray):
+            total += int(column.nbytes)
+    for name in _PACKET_COLUMNS:
+        column = getattr(chunk, name, None)
+        if isinstance(column, np.ndarray):
+            total += int(column.nbytes)
+    buffer = chunk.payload_buffer
+    total += (int(buffer.nbytes) if isinstance(buffer, np.ndarray)
+              else len(buffer))
+    return total
+
+
+@dataclass
+class IngestStats:
+    """Counters for one ingestion window (reset per epoch)."""
+
+    chunks: int = 0
+    packets: int = 0
+    sessions: int = 0
+    emits: int = 0
+    merges: int = 0
+    max_resident_bytes: int = 0
+    window_start: Optional[float] = None
+    window_end: Optional[float] = None
+
+    def packets_per_second(self) -> Optional[float]:
+        """Simulated-time throughput of the current window."""
+        if (self.window_start is None or self.window_end is None or
+                self.window_end <= self.window_start):
+            return None
+        return self.packets / (self.window_end - self.window_start)
+
+
+class IngestDaemon:
+    """Bounded-memory stream consumer feeding the control loop.
+
+    Args:
+        class_names: the registered traffic-class universe.
+        width / depth / source_width: count-min shape, forwarded to
+            every worker sketch.
+        seed: hash-family seed (keyword-only, mandatory); all workers
+            share it — that is what makes their merge lossless.
+        workers: per-worker sketch count (round-robin assignment).
+        scale: default sampling-rate calibration from observed
+            sessions to ``|T_c|`` units for emitted estimates.
+        on_estimate: called with each emitted
+            :class:`EstimatedTrafficMatrix`.
+    """
+
+    def __init__(self, class_names: Sequence[str], *,
+                 width: int = 512, depth: int = 4, seed: int,
+                 source_width: Optional[int] = None,
+                 workers: int = 2, scale: float = 1.0,
+                 on_estimate: Optional[
+                     Callable[[EstimatedTrafficMatrix], None]] = None
+                 ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.class_names = tuple(class_names)
+        self.width = width
+        self.depth = depth
+        self.source_width = source_width
+        self.seed = seed
+        self.scale = scale
+        self.on_estimate = on_estimate
+        self.workers: List[ClassVolumeSketch] = [
+            self._make_sketch() for _ in range(workers)]
+        self._next_worker = 0
+        self.stats = IngestStats()
+
+    def _make_sketch(self) -> ClassVolumeSketch:
+        return ClassVolumeSketch(
+            self.class_names, width=self.width, depth=self.depth,
+            seed=self.seed, source_width=self.source_width)
+
+    # -- consumption -------------------------------------------------------
+
+    @property
+    def sketch_bytes(self) -> int:
+        """Resident bytes across the worker sketches."""
+        return sum(worker.state_bytes for worker in self.workers)
+
+    def consume(self, chunk: "PacketBatch",
+                now: Optional[float] = None) -> None:
+        """Fold one slab into the next worker's sketch."""
+        worker = self.workers[self._next_worker]
+        self._next_worker = (self._next_worker + 1) % \
+            len(self.workers)
+        sessions = worker.observe_batch(chunk)
+        self.stats.chunks += 1
+        self.stats.packets += int(chunk.num_packets)
+        self.stats.sessions += sessions
+        resident = self.sketch_bytes + chunk_resident_bytes(chunk)
+        self.stats.max_resident_bytes = max(
+            self.stats.max_resident_bytes, resident)
+        metrics = get_registry()
+        metrics.inc("ingest.chunks")
+        metrics.inc("ingest.packets", chunk.num_packets)
+        metrics.gauge("ingest.resident_bytes", resident)
+        if now is not None:
+            if self.stats.window_start is None:
+                self.stats.window_start = now
+            self.stats.window_end = now
+            rate = self.stats.packets_per_second()
+            if rate is not None:
+                metrics.gauge("ingest.packets_per_second", rate)
+
+    def stream(self, loop: EventLoop,
+               chunks: Iterable["PacketBatch"], *,
+               start: Optional[float] = None,
+               interval: float = 1.0) -> None:
+        """Schedule a chunk stream onto the event loop.
+
+        One slab is consumed per firing, ``interval`` simulated
+        seconds apart, and the next firing is scheduled only then —
+        the iterator is never materialized, so a generator-backed
+        unbounded feed stays O(chunk) resident.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        iterator: Iterator["PacketBatch"] = iter(chunks)
+
+        def pump() -> None:
+            try:
+                chunk = next(iterator)
+            except StopIteration:
+                return
+            self.consume(chunk, now=loop.now)
+            loop.schedule_in(interval, pump)
+
+        loop.schedule_at(loop.now if start is None else start, pump)
+
+    # -- estimates ---------------------------------------------------------
+
+    def snapshot(self) -> ClassVolumeSketch:
+        """Merge the workers into one aggregate (OctoSketch-style).
+
+        The workers keep their state; the aggregate is a fresh sketch
+        so a snapshot never perturbs ingestion.
+        """
+        merged = self._make_sketch()
+        for worker in self.workers:
+            merged.merge(worker)
+        self.stats.merges += len(self.workers)
+        get_registry().inc("sketch.merges", len(self.workers))
+        self.stats.max_resident_bytes = max(
+            self.stats.max_resident_bytes,
+            self.sketch_bytes + merged.state_bytes)
+        return merged
+
+    def estimated_classes(self, template: Sequence[TrafficClass],
+                          scale: Optional[float] = None
+                          ) -> List[TrafficClass]:
+        """Template classes carrying the aggregate's estimates."""
+        return self.snapshot().estimated_classes(
+            template, self.scale if scale is None else scale)
+
+    def emit(self, template: Sequence[TrafficClass],
+             scale: Optional[float] = None) -> EstimatedTrafficMatrix:
+        """Emit the current estimate as a traffic matrix."""
+        matrix = self.snapshot().estimated_matrix(
+            template, self.scale if scale is None else scale)
+        self.stats.emits += 1
+        get_registry().inc("ingest.emits")
+        if self.on_estimate is not None:
+            self.on_estimate(matrix)
+        return matrix
+
+    def begin_window(self) -> None:
+        """Reset for a new estimation window (epoch boundary).
+
+        Worker sketches are zeroed in place; cumulative high-water
+        marks (``max_resident_bytes``) survive, per-window counters
+        restart.
+        """
+        for worker in self.workers:
+            worker.reset()
+        high_water = self.stats.max_resident_bytes
+        self.stats = IngestStats(max_resident_bytes=high_water)
+        self._next_worker = 0

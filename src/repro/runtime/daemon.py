@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.core.controller import NIDSController, Rollout, SolvePlanner
 from repro.core.inputs import NetworkState
@@ -48,6 +48,17 @@ from repro.runtime.agents import NodeAgent
 from repro.runtime.events import EventLoop
 from repro.runtime.rollout import RolloutDriver, RolloutSession
 from repro.traffic.classes import TrafficClass
+
+
+class TrafficEstimator(Protocol):
+    """What the daemon needs from a sketch estimator: template
+    classes re-volumed with the estimator's current view (an
+    :class:`~repro.ingest.daemon.IngestDaemon` satisfies this)."""
+
+    def estimated_classes(self, template: Sequence[TrafficClass],
+                          scale: Optional[float] = None
+                          ) -> List[TrafficClass]:
+        ...
 
 
 @dataclass
@@ -77,6 +88,17 @@ class ControllerDaemon:
             given state; ``None`` keeps the default global LP. Called
             again on every structural rebuild, so a sharded planner
             re-partitions the surviving topology.
+        estimator: a sketch estimator (an
+            :class:`~repro.ingest.daemon.IngestDaemon`, or anything
+            with ``estimated_classes(template, scale)``). When set,
+            every cycle substitutes the estimator's sketched volumes
+            for the feed's exact ones — the drift trigger and
+            ``resolve_traffic()`` both run on estimates, and the
+            exact-matrix path (``estimator=None``) remains the
+            oracle. The feed still supplies class *structure*
+            (paths, footprints); only volumes are estimated.
+        estimator_scale: sampling-rate calibration from observed
+            sessions to the feed's ``|T_c|`` unit.
     """
 
     def __init__(self, state: NetworkState, driver: RolloutDriver,
@@ -85,16 +107,21 @@ class ControllerDaemon:
                  drift_threshold: float = 0.2,
                  refresh_period: Optional[float] = None,
                  planner_factory: Optional[
-                     Callable[[NetworkState], SolvePlanner]] = None
-                 ) -> None:
+                     Callable[[NetworkState], SolvePlanner]] = None,
+                 estimator: Optional["TrafficEstimator"] = None,
+                 estimator_scale: float = 1.0) -> None:
         if refresh_period is not None and refresh_period <= 0:
             raise ValueError("refresh_period must be positive")
+        if estimator_scale < 0:
+            raise ValueError("estimator_scale must be non-negative")
         self.driver = driver
         self.mirror_policy = mirror_policy
         self.max_link_load = max_link_load
         self.drift_threshold = drift_threshold
         self.refresh_period = refresh_period
         self.planner_factory = planner_factory
+        self.estimator = estimator
+        self.estimator_scale = estimator_scale
         self.controller = self._make_controller(state)
         self.last_refresh_time: Optional[float] = None
         self.refresh_records: list[RefreshRecord] = []
@@ -204,6 +231,12 @@ class ControllerDaemon:
             The :class:`RefreshRecord`, or ``None`` when no trigger
             fired.
         """
+        if self.estimator is not None:
+            # Estimator mode: the controller never sees the exact
+            # volumes — both the drift trigger and the solve run on
+            # the sketch's view of the feed.
+            classes = self.estimator.estimated_classes(
+                classes, self.estimator_scale)
         if reason is None:
             reason = self.refresh_reason(loop.now, classes)
         if reason is None:
@@ -214,6 +247,8 @@ class ControllerDaemon:
         solve_wall = time.perf_counter() - start
         metrics.observe("runtime.solve.seconds", solve_wall)
         metrics.inc(f"runtime.refresh.{reason}")
+        if self.estimator is not None and reason == "drift":
+            metrics.inc("runtime.estimator.drift_refreshes")
 
         session = self.driver.start(loop, agents, rollout.configs,
                                     rollout.transition)

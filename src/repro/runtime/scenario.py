@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -85,6 +87,11 @@ class Scenario:
     rule_capacity: Optional[int] = None
     planner: str = "global"
     regions: int = 2
+    estimator: Optional[str] = None
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    chunk_packets: int = 256
+    ingest_workers: int = 2
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -99,6 +106,14 @@ class Scenario:
             raise ValueError(f"unknown planner {self.planner!r}")
         if self.regions < 1:
             raise ValueError("regions must be >= 1")
+        if self.estimator not in (None, "sketch"):
+            raise ValueError(f"unknown estimator {self.estimator!r}")
+        if self.sketch_width < 1 or self.sketch_depth < 1:
+            raise ValueError("sketch shape must be >= 1x1")
+        if self.chunk_packets < 1:
+            raise ValueError("chunk_packets must be >= 1")
+        if self.ingest_workers < 1:
+            raise ValueError("ingest_workers must be >= 1")
         for fault in self.faults.events:
             if fault.kind is FaultKind.CONTROLLER_DOWN:
                 if self.planner != "sharded":
@@ -147,6 +162,11 @@ class Scenario:
             "rule_capacity": self.rule_capacity,
             "planner": self.planner,
             "regions": self.regions,
+            "estimator": self.estimator,
+            "sketch_width": self.sketch_width,
+            "sketch_depth": self.sketch_depth,
+            "chunk_packets": self.chunk_packets,
+            "ingest_workers": self.ingest_workers,
         }
 
 
@@ -177,6 +197,13 @@ class EpochRecord:
     solve_wall_seconds: Optional[float] = None
     rules_shipped: Optional[int] = None
     rules_installed: Optional[int] = None
+    # Estimator-mode fields (None when estimator is off). Byte and
+    # chunk counts are pure functions of the seeded trace, so they
+    # belong to the deterministic fingerprint.
+    estimate_l1_rel: Optional[float] = None
+    estimator_state_bytes: Optional[int] = None
+    ingest_chunks: Optional[int] = None
+    ingest_max_resident_bytes: Optional[int] = None
 
     def deterministic_dict(self) -> Dict:
         out = {
@@ -197,6 +224,11 @@ class EpochRecord:
             "events_fired": self.events_fired,
             "rules_shipped": self.rules_shipped,
             "rules_installed": self.rules_installed,
+            "estimate_l1_rel": self.estimate_l1_rel,
+            "estimator_state_bytes": self.estimator_state_bytes,
+            "ingest_chunks": self.ingest_chunks,
+            "ingest_max_resident_bytes":
+                self.ingest_max_resident_bytes,
         }
         return out
 
@@ -307,15 +339,38 @@ def _emulation_configs(state_nodes: Sequence[str],
     return configs
 
 
-def run_scenario(scenario: Scenario) -> ScenarioReport:
+def run_scenario(scenario: Scenario,
+                 workdir: Optional[Path] = None) -> ScenarioReport:
     """Play a scenario over simulated time; returns the timeline.
 
     The run is seeded end to end: traffic drift, channel latency/loss
     draws, and epoch traces all derive from ``scenario.seed``.
+
+    In estimator mode (``scenario.estimator == "sketch"``) each
+    epoch's trace is packed into a zero-copy
+    :class:`~repro.simulation.tracestore.TraceStore` under
+    ``workdir`` (a temporary directory by default, cleaned up on
+    return) and streamed through an
+    :class:`~repro.ingest.daemon.IngestDaemon` in bounded slabs, so
+    resident trace/traffic state stays O(sketch + chunk).
     """
+    if scenario.estimator is None:
+        return _run_scenario(scenario, None)
+    if workdir is not None:
+        path = Path(workdir)
+        path.mkdir(parents=True, exist_ok=True)
+        return _run_scenario(scenario, path)
+    with tempfile.TemporaryDirectory(
+            prefix="repro-estimator-") as tmp:
+        return _run_scenario(scenario, Path(tmp))
+
+
+def _run_scenario(scenario: Scenario,
+                  trace_dir: Optional[Path]) -> ScenarioReport:
     from repro.experiments.common import setup_topology
     from repro.simulation.emulation import Emulation
     from repro.simulation.tracegen import TraceGenerator, TraceSpec
+    from repro.simulation.tracestore import ChunkedReplay, TraceStore
 
     metrics = get_registry()
     setup = setup_topology(scenario.topology,
@@ -341,13 +396,35 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
                 num_regions=scenario.regions,
                 seed=scenario.seed,
                 jobs=1)  # deterministic replay stays single-threaded
+    ingest = None
+    estimator_scale = 1.0
+    if scenario.estimator == "sketch":
+        from repro.ingest import IngestDaemon
+
+        # Fixed sampling-rate calibration: the tap sees a bounded
+        # session budget per epoch, so observed counts scale to
+        # |T_c| units by the baseline rate. Relative drift between
+        # classes stays visible to the trigger; a uniform surge
+        # beyond the budget does not (honest fixed-budget sampling).
+        baseline_total = sum(cls.num_sessions
+                             for cls in baseline_classes)
+        estimator_scale = (baseline_total /
+                           scenario.sessions_per_epoch)
+        ingest = IngestDaemon(
+            [cls.name for cls in baseline_classes],
+            width=scenario.sketch_width,
+            depth=scenario.sketch_depth,
+            seed=scenario.seed * 49999 + 3,
+            workers=scenario.ingest_workers)
     daemon = ControllerDaemon(
         baseline_state, driver,
         mirror_policy=MIRROR_CHOICES[scenario.mirror](),
         max_link_load=scenario.max_link_load,
         drift_threshold=scenario.drift_threshold,
         refresh_period=scenario.refresh_period,
-        planner_factory=planner_factory)
+        planner_factory=planner_factory,
+        estimator=ingest,
+        estimator_scale=estimator_scale)
     agents = build_agents(baseline_state.node_capacity,
                           rule_capacity=scenario.rule_capacity)
 
@@ -388,6 +465,42 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         surged = fault_state.scale_classes(drifted)
         traffic_state = baseline_state.with_traffic(surged)
         current_state, _impacts = fault_state.materialize(traffic_state)
+
+        # 2b. Estimator mode: pack this epoch's trace into the store
+        #     and stream it through the ingest daemon in bounded
+        #     slabs during the first half of the epoch — the control
+        #     decision below then runs on the sketch's estimates.
+        generator = TraceGenerator(
+            current_state.topology.nodes, current_state.classes,
+            spec=TraceSpec(
+                total_sessions=scenario.sessions_per_epoch),
+            seed=scenario.seed * 100003 + epoch)
+        epoch_replay = None
+        epoch_exact: Optional[Dict[str, float]] = None
+        if ingest is not None:
+            assert trace_dir is not None
+            batch = generator.generate_batch(
+                current_state.nids_nodes, with_payloads=True,
+                direct=True)
+            store = TraceStore.pack(
+                batch, trace_dir / f"epoch{epoch:03d}")
+            del batch  # only memmap-backed slabs stay resident
+            stored = store.batch()
+            epoch_replay = ChunkedReplay(stored,
+                                         scenario.chunk_packets)
+            class_id = np.asarray(stored.sessions.class_id)
+            counts = np.bincount(
+                class_id[class_id >= 0],
+                minlength=len(stored.sessions.class_names))
+            epoch_exact = {
+                name: float(count) for name, count in
+                zip(stored.sessions.class_names, counts)}
+            ingest.begin_window()
+            window = scenario.epoch_seconds / 2.0
+            interval = window / max(epoch_replay.num_chunks, 1)
+            ingest.stream(loop, iter(epoch_replay),
+                          start=epoch_start, interval=interval)
+            loop.run_until(epoch_start + window)
 
         # 3. The daemon's control decision.
         signature = fault_state.structural_signature()
@@ -433,17 +546,39 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         metrics.gauge("runtime.coverage", coverage_end)
 
         # 5. Ground truth: replay this epoch's trace against what the
-        #    agents actually run.
-        generator = TraceGenerator(
-            current_state.topology.nodes, current_state.classes,
-            spec=TraceSpec(total_sessions=scenario.sessions_per_epoch),
-            seed=scenario.seed * 100003 + epoch)
-        sessions = generator.generate(with_payloads=True)
+        #    agents actually run. Estimator mode replays the packed
+        #    store chunk by chunk (bit-identical to the whole-batch
+        #    fast path, O(chunk) memory); the exact path keeps the
+        #    oracle behavior.
         emulation = Emulation(
             current_state,
             _emulation_configs(current_state.nids_nodes, agents),
             generator.classifier)
-        replay = emulation.run_signature(sessions, fast=True)
+        if epoch_replay is not None:
+            replay = emulation.run_signature_chunked(epoch_replay)
+        else:
+            sessions = generator.generate(with_payloads=True)
+            replay = emulation.run_signature(sessions, fast=True)
+
+        # Estimator bookkeeping: estimate error against this epoch's
+        # exact per-class counts, sketch state, and the resident
+        # high-water mark (the O(sketch + chunk) evidence).
+        estimate_l1_rel = None
+        estimator_state_bytes = None
+        ingest_chunks = None
+        ingest_max_resident_bytes = None
+        if ingest is not None and epoch_exact is not None:
+            snapshot = ingest.snapshot()
+            errors = snapshot.estimate_errors(
+                {name: epoch_exact.get(name, 0.0)
+                 for name in ingest.class_names})
+            estimate_l1_rel = errors["l1_rel"]
+            metrics.gauge("sketch.estimate.l1_rel",
+                          errors["l1_rel"])
+            estimator_state_bytes = snapshot.state_bytes
+            ingest_chunks = ingest.stats.chunks
+            ingest_max_resident_bytes = \
+                ingest.stats.max_resident_bytes
 
         result = daemon.controller.current_result
         records.append(EpochRecord(
@@ -467,7 +602,11 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
             emulated_alerts=replay.alerts,
             events_fired=fired_events,
             solve_wall_seconds=(refresh.solve_wall_seconds
-                                if refresh is not None else None)))
+                                if refresh is not None else None),
+            estimate_l1_rel=estimate_l1_rel,
+            estimator_state_bytes=estimator_state_bytes,
+            ingest_chunks=ingest_chunks,
+            ingest_max_resident_bytes=ingest_max_resident_bytes))
 
     # Rollout latencies and shipped-rule counts are known only once
     # sessions complete (a slow rollout can span epochs), so fill them
@@ -614,9 +753,30 @@ def regional_failover_scenario(topology: str = "internet2",
             3, FaultKind.CONTROLLER_DOWN, victim)]))
 
 
+def sketch_estimator_scenario(topology: str = "tinet",
+                              epochs: int = 6,
+                              seed: int = 23) -> Scenario:
+    """Closed loop on *estimates*: every epoch's trace streams
+    through the ingest daemon in bounded slabs and the controller
+    optimizes against the sketch's view — no exact matrix is ever
+    fed to it. The periodic trigger is off, so every post-bootstrap
+    refresh is sketch-driven drift."""
+    return Scenario(
+        name="sketch-estimator", topology=topology, seed=seed,
+        epochs=epochs, drift_sigma=0.35, drift_threshold=0.2,
+        refresh_period_epochs=None,
+        channel=ChannelSpec(base_delay=2.0, jitter=2.0, loss=0.05,
+                            retransmit_timeout=8.0),
+        strategy="overlap",
+        estimator="sketch", sketch_width=2048, sketch_depth=4,
+        chunk_packets=256, ingest_workers=2,
+        sessions_per_epoch=1500)
+
+
 CANNED_SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "steady-drift": steady_drift_scenario,
     "flash-crowd": flash_crowd_scenario,
     "cascading-failure": cascading_failure_scenario,
     "regional-failover": regional_failover_scenario,
+    "sketch-estimator": sketch_estimator_scenario,
 }

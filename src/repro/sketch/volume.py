@@ -1,0 +1,248 @@
+"""Per-traffic-class and per-source volume estimation on sketches.
+
+:class:`ClassVolumeSketch` is the estimation layer between the packet
+stream and the controller: it watches session-aligned
+:class:`~repro.simulation.batch.PacketBatch` slabs, folds per-class
+and per-source session counts into two seeded
+:class:`~repro.sketch.countmin.CountMinSketch` tables, and can at any
+instant render an :class:`~repro.traffic.matrix.EstimatedTrafficMatrix`
+or a list of estimate-carrying
+:class:`~repro.traffic.classes.TrafficClass` rows for
+``resolve_traffic()``. Memory is O(sketch) regardless of how many
+sessions stream past — the whole point of the subsystem (ROADMAP
+item 1: "millions of users").
+
+Per-worker instances (one per ingest worker) merge losslessly into an
+aggregate, OctoSketch-style: :meth:`merge` adds counter tables built
+from one shared ``(width, depth, seed)`` hash family, so the combined
+sketch is bit-exactly the single-worker sketch of the full stream.
+
+The class key space is a *registered universe* — the controller knows
+its traffic classes (ingress-egress pairs are observable at the tap);
+what the sketch estimates is their **volumes**. Per-source estimates
+key on raw source addresses, the aggregation-mode split field of
+Section 7.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.sketch.countmin import CountMinSketch, SketchMismatchError
+from repro.traffic.classes import TrafficClass
+from repro.traffic.matrix import EstimatedTrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.batch import PacketBatch
+
+
+class ClassVolumeSketch:
+    """Sketched per-class / per-source session volumes.
+
+    Args:
+        class_names: the registered traffic-class universe; estimates
+            are reported per name, in this order.
+        width / depth: count-min shape shared by both tables.
+        seed: hash-family seed (keyword-only, mandatory); the source
+            table uses ``seed + depth`` so its rows are independent
+            of the class table's.
+        source_width: per-source table width; defaults to ``width``.
+            Sources are an open key space (addresses), so this is the
+            knob that actually trades memory for error.
+    """
+
+    def __init__(self, class_names: Sequence[str], *,
+                 width: int = 512, depth: int = 4, seed: int,
+                 source_width: Optional[int] = None) -> None:
+        self.class_names: Tuple[str, ...] = tuple(class_names)
+        if len(set(self.class_names)) != len(self.class_names):
+            raise ValueError("class universe has duplicate names")
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.class_names)}
+        self.classes = CountMinSketch(width, depth, seed=seed)
+        self.sources = CountMinSketch(source_width or width, depth,
+                                      seed=seed + depth)
+        self.sessions = 0
+        self.packets = 0
+        self.merges = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def _universe_ids(self, class_names: Sequence[str]) -> np.ndarray:
+        """Map another batch's class-name tuple onto this universe."""
+        try:
+            return np.array([self._index[name]
+                             for name in class_names],
+                            dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(
+                f"batch class {exc.args[0]!r} is not in the "
+                f"registered universe") from None
+
+    def observe_batch(self, chunk: "PacketBatch") -> int:
+        """Fold one session-aligned slab into the sketches.
+
+        Every session row in the slab counts once (chunk boundaries
+        never split a session, so streaming a ``ChunkedReplay``
+        counts each session exactly once). Sessions the classifier
+        left unmonitored (``class_id == -1``) still count toward the
+        per-source table — the tap sees their bytes — but have no
+        class to charge.
+
+        Returns:
+            The number of session rows observed.
+        """
+        sess = chunk.sessions
+        class_id = np.asarray(sess.class_id)
+        monitored = class_id >= 0
+        counts = np.bincount(class_id[monitored],
+                             minlength=len(sess.class_names))
+        hot = np.nonzero(counts)[0]
+        if len(hot):
+            mapping = self._universe_ids(sess.class_names)
+            self.classes.update(mapping[hot].astype(np.uint32),
+                                counts[hot])
+        src, src_counts = np.unique(np.asarray(sess.src_ip),
+                                    return_counts=True)
+        if len(src):
+            self.sources.update(src, src_counts)
+        observed = int(sess.num_sessions)
+        self.sessions += observed
+        self.packets += int(chunk.num_packets)
+        return observed
+
+    def observe_classes(self, names: Sequence[str],
+                        counts: Sequence[float]) -> None:
+        """Directly charge session counts to universe classes."""
+        ids = self._universe_ids(names).astype(np.uint32)
+        self.classes.update(ids, np.asarray(counts))
+        self.sessions += int(np.asarray(counts).sum())
+
+    # -- worker combination ------------------------------------------------
+
+    def compatible(self, other: "ClassVolumeSketch") -> bool:
+        return (self.class_names == other.class_names and
+                self.classes.compatible(other.classes) and
+                self.sources.compatible(other.sources))
+
+    def merge(self, other: "ClassVolumeSketch") -> "ClassVolumeSketch":
+        """Absorb another worker's sketch in place (lossless)."""
+        if not self.compatible(other):
+            raise SketchMismatchError(
+                "per-worker sketches must share the class universe, "
+                "shape, and seed to merge losslessly")
+        self.classes.merge(other.classes)
+        self.sources.merge(other.sources)
+        self.sessions += other.sessions
+        self.packets += other.packets
+        self.merges += 1
+        return self
+
+    def reset(self) -> None:
+        """Start a new estimation window (epoch boundary)."""
+        self.classes.reset()
+        self.sources.reset()
+        self.sessions = 0
+        self.packets = 0
+
+    # -- estimates ---------------------------------------------------------
+
+    def class_volumes(self) -> np.ndarray:
+        """Estimated session count per universe class (int64)."""
+        if not self.class_names:
+            return np.zeros(0, dtype=np.int64)
+        ids = np.arange(len(self.class_names), dtype=np.uint32)
+        return self.classes.estimate(ids)
+
+    def class_volume(self, name: str) -> int:
+        ids = np.array([self._index[name]], dtype=np.uint32)
+        return int(self.classes.estimate(ids)[0])
+
+    def source_volume(self, src_ip: int) -> int:
+        keys = np.array([src_ip], dtype=np.uint32)
+        return int(self.sources.estimate(keys)[0])
+
+    def estimated_classes(self, template: Sequence[TrafficClass],
+                          scale: float = 1.0) -> List[TrafficClass]:
+        """The template classes with sketched volumes.
+
+        Structure (paths, footprints, session bytes) comes from the
+        template — the routing feed knows it; only ``num_sessions``
+        is replaced, with the sketch estimate times ``scale`` (the
+        sampling-rate calibration from observed sessions to the
+        matrix's ``|T_c|`` unit).
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        volumes = self.class_volumes()
+        out: List[TrafficClass] = []
+        for cls in template:
+            index = self._index.get(cls.name)
+            if index is None:
+                raise ValueError(
+                    f"template class {cls.name!r} is not in the "
+                    f"registered universe")
+            out.append(replace(
+                cls, num_sessions=float(volumes[index]) * scale))
+        return out
+
+    def estimated_matrix(self, template: Sequence[TrafficClass],
+                         scale: float = 1.0) -> EstimatedTrafficMatrix:
+        """Render the estimates as a traffic matrix (``|T_c|`` per
+        ingress-egress pair), tagged with the sketch's error bound."""
+        volumes: Dict[Tuple[str, str], float] = {}
+        for cls in self.estimated_classes(template, scale):
+            pair = (cls.source, cls.target)
+            volumes[pair] = volumes.get(pair, 0.0) + cls.num_sessions
+        return EstimatedTrafficMatrix(
+            volumes,
+            epsilon=self.classes.epsilon,
+            delta=self.classes.delta,
+            state_bytes=self.state_bytes,
+            sessions_observed=self.sessions,
+            scale=scale)
+
+    def estimate_errors(self, exact: Mapping[str, float]
+                        ) -> Dict[str, float]:
+        """L1 / Linf estimate error against exact per-class counts.
+
+        ``l1_rel`` normalizes by the exact total so the number is
+        comparable across trace sizes (0.0 when nothing was seen).
+        """
+        volumes = self.class_volumes()
+        l1 = 0.0
+        linf = 0.0
+        total = 0.0
+        for name, true_count in exact.items():
+            err = abs(float(volumes[self._index[name]]) -
+                      float(true_count))
+            l1 += err
+            linf = max(linf, err)
+            total += float(true_count)
+        return {"l1": l1, "linf": linf,
+                "l1_rel": l1 / total if total > 0 else 0.0}
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def state_bytes(self) -> int:
+        """Resident sketch state across both tables."""
+        return self.classes.state_bytes + self.sources.state_bytes
+
+    def __repr__(self) -> str:
+        return (f"ClassVolumeSketch(classes={len(self.class_names)}, "
+                f"width={self.classes.width}, "
+                f"depth={self.classes.depth}, "
+                f"seed={self.classes.seed}, "
+                f"sessions={self.sessions})")

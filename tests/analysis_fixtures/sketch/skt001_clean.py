@@ -1,0 +1,16 @@
+"""Clean fixture for SKT001: configured seeds, metric-only clock."""
+import time
+
+
+class CountMinSketch:
+    def __init__(self, width, depth, *, seed):
+        self.width, self.depth, self.seed = width, depth, seed
+
+
+def build_worker_sketch(width, depth, *, seed, **extra):
+    # perf_counter is the sanctioned throughput clock.
+    started = time.perf_counter()
+    sketch = CountMinSketch(width, depth, seed=seed)
+    # A **kwargs splat may carry the seed; trusted, not flagged.
+    other = CountMinSketch(width, depth, **extra)
+    return started, sketch, other

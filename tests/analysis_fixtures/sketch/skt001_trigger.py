@@ -1,0 +1,15 @@
+"""Trigger fixture for SKT001 (2 findings)."""
+import time
+
+
+class CountMinSketch:
+    def __init__(self, width, depth, *, seed):
+        self.width, self.depth, self.seed = width, depth, seed
+
+
+def build_worker_sketch(width, depth):
+    # Wall-clock window stamp: finding 1.
+    window_start = time.time()
+    # Constructor without an explicit seed= keyword: finding 2.
+    sketch = CountMinSketch(width, depth)
+    return window_start, sketch

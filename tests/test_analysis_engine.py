@@ -41,6 +41,7 @@ from repro.analysis.rules.numerics import (
     HashDtypeRule,
     MemmapDtypeRule,
 )
+from repro.analysis.rules.sketches import SketchSeedRule
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
@@ -69,6 +70,8 @@ RULE_CASES = [
      "hyg003_clean.py"),
     (StrictAnnotationRule, "HYG004", "lpsolve/hyg004_trigger.py", 2,
      "lpsolve/hyg004_clean.py"),
+    (SketchSeedRule, "SKT001", "sketch/skt001_trigger.py", 2,
+     "sketch/skt001_clean.py"),
 ]
 
 

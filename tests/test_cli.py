@@ -255,6 +255,55 @@ class TestShardGapCli:
             main(["shard-gap", "--topology", "atlantis"])
 
 
+class TestSketchGapCli:
+    def test_prints_table_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "sketch-gap.json"
+        assert main(["sketch-gap", "--topology", "internet2",
+                     "--widths", "256,512", "--sessions", "1500",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sketch estimator on internet2" in out
+        assert "sampling floor" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["experiment"] == "sketch-gap"
+        (entry,) = payload["series"]
+        assert [pt["width"] for pt in entry["points"]] == [256, 512]
+
+    def test_bad_widths_rejected(self, capsys):
+        assert main(["sketch-gap", "--topology", "internet2",
+                     "--widths", "0"]) == 2
+        assert "width" in capsys.readouterr().err
+
+    def test_empty_widths_rejected(self, capsys):
+        assert main(["sketch-gap", "--topology", "internet2",
+                     "--widths", " "]) == 2
+        assert "width" in capsys.readouterr().err
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sketch-gap", "--topology", "atlantis"])
+
+
+class TestTraceFollowCli:
+    def test_follow_streams_store_through_ingest(self, capsys,
+                                                 tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(["trace", "pack", str(store_dir),
+                     "--topology", "internet2",
+                     "--sessions", "800", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", str(store_dir),
+                     "--follow", "--chunk", "256",
+                     "--width", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "followed" in out
+        assert "resident high-water" in out
+        assert "top 5 estimated classes" in out
+
+
 class TestScenarioStrategy:
     def test_delta_strategy_flag(self, capsys, tmp_path):
         import json

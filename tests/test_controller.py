@@ -84,6 +84,22 @@ class TestTriggers:
         with pytest.raises(ValueError):
             NIDSController(line_state_dc, drift_threshold=-0.1)
 
+    def test_zero_total_baseline_reads_as_no_drift(self, controller,
+                                                   line_classes):
+        # Regression: a dead feed (every class at zero sessions, as a
+        # sketch estimator that saw nothing yet reports) must not
+        # raise on the zero denominator or pin the trigger high.
+        silent = [cls.scaled(0.0) for cls in line_classes]
+        controller.refresh(silent)
+        assert controller.traffic_drift(silent) == 0.0
+        assert not controller.needs_refresh(silent)
+        # Traffic appearing after a silent baseline is full drift —
+        # it fires once, then clears after the next refresh.
+        assert controller.traffic_drift(line_classes) == 1.0
+        assert controller.needs_refresh(line_classes)
+        controller.refresh(line_classes)
+        assert not controller.needs_refresh(line_classes)
+
 
 class _ScriptedPlanner:
     """Replays pre-computed outcomes, one per refresh."""

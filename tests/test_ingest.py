@@ -1,0 +1,168 @@
+"""Tests for the streaming ingestion daemon."""
+
+import numpy as np
+import pytest
+
+from repro.ingest import IngestDaemon, chunk_resident_bytes
+from repro.obs import MetricsRegistry, use_registry
+from repro.runtime.events import EventLoop
+from repro.simulation.tracegen import TraceGenerator, TraceSpec
+from repro.simulation.tracestore import ChunkedReplay
+from repro.traffic.matrix import EstimatedTrafficMatrix
+
+
+@pytest.fixture
+def batch(line_state_dc):
+    generator = TraceGenerator(
+        line_state_dc.topology.nodes, line_state_dc.classes,
+        spec=TraceSpec(total_sessions=600), seed=17)
+    return generator.generate_batch(
+        tuple(line_state_dc.nids_nodes), direct=True)
+
+
+@pytest.fixture
+def daemon(line_state_dc):
+    names = [cls.name for cls in line_state_dc.classes]
+    return IngestDaemon(names, width=256, depth=4, seed=5, workers=3)
+
+
+def exact_counts(batch):
+    class_id = np.asarray(batch.sessions.class_id)
+    counts = np.bincount(class_id[class_id >= 0],
+                         minlength=len(batch.sessions.class_names))
+    return {name: float(c) for name, c
+            in zip(batch.sessions.class_names, counts)}
+
+
+class TestConsume:
+    def test_chunked_stream_counts_each_session_once(self, daemon,
+                                                     batch):
+        replay = ChunkedReplay(batch, 64)
+        for chunk in replay:
+            daemon.consume(chunk)
+        snapshot = daemon.snapshot()
+        errors = snapshot.estimate_errors(exact_counts(batch))
+        # 600 sessions in a 256x4 sketch: collisions are unlikely and
+        # one-sided; the chunked fold must agree with the exact
+        # per-class counts almost everywhere.
+        assert errors["l1_rel"] < 0.05
+        assert daemon.stats.chunks == replay.num_chunks
+        assert daemon.stats.packets == batch.num_packets
+        assert daemon.stats.sessions == batch.sessions.num_sessions
+
+    def test_round_robin_spreads_chunks(self, daemon, batch):
+        chunks = list(ChunkedReplay(batch, 64))
+        assert len(chunks) >= 3
+        for chunk in chunks:
+            daemon.consume(chunk)
+        assert all(worker.sessions > 0
+                   for worker in daemon.workers)
+
+    def test_resident_accounting_is_sketch_plus_chunk(self, daemon,
+                                                      batch):
+        chunks = list(ChunkedReplay(batch, 64))
+        for chunk in chunks:
+            daemon.consume(chunk)
+        biggest = max(chunk_resident_bytes(c) for c in chunks)
+        assert daemon.stats.max_resident_bytes <= \
+            daemon.sketch_bytes + biggest
+        # And far below the whole batch: the bound is the point.
+        assert daemon.stats.max_resident_bytes < \
+            daemon.sketch_bytes + chunk_resident_bytes(batch)
+
+    def test_snapshot_does_not_perturb_workers(self, daemon, batch):
+        chunk = next(iter(ChunkedReplay(batch, 64)))
+        daemon.consume(chunk)
+        before = [worker.sessions for worker in daemon.workers]
+        first = daemon.snapshot()
+        second = daemon.snapshot()
+        assert [w.sessions for w in daemon.workers] == before
+        assert np.array_equal(first.class_volumes(),
+                              second.class_volumes())
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            IngestDaemon(["x->y"], seed=1, workers=0)
+
+
+class TestStream:
+    def test_stream_is_lazy_and_paced(self, daemon, batch):
+        consumed = []
+
+        def chunk_feed():
+            for chunk in ChunkedReplay(batch, 64):
+                consumed.append(loop.now)
+                yield chunk
+
+        loop = EventLoop()
+        daemon.stream(loop, chunk_feed(), start=10.0, interval=2.0)
+        assert consumed == []  # nothing pulled before the loop runs
+        loop.run_until(10.0)
+        assert len(consumed) == 1
+        loop.run_all()
+        replay = ChunkedReplay(batch, 64)
+        assert daemon.stats.chunks == replay.num_chunks
+        # One chunk per firing, interval apart, starting at start.
+        assert daemon.stats.window_start == pytest.approx(10.0)
+        assert daemon.stats.window_end == pytest.approx(
+            10.0 + 2.0 * (replay.num_chunks - 1))
+        assert daemon.stats.packets_per_second() is not None
+
+    def test_interval_validation(self, daemon):
+        with pytest.raises(ValueError):
+            daemon.stream(EventLoop(), iter([]), interval=0.0)
+
+
+class TestEmit:
+    def test_emit_returns_estimated_matrix(self, daemon, batch,
+                                           line_state_dc):
+        emitted = []
+        daemon.on_estimate = emitted.append
+        for chunk in ChunkedReplay(batch, 128):
+            daemon.consume(chunk)
+        matrix = daemon.emit(list(line_state_dc.classes), scale=2.0)
+        assert isinstance(matrix, EstimatedTrafficMatrix)
+        assert emitted == [matrix]
+        assert daemon.stats.emits == 1
+        assert matrix.scale == pytest.approx(2.0)
+        assert matrix.sessions_observed == daemon.stats.sessions
+
+    def test_estimated_classes_match_template_order(self, daemon,
+                                                    batch,
+                                                    line_state_dc):
+        for chunk in ChunkedReplay(batch, 128):
+            daemon.consume(chunk)
+        template = list(line_state_dc.classes)
+        estimated = daemon.estimated_classes(template, scale=1.0)
+        assert [cls.name for cls in estimated] == \
+            [cls.name for cls in template]
+
+    def test_metrics_are_emitted(self, daemon, batch,
+                                 line_state_dc):
+        with use_registry(MetricsRegistry()) as metrics:
+            for chunk in ChunkedReplay(batch, 128):
+                daemon.consume(chunk, now=float(daemon.stats.chunks))
+            daemon.emit(list(line_state_dc.classes))
+            assert metrics.counter_value("ingest.chunks") > 0
+            assert metrics.counter_value("ingest.packets") == \
+                batch.num_packets
+            assert metrics.counter_value("ingest.emits") == 1
+            assert metrics.counter_value("sketch.merges") == \
+                len(daemon.workers)
+            assert metrics.gauge_value("ingest.resident_bytes") > 0
+
+
+class TestWindows:
+    def test_begin_window_resets_but_keeps_high_water(self, daemon,
+                                                      batch):
+        for chunk in ChunkedReplay(batch, 64):
+            daemon.consume(chunk)
+        high_water = daemon.stats.max_resident_bytes
+        assert high_water > 0
+        daemon.begin_window()
+        assert daemon.stats.chunks == 0
+        assert daemon.stats.sessions == 0
+        assert daemon.stats.max_resident_bytes == high_water
+        assert all(worker.sessions == 0 for worker in daemon.workers)
+        snapshot = daemon.snapshot()
+        assert int(snapshot.class_volumes().sum()) == 0

@@ -56,7 +56,7 @@ class TestScenarioSpec:
     def test_canned_registry(self):
         assert set(CANNED_SCENARIOS) == {
             "steady-drift", "flash-crowd", "cascading-failure",
-            "regional-failover"}
+            "regional-failover", "sketch-estimator"}
         for builder in CANNED_SCENARIOS.values():
             scenario = builder(epochs=3)
             assert scenario.epochs == 3

@@ -1,0 +1,104 @@
+"""Property tests for the count-min sketch (hypothesis).
+
+The invariants the estimator mode leans on:
+
+- merge is associative and commutative (worker order and merge tree
+  shape never change the aggregate);
+- estimates are one-sided (``estimate >= truth`` for every key);
+- the classic epsilon-delta bound holds even on adversarial key sets
+  (every overestimate is within ``epsilon * total`` with probability
+  ``>= 1 - delta`` per query, checked in aggregate).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import CountMinSketch
+
+
+streams = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    min_size=0, max_size=200)
+shapes = st.tuples(st.integers(min_value=4, max_value=64),
+                   st.integers(min_value=1, max_value=5),
+                   st.integers(min_value=0, max_value=1000))
+
+
+def _sketch_of(stream, width, depth, seed):
+    sketch = CountMinSketch(width, depth, seed=seed)
+    if stream:
+        sketch.update(np.array(stream, dtype=np.uint32))
+    return sketch
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, streams, shapes)
+def test_merge_commutes(left, right, shape):
+    width, depth, seed = shape
+    ab = _sketch_of(left, width, depth, seed).merge(
+        _sketch_of(right, width, depth, seed))
+    ba = _sketch_of(right, width, depth, seed).merge(
+        _sketch_of(left, width, depth, seed))
+    assert np.array_equal(ab.table, ba.table)
+    assert ab.total == ba.total
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, streams, streams, shapes)
+def test_merge_is_associative(a, b, c, shape):
+    width, depth, seed = shape
+
+    def sk(stream):
+        return _sketch_of(stream, width, depth, seed)
+
+    left_first = sk(a).merge(sk(b)).merge(sk(c))
+    right_first = sk(a).merge(sk(b).merge(sk(c)))
+    assert np.array_equal(left_first.table, right_first.table)
+    assert left_first.total == right_first.total
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, streams, shapes)
+def test_merge_equals_concatenated_stream(left, right, shape):
+    width, depth, seed = shape
+    merged = _sketch_of(left, width, depth, seed).merge(
+        _sketch_of(right, width, depth, seed))
+    whole = _sketch_of(left + right, width, depth, seed)
+    assert np.array_equal(merged.table, whole.table)
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams, shapes)
+def test_estimates_never_underestimate(stream, shape):
+    width, depth, seed = shape
+    sketch = _sketch_of(stream, width, depth, seed)
+    if not stream:
+        return
+    uniq, truth = np.unique(np.array(stream, dtype=np.uint32),
+                            return_counts=True)
+    assert np.all(sketch.estimate(uniq) >= truth)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=10_000))
+def test_epsilon_delta_bound_on_adversarial_keys(seed, key_base):
+    # Adversarial universe: 4096 consecutive keys (maximally regular
+    # structure) hammered into a narrow sketch. The classic bound —
+    # overestimate <= epsilon * total with probability >= 1 - delta
+    # per key — must still hold in aggregate, because lookup3's rows
+    # behave like independent hashes.
+    width, depth = 32, 4
+    sketch = CountMinSketch(width, depth, seed=seed)
+    keys = (np.arange(4096, dtype=np.uint64) + key_base).astype(
+        np.uint32)
+    sketch.update(keys)
+    estimates = sketch.estimate(keys)
+    overshoot = estimates - 1  # every key was inserted exactly once
+    bound = sketch.epsilon * sketch.total
+    failures = int(np.count_nonzero(overshoot > bound))
+    # Expected failure mass is delta * n; allow 3x slack so the test
+    # is a guardrail, not a coin flip.
+    allowed = max(8.0, 3.0 * sketch.delta * len(keys))
+    assert failures <= allowed
