@@ -1,0 +1,496 @@
+"""Project-wide symbol table and call graph (AST-only, best-effort).
+
+The per-file rules in :mod:`repro.analysis.rules` can see one module
+at a time; the concurrency pack needs to reason about the *runtime as
+a whole* — which callables execute as event-loop actions, and what
+those actions can reach. This module supplies the substrate:
+
+- :class:`ModuleSummary` — one module's symbol table: its dotted
+  name, every callable defined in it (functions, methods, nested
+  functions), and its module-level bindings.
+- :class:`CallGraph` — callables as nodes, resolved call sites as
+  edges, plus the set of *handler roots*: callables passed as the
+  action argument to ``schedule_at``/``schedule_in`` (named
+  functions, bound methods, lambdas, or ``functools.partial``
+  wrappers). :meth:`CallGraph.handler_reachable` closes the roots
+  over the edges — everything in that set can run in event-dispatch
+  context, which is the scope the RACE rules police.
+
+Resolution is deliberately conservative (an under-approximation):
+
+- bare names resolve to nested functions, then module-level
+  callables, then imports (via :class:`ImportMap`);
+- ``self.method()`` resolves within the enclosing class;
+- ``obj.method()`` on an arbitrary object resolves only when exactly
+  one class in the scanned project defines that method name —
+  ambiguous names produce no edge rather than false ones.
+
+Unresolvable calls (callbacks received as parameters, dynamic
+dispatch) simply drop off the graph; the dynamic half of the
+contract — ``repro racecheck`` — covers what static reachability
+cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: methods whose callable argument becomes an event-loop action
+SCHEDULE_METHODS = frozenset({"schedule_at", "schedule_in"})
+
+#: positional slot of the action argument in the schedule methods
+#: (``schedule_at(instant, action)`` / ``schedule_in(delay, action)``)
+_ACTION_ARG_INDEX = 1
+
+#: method calls that mutate their receiver in place
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "update",
+    "setdefault", "pop", "popleft", "popitem", "clear", "remove",
+    "discard", "sort", "reverse",
+})
+
+
+def module_name_from_path(posix_path: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/runtime/rollout.py`` -> ``repro.runtime.rollout``;
+    package ``__init__`` files collapse onto the package name. Paths
+    outside a ``src/`` layout (fixtures, tests) just use their own
+    directory structure, which keeps them distinct per directory.
+    """
+    path = posix_path
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    if path.endswith(".py"):
+        path = path[:-len(".py")]
+    parts = [part for part in path.split("/") if part]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclasses.dataclass
+class CallableInfo:
+    """One function, method, nested function, or scheduled lambda."""
+
+    qualname: str
+    module: str
+    file: str
+    lineno: int
+    class_name: Optional[str] = None
+
+    @property
+    def short_name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclasses.dataclass
+class ScheduleSite:
+    """One ``schedule_at``/``schedule_in`` call site."""
+
+    caller: str                 # qualname of the enclosing callable
+    method: str                 # schedule_at | schedule_in
+    module: str
+    file: str
+    lineno: int
+    time_expr: Optional[str]    # normalized timestamp expression
+    action_qualname: Optional[str]  # resolved action, when resolvable
+
+
+@dataclasses.dataclass
+class WriteSite:
+    """One write to module-scope mutable state from inside a
+    callable: a ``global``-declared rebind, a store through a
+    module-level binding (``REGISTRY[k] = v``, ``Cls.attr = v``), or
+    a mutating method call on one (``CACHE.append(x)``)."""
+
+    caller: str      # qualname of the writing callable
+    module: str
+    target: str      # the module-level name being written
+    file: str
+    lineno: int
+    kind: str        # "rebind" | "store" | "mutate"
+    allowed: bool = False   # pragma-suppressed at the write line
+
+
+@dataclasses.dataclass
+class _CallRef:
+    """An unresolved call edge recorded during the walk."""
+
+    caller: str
+    kind: str      # "qual" (absolute dotted path) | "method" (bare)
+    target: str
+
+
+class ModuleSummary:
+    """Symbol table for one parsed module."""
+
+    def __init__(self, module: str, file: str,
+                 tree: ast.Module) -> None:
+        from repro.analysis.rules.common import ImportMap
+
+        self.module = module
+        self.file = file
+        self.tree = tree
+        self.imports = ImportMap.from_tree(tree)
+        #: local dotted name ("ConfigChannel.send") -> CallableInfo
+        self.callables: Dict[str, CallableInfo] = {}
+        #: names bound at module top level (assignments + defs)
+        self.module_globals: Set[str] = set()
+        #: local class name -> set of method names
+        self.class_methods: Dict[str, Set[str]] = {}
+        self._collect_top_level()
+
+    def _collect_top_level(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign,
+                                 ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    for name in _target_names(target):
+                        self.module_globals.add(name)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self.module_globals.add(node.name)
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def normalize_expr(node: ast.expr) -> str:
+    """Whitespace-normalized source form of an expression, used to
+    detect textually-identical timestamp expressions across modules."""
+    return " ".join(ast.unparse(node).split())
+
+
+class _ModuleWalker(ast.NodeVisitor):
+    """Collects callables, call refs, and schedule sites for one
+    module, tracking the enclosing callable/class as it descends."""
+
+    def __init__(self, graph: "CallGraph",
+                 summary: ModuleSummary) -> None:
+        self.graph = graph
+        self.summary = summary
+        self._scope: List[str] = []        # local dotted name parts
+        self._class: List[str] = []        # enclosing class names
+        self._global_decls: List[Set[str]] = []  # per-function frames
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    @property
+    def _local_name(self) -> str:
+        return ".".join(self._scope)
+
+    @property
+    def _qualname(self) -> str:
+        if self._scope:
+            return f"{self.summary.module}.{self._local_name}"
+        return self.summary.module
+
+    def _register(self, name: str, lineno: int) -> CallableInfo:
+        local = ".".join([*self._scope, name])
+        info = CallableInfo(
+            qualname=f"{self.summary.module}.{local}",
+            module=self.summary.module,
+            file=self.summary.file,
+            lineno=lineno,
+            class_name=self._class[-1] if self._class else None)
+        self.summary.callables[local] = info
+        self.graph.callables[info.qualname] = info
+        return info
+
+    # -- definitions -------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.summary.class_methods.setdefault(node.name, set())
+        self._scope.append(node.name)
+        self._class.append(node.name)
+        self.generic_visit(node)
+        self._class.pop()
+        self._scope.pop()
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        info = self._register(name, node.lineno)
+        if self._class and info.class_name == self._class[-1]:
+            methods = self.summary.class_methods.setdefault(
+                self._class[-1], set())
+            methods.add(name)
+            self.graph.method_index.setdefault(name, set()).add(
+                info.qualname)
+        self._scope.append(name)
+        self._global_decls.append(set())
+        self.generic_visit(node)
+        self._global_decls.pop()
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    # -- module-state writes -----------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._global_decls:
+            self._global_decls[-1].update(node.names)
+            self.summary.module_globals.update(node.names)
+
+    def _record_write(self, target: str, lineno: int,
+                      kind: str) -> None:
+        self.graph.write_sites.append(WriteSite(
+            caller=self._qualname, module=self.summary.module,
+            target=target, file=self.summary.file, lineno=lineno,
+            kind=kind))
+
+    def _check_store_target(self, target: ast.expr) -> None:
+        if not self._global_decls:
+            return  # module/class level: import-time init, not a race
+        if isinstance(target, ast.Name):
+            if target.id in self._global_decls[-1]:
+                self._record_write(target.id, target.lineno, "rebind")
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if (root is not None and root != "self"
+                    and root in self.summary.module_globals):
+                self._record_write(root, target.lineno, "store")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    # -- call sites --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        caller = self._qualname
+        self._record_call_edge(caller, node.func)
+        method = _attr_or_name(node.func)
+        if method in SCHEDULE_METHODS:
+            self._record_schedule(caller, method, node)
+        if (self._global_decls
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS):
+            root = _root_name(node.func.value)
+            if (root is not None and root != "self"
+                    and root in self.summary.module_globals):
+                self._record_write(root, node.lineno, "mutate")
+        self.generic_visit(node)
+
+    def _record_call_edge(self, caller: str,
+                          func: ast.expr) -> None:
+        target = self._resolve_callable_expr(caller, func)
+        if target is not None:
+            kind, name = target
+            self.graph.call_refs.append(
+                _CallRef(caller=caller, kind=kind, target=name))
+
+    def _resolve_callable_expr(self, caller: str, func: ast.expr
+                               ) -> Optional[Tuple[str, str]]:
+        """Classify a callable expression into a resolvable ref.
+
+        Returns ``("qual", dotted)`` for a path checkable against the
+        graph, ``("method", name)`` for an attribute call needing the
+        unique-method index, or None for unresolvable expressions.
+        """
+        summary = self.summary
+        if isinstance(func, ast.Name):
+            # nearest enclosing scope first, then module level
+            parts = list(self._scope)
+            while True:
+                local = ".".join([*parts, func.id])
+                if local in summary.callables:
+                    return ("qual", f"{summary.module}.{local}")
+                if not parts:
+                    break
+                parts.pop()
+            qualified = summary.imports.qualify(func)
+            if qualified is not None and "." in qualified:
+                return ("qual", qualified)
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self" \
+                    and self._class:
+                return ("qual", f"{summary.module}."
+                                f"{self._class[-1]}.{func.attr}")
+            qualified = summary.imports.qualify(func)
+            if qualified is not None:
+                head = qualified.split(".", 1)[0]
+                if head not in ("self",) and (
+                        head in summary.imports.aliases
+                        or head in summary.module_globals):
+                    return ("qual", qualified)
+            return ("method", func.attr)
+        return None
+
+    # -- schedule sites ----------------------------------------------------
+
+    def _record_schedule(self, caller: str, method: str,
+                         node: ast.Call) -> None:
+        time_expr = None
+        if node.args:
+            time_expr = normalize_expr(node.args[0])
+        action = self._action_expr(node)
+        action_qualname = None
+        if action is not None:
+            action_qualname = self._resolve_action(caller, action)
+        self.graph.schedule_sites.append(ScheduleSite(
+            caller=caller, method=method,
+            module=self.summary.module, file=self.summary.file,
+            lineno=node.lineno, time_expr=time_expr,
+            action_qualname=action_qualname))
+        if action_qualname is not None:
+            self.graph.handler_roots.add(action_qualname)
+
+    @staticmethod
+    def _action_expr(node: ast.Call) -> Optional[ast.expr]:
+        if len(node.args) > _ACTION_ARG_INDEX:
+            return node.args[_ACTION_ARG_INDEX]
+        for keyword in node.keywords:
+            if keyword.arg == "action":
+                return keyword.value
+        return None
+
+    def _resolve_action(self, caller: str,
+                        action: ast.expr) -> Optional[str]:
+        if isinstance(action, ast.Lambda):
+            qualname = f"{caller}.<lambda@{action.lineno}>"
+            info = CallableInfo(
+                qualname=qualname, module=self.summary.module,
+                file=self.summary.file, lineno=action.lineno,
+                class_name=self._class[-1] if self._class else None)
+            self.graph.callables[qualname] = info
+            for sub in ast.walk(action.body):
+                if isinstance(sub, ast.Call):
+                    self._record_call_edge(qualname, sub.func)
+            return qualname
+        if isinstance(action, ast.Call):
+            # functools.partial(f, ...) schedules f
+            head = _attr_or_name(action.func)
+            if head == "partial" and action.args:
+                return self._resolve_action(caller, action.args[0])
+            return None
+        resolved = self._resolve_callable_expr(caller, action)
+        if resolved is None:
+            return None
+        kind, name = resolved
+        if kind == "qual":
+            return name
+        # bare-method action: defer to the unique-method index
+        self.graph.pending_handler_methods.add(name)
+        return None
+
+
+def _attr_or_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """The base variable of an attribute/subscript chain
+    (``REGISTRY["a"].total`` -> ``REGISTRY``)."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+class CallGraph:
+    """The whole-project callable graph, built module by module.
+
+    Feed every file through :meth:`add_module`, then call
+    :meth:`finalize` once; after that :attr:`edges`,
+    :attr:`handler_roots` and :meth:`handler_reachable` are valid.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.callables: Dict[str, CallableInfo] = {}
+        self.call_refs: List[_CallRef] = []
+        self.schedule_sites: List[ScheduleSite] = []
+        self.write_sites: List[WriteSite] = []
+        self.handler_roots: Set[str] = set()
+        self.pending_handler_methods: Set[str] = set()
+        self.method_index: Dict[str, Set[str]] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        self._finalized = False
+
+    def add_module(self, display_path: str,
+                   tree: ast.Module) -> ModuleSummary:
+        posix = display_path.replace("\\", "/")
+        module = module_name_from_path(posix)
+        summary = ModuleSummary(module, display_path, tree)
+        self.modules[module] = summary
+        _ModuleWalker(self, summary).visit(tree)
+        return summary
+
+    def finalize(self) -> None:
+        """Resolve recorded refs into edges (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for name in self.pending_handler_methods:
+            candidates = self.method_index.get(name, set())
+            if len(candidates) == 1:
+                self.handler_roots.add(next(iter(candidates)))
+        for ref in self.call_refs:
+            target: Optional[str] = None
+            if ref.kind == "qual":
+                target = self._existing(ref.target)
+            elif ref.kind == "method":
+                candidates = self.method_index.get(ref.target, set())
+                if len(candidates) == 1:
+                    target = next(iter(candidates))
+            if target is not None:
+                self.edges.setdefault(ref.caller, set()).add(target)
+
+    def _existing(self, qualname: str) -> Optional[str]:
+        """Map a dotted path onto a known callable, following a class
+        reference to its ``__init__`` when one exists."""
+        if qualname in self.callables:
+            return qualname
+        init = f"{qualname}.__init__"
+        if init in self.callables:
+            return init
+        return None
+
+    def handler_reachable(self) -> Set[str]:
+        """Every callable reachable from a scheduled action (the
+        roots themselves included). Requires :meth:`finalize`."""
+        self.finalize()
+        seen: Set[str] = set()
+        frontier = list(self.handler_roots)
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.edges.get(current, ()))
+        return seen

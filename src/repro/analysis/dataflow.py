@@ -1,0 +1,202 @@
+"""Seed-provenance taint analysis for the determinism contract.
+
+Every random draw in the reproducible layers must descend from
+``Scenario.seed``. The chain is carried by *naming convention* plus
+*local dataflow*: seeds travel through parameters, attributes and
+dict slots whose names say so (``seed``, ``hash_seed``,
+``drift_rng``, ...), and through arithmetic that mixes a rooted value
+(``scenario.seed * 7919 + 1``). This module decides, for any
+expression at any point in a module, whether its value is
+*seed-rooted* under that contract:
+
+- a :class:`Name` is rooted when it is seed-ish by name or was
+  assigned from a rooted expression anywhere in the enclosing scope
+  chain (a small fixed-point handles use-before-textual-def inside
+  loops);
+- an :class:`Attribute` / :class:`Subscript` is rooted when its
+  attribute / string key is seed-ish (``self.seed``,
+  ``manifest["hash_seed"]``) or its base object is rooted;
+- any compound expression (arithmetic, calls, containers,
+  conditionals) is rooted when *any* operand is — "derives from" is
+  deliberately an over-approximation, so the DET003 rule, which fires
+  on *un*-rooted seeds, errs toward silence.
+
+A literal constant is never rooted: ``default_rng(42)`` buried in a
+runtime module is exactly the hard-coded seed DET003 exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet, Iterator, List, Set, Tuple, Union
+
+#: identifier tokens that mark a value as part of the seed plumbing
+_SEED_TOKEN_RE = re.compile(
+    r"(?:^|_)(?:seed|seeds|rng|rngs)(?:_|$)", re.IGNORECASE)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: statements whose nested statements stay in the same variable scope
+_BLOCK_FIELDS = ("body", "orelse", "finalbody")
+
+
+def is_seed_name(name: str) -> bool:
+    """True when an identifier participates in seed plumbing by
+    naming convention (``seed``, ``hash_seed``, ``_tie_rng``, ...)."""
+    return _SEED_TOKEN_RE.search(name) is not None
+
+
+class SeedTaint:
+    """The rooted-name environment for one scope.
+
+    Build one per function (or module) with the names tainted by the
+    scope's parameters and assignments, then ask :meth:`rooted`
+    whether a given expression derives from the seed plumbing.
+    """
+
+    def __init__(self, tainted: FrozenSet[str]) -> None:
+        self.tainted = tainted
+
+    def rooted(self, expr: ast.expr) -> bool:
+        """Does ``expr`` derive from a seed-rooted value?"""
+        return _rooted(expr, self.tainted)
+
+
+def _rooted(expr: ast.expr, tainted: FrozenSet[str]) -> bool:
+    if isinstance(expr, ast.Constant):
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id in tainted or is_seed_name(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return (is_seed_name(expr.attr)
+                or _rooted(expr.value, tainted))
+    if isinstance(expr, ast.Subscript):
+        key = expr.slice
+        if (isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and is_seed_name(key.value)):
+            return True
+        return _rooted(expr.value, tainted)
+    # compound expressions: rooted when any operand is ("derives
+    # from" over-approximates, which biases DET003 toward silence)
+    return any(
+        _rooted(child, tainted)
+        for child in ast.iter_child_nodes(expr)
+        if isinstance(child, ast.expr))
+
+
+def _scope_params(node: Union[ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda]) -> Set[str]:
+    args = node.args
+    names = set()
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg))):
+        if is_seed_name(arg.arg):
+            names.add(arg.arg)
+    return names
+
+
+def _own_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope`` itself — descends through
+    compound statements but stops at nested function/class scopes."""
+    frontier: List[ast.stmt] = []
+    body = getattr(scope, "body", None)
+    if isinstance(body, list):
+        frontier.extend(body)
+    while frontier:
+        stmt = frontier.pop()
+        yield stmt
+        if isinstance(stmt, (*_SCOPE_NODES, ast.ClassDef)):
+            continue
+        for fieldname in _BLOCK_FIELDS:
+            block = getattr(stmt, fieldname, None)
+            if isinstance(block, list):
+                frontier.extend(block)
+        for handler in getattr(stmt, "handlers", ()) or ():
+            frontier.extend(handler.body)
+
+
+def _assignment_fixed_point(scope: ast.AST,
+                            tainted: Set[str]) -> FrozenSet[str]:
+    """Propagate taint through this scope's assignments until
+    stable (handles chains like ``a = seed; b = a * 3``)."""
+    assignments: List[Tuple[List[str], ast.expr]] = []
+    for stmt in _own_statements(scope):
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            names = [n for t in stmt.targets
+                     for n in _name_targets(t)]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = stmt.value
+            names = list(_name_targets(stmt.target))
+        elif isinstance(stmt, ast.AugAssign):
+            value = stmt.value
+            names = list(_name_targets(stmt.target))
+        elif (isinstance(stmt, (ast.For, ast.AsyncFor))
+                and isinstance(stmt.iter, ast.expr)):
+            value = stmt.iter
+            names = list(_name_targets(stmt.target))
+        else:
+            continue
+        if names:
+            assignments.append((names, value))
+    changed = True
+    while changed:
+        changed = False
+        frozen = frozenset(tainted)
+        for names, value in assignments:
+            if _rooted(value, frozen) and not set(names) <= tainted:
+                tainted.update(names)
+                changed = True
+    return frozenset(tainted)
+
+
+def _name_targets(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _name_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _name_targets(target.value)
+
+
+def scope_env(scope: ast.AST,
+              inherited: FrozenSet[str] = frozenset()) -> SeedTaint:
+    """The :class:`SeedTaint` environment for one scope: inherited
+    closure taint + seed-ish parameters + local assignment taint."""
+    tainted = set(inherited)
+    if isinstance(scope, _SCOPE_NODES):
+        tainted |= _scope_params(scope)
+    return SeedTaint(_assignment_fixed_point(scope, tainted))
+
+
+def iter_scoped_calls(tree: ast.Module
+                      ) -> Iterator[Tuple[SeedTaint, ast.Call]]:
+    """Yield ``(taint_env, call)`` for every call in the module, with
+    the environment of the innermost enclosing scope (closures
+    inherit the taint of every scope they are nested in)."""
+
+    def walk(scope: ast.AST, inherited: FrozenSet[str]
+             ) -> Iterator[Tuple[SeedTaint, ast.Call]]:
+        env = scope_env(scope, inherited)
+        body = getattr(scope, "body", None)
+        frontier: List[ast.AST] = (
+            list(body) if isinstance(body, list)
+            else [body] if isinstance(body, ast.expr) else [])
+        nested: List[ast.AST] = []
+        while frontier:
+            node = frontier.pop()
+            if isinstance(node, (*_SCOPE_NODES, ast.ClassDef)):
+                nested.append(node)
+                continue
+            if isinstance(node, ast.Call):
+                yield env, node
+            frontier.extend(ast.iter_child_nodes(node))
+        for child in nested:
+            child_inherited = (frozenset() if isinstance(
+                child, ast.ClassDef) else env.tainted)
+            yield from walk(child, child_inherited)
+
+    yield from walk(tree, frozenset())

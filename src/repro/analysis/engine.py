@@ -107,7 +107,7 @@ class FileContext:
         return self.display_path.replace("\\", "/")
 
     def allowed_rules(self, line: int) -> frozenset:
-        """Rule ids allowed by an inline pragma on ``line``.
+        """Rule ids allowed by an inline pragma covering ``line``.
 
         A pragma on a pure comment line also covers the following
         line, so long messages can carry their justification::
@@ -115,6 +115,15 @@ class FileContext:
             # Deliberate: the fold accepts any integer dtype.
             # repro-lint: allow[NUM002]
             arr = np.asarray(column)
+
+        Pragmas cover whole *statements*, not just their own line: a
+        pragma anywhere inside a multi-line statement suppresses a
+        finding anchored to any of its lines, and on a decorated
+        ``def`` a pragma on (or just above) a decorator covers the
+        ``def`` line findings anchor to. Compound statements
+        (``def``/``for``/``if``...) only spread pragmas across their
+        *header* — their bodies are separate statements with their
+        own spans.
         """
         if self._allowed is None:
             table: Dict[int, frozenset] = {}
@@ -129,8 +138,42 @@ class FileContext:
                 if text.lstrip().startswith("#"):
                     table[num + 1] = table.get(num + 1,
                                                frozenset()) | ids
+            for start, end in self._statement_spans():
+                span_ids = frozenset().union(*(
+                    table.get(num, frozenset())
+                    for num in range(start, end + 1)))
+                if not span_ids:
+                    continue
+                for num in range(start, end + 1):
+                    table[num] = table.get(num, frozenset()) | span_ids
             self._allowed = table
         return self._allowed.get(line, frozenset())
+
+    def _statement_spans(self) -> List[Tuple[int, int]]:
+        """(start, end) line ranges a pragma spreads across: full
+        spans for simple statements, decorators + header for
+        compound ones."""
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            body = getattr(node, "body", None)
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef, ast.ClassDef)):
+                start = min([node.lineno, *(
+                    decorator.lineno
+                    for decorator in node.decorator_list)])
+                end = max(node.lineno, node.body[0].lineno - 1)
+            elif isinstance(body, list) and body:
+                # other compound statements: header lines only
+                start = node.lineno
+                end = max(node.lineno, body[0].lineno - 1)
+            else:
+                start = node.lineno
+                end = node.end_lineno or node.lineno
+            if end > start:
+                spans.append((start, end))
+        return spans
 
     def is_allowed(self, rule_id: str, line: int) -> bool:
         allowed = self.allowed_rules(line)

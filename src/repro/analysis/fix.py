@@ -1,0 +1,117 @@
+"""Mechanical auto-fixes for lint findings (``repro lint --fix``).
+
+Only rules whose fix is purely syntactic are eligible; today that is
+HYG003 (unused module-level imports). The fixer re-derives unused
+aliases with the same logic as the rule — usage collection includes
+attribute roots and identifiers inside string annotations — so a fix
+pass followed by a scan is always clean for HYG003, and a second fix
+pass is a no-op (idempotence is pinned by a test).
+
+Pragma-suppressed statements (``# repro-lint: allow[HYG003]`` on any
+line of the import statement) and ``__init__.py`` re-export files
+are left untouched, mirroring the rule's own blind spots.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.analysis.engine import FileContext
+from repro.analysis.rules.hygiene import _UsageCollector, _dunder_all
+
+
+@dataclasses.dataclass
+class FixResult:
+    """Outcome of one file's fix pass."""
+
+    source: str
+    removed: List[str]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.removed)
+
+
+def fix_unused_imports(source: str,
+                       path: Optional[Path] = None) -> FixResult:
+    """Remove unused module-level import aliases from ``source``.
+
+    Import statements with every alias unused are deleted outright;
+    statements with a mix are rewritten keeping only the used
+    aliases. Returns the (possibly unchanged) source and the removed
+    alias names.
+    """
+    display = str(path) if path is not None else "<memory>"
+    if path is not None and path.name == "__init__.py":
+        return FixResult(source=source, removed=[])
+    tree = ast.parse(source, filename=display)
+    ctx = FileContext(path or Path(display), display, source, tree)
+
+    collector = _UsageCollector()
+    collector.visit(tree)
+    used = collector.names
+    exported = _dunder_all(tree)
+
+    lines = source.splitlines(keepends=True)
+    removed: List[str] = []
+    # (start_line, end_line, replacement-or-None), applied bottom-up
+    edits: List[Tuple[int, int, Optional[str]]] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            prefix = "import "
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            if any(alias.name == "*" for alias in node.names):
+                continue
+            dots = "." * node.level
+            prefix = f"from {dots}{node.module or ''} import "
+        else:
+            continue
+        if ctx.is_allowed("HYG003", node.lineno):
+            continue
+        kept = []
+        dropped = []
+        for alias in node.names:
+            if isinstance(node, ast.Import):
+                local = alias.asname or alias.name.split(".")[0]
+            else:
+                local = alias.asname or alias.name
+            if local in used or local in exported:
+                kept.append(alias)
+            else:
+                dropped.append(local)
+        if not dropped:
+            continue
+        removed.extend(dropped)
+        end = node.end_lineno or node.lineno
+        if not kept:
+            edits.append((node.lineno, end, None))
+            continue
+        first = lines[node.lineno - 1]
+        indent = first[:len(first) - len(first.lstrip())]
+        names = ", ".join(
+            f"{alias.name} as {alias.asname}" if alias.asname
+            else alias.name for alias in kept)
+        edits.append((node.lineno, end,
+                      f"{indent}{prefix}{names}\n"))
+
+    if not edits:
+        return FixResult(source=source, removed=[])
+    for start, end, replacement in sorted(edits, reverse=True):
+        tail = [] if replacement is None else [replacement]
+        lines[start - 1:end] = tail
+    return FixResult(source="".join(lines), removed=sorted(removed))
+
+
+def fix_file(path: Path) -> FixResult:
+    """Apply :func:`fix_unused_imports` to a file in place."""
+    source = path.read_text(encoding="utf-8")
+    result = fix_unused_imports(source, path=path)
+    if result.changed:
+        path.write_text(result.source, encoding="utf-8")
+    return result

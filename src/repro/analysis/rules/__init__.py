@@ -12,6 +12,11 @@ Rules are grouped by the invariant family they protect:
   plus the strict-typing scope gate.
 - :mod:`~repro.analysis.rules.sketches` (SKT) — mergeable,
   reproducibly-seeded streaming estimators.
+- :mod:`~repro.analysis.rules.concurrency` (RACE/ORD/DET003) —
+  schedule-race and seed-provenance hazards, built on the
+  project-wide :mod:`~repro.analysis.callgraph` and
+  :mod:`~repro.analysis.dataflow` layers; mirrored dynamically by
+  ``repro racecheck``.
 """
 
 from __future__ import annotations
@@ -20,6 +25,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.concurrency import (
+    CONCURRENCY_RULE_IDS,
+    HandlerSharedStateRule,
+    ScheduleCollisionRule,
+    ScheduledClosureRule,
+    SeedProvenanceRule,
+)
 from repro.analysis.rules.determinism import (
     UnseededRandomRule,
     WallClockRule,
@@ -43,11 +55,16 @@ from repro.analysis.rules.sketches import SketchSeedRule
 
 __all__ = [
     "BuildModelInLoopRule",
+    "CONCURRENCY_RULE_IDS",
     "FloatEqualityRule",
+    "HandlerSharedStateRule",
     "HashDtypeRule",
     "MemmapDtypeRule",
     "MetricsDocRule",
     "MutableDefaultRule",
+    "ScheduleCollisionRule",
+    "ScheduledClosureRule",
+    "SeedProvenanceRule",
     "SketchSeedRule",
     "StrictAnnotationRule",
     "UnseededRandomRule",
@@ -78,4 +95,8 @@ def default_rules(project_root: Optional[Path] = None) -> List[Rule]:
         StrictAnnotationRule(),
         SketchSeedRule(),
         MetricsDocRule(doc_path),
+        HandlerSharedStateRule(),
+        ScheduledClosureRule(),
+        ScheduleCollisionRule(),
+        SeedProvenanceRule(),
     ]

@@ -1,0 +1,446 @@
+"""Concurrency & determinism rules (RACE/ORD/DET003): schedule-race
+and seed-provenance hazards in the event-driven runtime.
+
+The event loop is single-threaded, so these are not data races in
+the pthread sense — they are *ordering* races: behaviors that change
+when two same-timestamp events swap places. The seq tie-break keeps
+such code reproducible today, but only by accident of insertion
+order; ``repro racecheck`` (the dynamic verifier) shuffles
+same-instant events with :class:`~repro.runtime.events.PerturbedEventLoop`
+and this pack is its static mirror — every rule here names a hazard
+the perturbation replays would surface as a fingerprint divergence.
+
+- RACE001 — module-scope mutable state written from two or more
+  event-handler callables (callables reachable from an action passed
+  to ``schedule_at``/``schedule_in``, per the project
+  :class:`~repro.analysis.callgraph.CallGraph`). Last-writer-wins
+  depends on dispatch order; route the mutation through one owner.
+- RACE002 — a closure scheduled onto the loop captures a loop
+  variable (classic late binding: every firing sees the final
+  iteration) or a local that is rebound after the schedule call.
+- ORD001 — two modules schedule at the *textually identical*
+  timestamp expression; whichever fires first is decided solely by
+  ``seq`` insertion order, i.e. by import/iteration accidents.
+- DET003 — an RNG construction or seed-ish keyword argument whose
+  value does not derive from the scenario seed (see
+  :mod:`repro.analysis.dataflow`); hard-coded or ambient seeds break
+  the single-root provenance the fingerprint contract assumes.
+
+RACE001 and ORD001 are :class:`ProjectRule`\\ s: they accumulate
+sites during the walk and conclude in ``finalize()``. Because
+finalize findings bypass the engine's inline-pragma filter, both
+rules record each site's pragma state while the file context is
+still in hand and filter manually.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    SCHEDULE_METHODS,
+    module_name_from_path,
+    normalize_expr,
+)
+from repro.analysis.dataflow import is_seed_name, iter_scoped_calls
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+)
+from repro.analysis.rules.common import ImportMap, path_in_scope
+
+#: every rule this pack ships (the racecheck static cross-check and
+#: the CI self-scan run exactly this set)
+CONCURRENCY_RULE_IDS = ("RACE001", "RACE002", "ORD001", "DET003")
+
+#: modules whose event-dispatch behavior feeds scenario fingerprints
+RUNTIME_SCOPE = ("/runtime/", "/simulation/", "/ingest/")
+
+#: modules whose seeds must descend from Scenario.seed
+SEED_SCOPE = ("/runtime/", "/simulation/", "/ingest/", "/sketch/")
+
+#: RNG constructors whose first argument is the seed
+_RNG_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class HandlerSharedStateRule(ProjectRule):
+    """RACE001 — module-scope state written by several handlers."""
+
+    rule_id = "RACE001"
+    title = "shared module state written from multiple event handlers"
+
+    def __init__(self,
+                 scope: Sequence[str] = RUNTIME_SCOPE) -> None:
+        self.scope = tuple(scope)
+        self.graph = CallGraph()
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        before = len(self.graph.write_sites)
+        self.graph.add_module(ctx.display_path, ctx.tree)
+        for site in self.graph.write_sites[before:]:
+            site.allowed = ctx.is_allowed(self.rule_id, site.lineno)
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        reachable = self.graph.handler_reachable()
+        grouped: Dict[Tuple[str, str], List] = {}
+        for site in self.graph.write_sites:
+            posix = site.file.replace("\\", "/")
+            if not path_in_scope(posix, self.scope):
+                continue
+            if site.caller in reachable:
+                grouped.setdefault((site.module, site.target),
+                                   []).append(site)
+        for (_, target), sites in sorted(grouped.items()):
+            writers = sorted({site.caller for site in sites})
+            if len(writers) < 2:
+                continue
+            writer_names = ", ".join(
+                w.rsplit(".", 2)[-1] if "<" in w
+                else ".".join(w.rsplit(".", 2)[-2:])
+                for w in writers)
+            for site in sites:
+                if site.allowed:
+                    continue
+                yield Finding(
+                    self.rule_id, self.severity, site.file,
+                    site.lineno,
+                    f"module state {target!r} is written from "
+                    f"{len(writers)} event-handler callables "
+                    f"({writer_names}); same-instant dispatch order "
+                    "decides the final value — give the state a "
+                    "single owning handler or route updates through "
+                    "the EventLoop")
+
+
+class ScheduledClosureRule(Rule):
+    """RACE002 — scheduled closures capturing unstable locals."""
+
+    rule_id = "RACE002"
+    title = "scheduled closure captures a loop variable or rebound local"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._scan_scope(ctx, ctx.tree, [])
+
+    def _scan_scope(self, ctx: FileContext, scope: ast.AST,
+                    loop_stack: List[Set[str]]
+                    ) -> Iterable[Finding]:
+        local_defs = _local_functions(scope)
+        rebinds = _local_rebind_lines(scope)
+        for call, loops in _scoped_schedule_calls(scope, loop_stack):
+            action = _action_expr(call)
+            if action is None:
+                continue
+            captured = self._captured_names(action, local_defs)
+            if captured is None:
+                continue
+            hazard: Set[str] = set()
+            for loop_names in loops:
+                hazard |= loop_names
+            late = sorted(captured & hazard)
+            for name in late:
+                yield self.finding(
+                    ctx, call.lineno,
+                    f"scheduled closure captures loop variable "
+                    f"{name!r} by reference; every firing sees the "
+                    "final iteration's value — bind it at schedule "
+                    f"time (e.g. a default argument {name}={name})")
+            if not late:
+                stale = sorted(
+                    name for name in captured
+                    if any(line > call.lineno
+                           for line in rebinds.get(name, ())))
+                for name in stale:
+                    yield self.finding(
+                        ctx, call.lineno,
+                        f"scheduled closure captures {name!r}, which "
+                        "is rebound after this schedule call; the "
+                        "action will observe the later value — "
+                        "bind the current value explicitly")
+        for nested in _nested_scopes(scope):
+            yield from self._scan_scope(ctx, nested, [])
+
+    @staticmethod
+    def _captured_names(action: ast.expr,
+                        local_defs: Dict[str, ast.AST]
+                        ) -> Optional[Set[str]]:
+        if isinstance(action, ast.Lambda):
+            return _free_names(action)
+        if isinstance(action, ast.Name) and action.id in local_defs:
+            return _free_names(local_defs[action.id])
+        return None
+
+
+class ScheduleCollisionRule(ProjectRule):
+    """ORD001 — identical schedule_at timestamps across modules."""
+
+    rule_id = "ORD001"
+    title = "cross-module schedule_at at an identical timestamp"
+
+    def __init__(self) -> None:
+        # normalized time expression -> list of recorded sites
+        self._sites: Dict[str, List[Tuple[str, str, int, bool]]] = {}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        module = module_name_from_path(ctx.posix_path)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name)
+                    else None)
+            if name != "schedule_at":
+                continue
+            key = normalize_expr(node.args[0])
+            self._sites.setdefault(key, []).append(
+                (module, ctx.display_path, node.lineno,
+                 ctx.is_allowed(self.rule_id, node.lineno)))
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        for key, sites in sorted(self._sites.items()):
+            modules = {module for module, _, _, _ in sites}
+            if len(modules) < 2:
+                continue
+            for module, file, lineno, allowed in sites:
+                if allowed:
+                    continue
+                others = sorted(
+                    f"{other_file}:{other_line}"
+                    for other_module, other_file, other_line, _
+                    in sites if other_module != module)
+                yield Finding(
+                    self.rule_id, self.severity, file, lineno,
+                    f"schedule_at({key}) collides with the same "
+                    f"timestamp expression in {', '.join(others)}; "
+                    "which fires first is decided by seq insertion "
+                    "order — stagger the instants or fold both into "
+                    "one scheduling site")
+
+
+class SeedProvenanceRule(Rule):
+    """DET003 — seeds that do not descend from the scenario seed."""
+
+    rule_id = "DET003"
+    title = "RNG/sketch seed not derived from the scenario seed"
+
+    def __init__(self, scope: Sequence[str] = SEED_SCOPE) -> None:
+        self.scope = tuple(scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not path_in_scope(ctx.posix_path, self.scope):
+            return
+        imports = ImportMap.from_tree(ctx.tree)
+        for env, call in iter_scoped_calls(ctx.tree):
+            handled = set()
+            qualified = imports.qualify(call.func)
+            if qualified in _RNG_CONSTRUCTORS:
+                seed_expr: Optional[ast.expr] = None
+                if call.args:
+                    seed_expr = call.args[0]
+                else:
+                    for keyword in call.keywords:
+                        if keyword.arg == "seed":
+                            seed_expr = keyword.value
+                            handled.add(id(keyword))
+                if seed_expr is not None \
+                        and not env.rooted(seed_expr):
+                    yield self.finding(
+                        ctx, call.lineno,
+                        f"{qualified}(...) is seeded with a value "
+                        "whose provenance does not reach the "
+                        "scenario seed; derive it from "
+                        "Scenario.seed (or a seed-named parameter/"
+                        "attribute) so replays stay single-rooted")
+            for keyword in call.keywords:
+                if id(keyword) in handled:
+                    continue
+                if (keyword.arg is None
+                        or not is_seed_name(keyword.arg)):
+                    continue
+                if not env.rooted(keyword.value):
+                    yield self.finding(
+                        ctx, call.lineno,
+                        f"keyword {keyword.arg}= receives a value "
+                        "whose provenance does not reach the "
+                        "scenario seed; thread the seed from "
+                        "Scenario.seed instead of a constant or "
+                        "ambient value")
+
+
+# -- RACE002 helpers ---------------------------------------------------------
+
+
+def _action_expr(call: ast.Call) -> Optional[ast.expr]:
+    if len(call.args) > 1:
+        return call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "action":
+            return keyword.value
+    return None
+
+
+def _nested_scopes(scope: ast.AST) -> List[ast.AST]:
+    """Function/lambda scopes one nesting level inside ``scope``
+    (class bodies are transparent: methods count as nested here)."""
+    found: List[ast.AST] = []
+    frontier = _scope_children(scope)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, _SCOPE_NODES):
+            found.append(node)
+            continue
+        frontier.extend(ast.iter_child_nodes(node))
+    return found
+
+
+def _scope_children(scope: ast.AST) -> List[ast.AST]:
+    body = getattr(scope, "body", None)
+    if isinstance(body, list):
+        return list(body)
+    if isinstance(body, ast.expr):
+        return [body]
+    return []
+
+
+def _scoped_schedule_calls(scope: ast.AST,
+                           loop_stack: List[Set[str]]
+                           ) -> List[Tuple[ast.Call, List[Set[str]]]]:
+    """``schedule_*`` calls in ``scope`` (excluding nested function
+    scopes), each paired with the loop-variable sets of the loops
+    enclosing it at that point."""
+    calls: List[Tuple[ast.Call, List[Set[str]]]] = []
+
+    def descend(node: ast.AST, loops: List[Set[str]]) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name)
+                    else None)
+            if name in SCHEDULE_METHODS:
+                calls.append((node, list(loops)))
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            names = set(_loop_target_names(node.target))
+            names |= _assigned_names(node.body)
+            for child in (*node.body, *node.orelse):
+                descend(child, [*loops, names])
+            descend(node.iter, loops)
+            return
+        if isinstance(node, ast.While):
+            names = _assigned_names(node.body)
+            for child in (*node.body, *node.orelse):
+                descend(child, [*loops, names])
+            descend(node.test, loops)
+            return
+        for child in ast.iter_child_nodes(node):
+            descend(child, loops)
+
+    for child in _scope_children(scope):
+        descend(child, list(loop_stack))
+    return calls
+
+
+def _loop_target_names(target: ast.expr) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+    return names
+
+
+def _assigned_names(body: Sequence[ast.stmt]) -> Set[str]:
+    """Names rebound by plain assignments inside a loop body
+    (excluding nested function scopes)."""
+    names: Set[str] = set()
+    frontier: List[ast.AST] = list(body)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, (*_SCOPE_NODES, ast.ClassDef)):
+            continue
+        if isinstance(node, (ast.Assign, ast.AnnAssign,
+                             ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                names.update(_loop_target_names(target))
+        frontier.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _local_functions(scope: ast.AST) -> Dict[str, ast.AST]:
+    """Named functions defined directly in ``scope``'s statement
+    body (the candidates a bare-name action can refer to)."""
+    defs: Dict[str, ast.AST] = {}
+    frontier = _scope_children(scope)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs[node.name] = node
+            continue
+        if isinstance(node, (*_SCOPE_NODES, ast.ClassDef)):
+            continue
+        frontier.extend(ast.iter_child_nodes(node))
+    return defs
+
+
+def _local_rebind_lines(scope: ast.AST) -> Dict[str, List[int]]:
+    """Line numbers at which each local name is (re)assigned inside
+    ``scope`` (nested scopes excluded)."""
+    lines: Dict[str, List[int]] = {}
+    frontier = _scope_children(scope)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, (*_SCOPE_NODES, ast.ClassDef)):
+            continue
+        if isinstance(node, (ast.Assign, ast.AnnAssign,
+                             ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                for name in _loop_target_names(target):
+                    lines.setdefault(name, []).append(node.lineno)
+        frontier.extend(ast.iter_child_nodes(node))
+    return lines
+
+
+def _free_names(func: ast.AST) -> Set[str]:
+    """Loaded names in a function/lambda body that it neither binds
+    as a parameter nor assigns locally — its captured environment."""
+    if isinstance(func, ast.Lambda):
+        bodies: List[ast.AST] = [func.body]
+    else:
+        bodies = list(getattr(func, "body", []))
+    params: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *filter(None, (args.vararg, args.kwarg))):
+            params.add(arg.arg)
+    loaded: Set[str] = set()
+    bound: Set[str] = set(params)
+    frontier: List[ast.AST] = list(bodies)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+            else:
+                bound.add(node.id)
+        # doubly-nested scopes are folded in wholesale: their frees
+        # still flow through this closure, and their locals landing
+        # in ``bound`` only ever hides a name (no false positives)
+        frontier.extend(ast.iter_child_nodes(node))
+    return loaded - bound

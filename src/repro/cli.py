@@ -396,6 +396,43 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rules", default=None, metavar="IDS",
                       help="comma-separated rule ids to run "
                            "(default: all)")
+    lint.add_argument("--fix", action="store_true",
+                      help="auto-fix mechanical findings in place "
+                           "(HYG003 unused imports) before scanning")
+    lint.add_argument("--check-baseline", action="store_true",
+                      help="fail when the baseline contains entries "
+                           "that no longer fire, so suppressions "
+                           "cannot rot")
+
+    racecheck = sub.add_parser(
+        "racecheck",
+        help="replay canned scenarios under schedule-perturbation "
+             "seeds and assert fingerprint invariance (the dynamic "
+             "side of the RACE/ORD lint rules)")
+    racecheck.add_argument("scenarios", nargs="*", metavar="NAME",
+                           help="canned scenario names (default: "
+                                "all)")
+    racecheck.add_argument("--seeds", type=int, default=8,
+                           help="number of perturbation seeds "
+                                "(default: 8)")
+    racecheck.add_argument("--seed-base", type=int, default=0,
+                           help="offset for the derived perturbation "
+                                "seeds")
+    racecheck.add_argument("--epochs", type=int, default=None,
+                           help="override every scenario's epoch "
+                                "count (smoke runs)")
+    racecheck.add_argument("--topology", default=None,
+                           help="override every scenario's topology "
+                                "(e.g. tinet for smoke runs)")
+    racecheck.add_argument("--json", default=None, metavar="PATH",
+                           help="write the invariance report as "
+                                "JSON to PATH ('-' for stdout)")
+    racecheck.add_argument("--static", action="store_true",
+                           help="also run the RACE/ORD/DET003 "
+                                "static rules over src/ and embed "
+                                "the findings in the report")
+    racecheck.add_argument("--quiet", action="store_true",
+                           help="suppress per-replay progress lines")
     return parser
 
 
@@ -994,6 +1031,21 @@ def _cmd_lint(args) -> int:
               file=sys.stderr)
         return 2
 
+    if args.fix:
+        from repro.analysis import fix_file, iter_python_files
+
+        fixed_files = 0
+        removed_total = 0
+        for file_path in iter_python_files(paths):
+            result = fix_file(file_path)
+            if result.changed:
+                fixed_files += 1
+                removed_total += len(result.removed)
+                names = ", ".join(result.removed)
+                print(f"fixed {file_path}: removed {names}")
+        print(f"--fix removed {removed_total} unused import(s) "
+              f"across {fixed_files} file(s)")
+
     rule_ids = (None if args.rules is None
                 else [r.strip() for r in args.rules.split(",")])
     engine = LintEngine(project_root=project_root, rule_ids=rule_ids)
@@ -1028,7 +1080,69 @@ def _cmd_lint(args) -> int:
               f"baseline): {key}", file=sys.stderr)
     errors = sum(1 for f in findings
                  if f.severity is Severity.ERROR)
+    if args.check_baseline and stale:
+        print(f"error: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} no longer "
+              "fire(s); remove them (repro lint --write-baseline "
+              "regenerates the file)", file=sys.stderr)
+        return 1
     return 1 if errors else 0
+
+
+def _cmd_racecheck(args) -> int:
+    from pathlib import Path
+
+    from repro.runtime.racecheck import (
+        concurrency_findings,
+        racecheck_canned,
+    )
+
+    progress = None
+    if not args.quiet:
+        def progress(message: str) -> None:
+            print(f"  {message}", file=sys.stderr)
+
+    try:
+        report = racecheck_canned(
+            names=args.scenarios or None, seeds=args.seeds,
+            seed_base=args.seed_base, epochs=args.epochs,
+            topology=args.topology, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.static:
+        project_root = Path(__file__).resolve().parents[2]
+        report.static_findings = concurrency_findings(project_root)
+
+    payload = report.to_json()
+    if args.json == "-":
+        print(payload)
+    elif args.json is not None:
+        Path(args.json).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote racecheck report to {args.json}")
+    if args.json != "-":
+        rows = []
+        for result in report.scenarios:
+            status = ("invariant" if result.invariant else
+                      f"DIVERGED under seeds {result.divergent_seeds}")
+            rows.append([result.name, result.topology,
+                         str(result.epochs),
+                         result.baseline_fingerprint[:12], status])
+        print(format_table(
+            ["Scenario", "Topology", "Epochs", "Fingerprint",
+             f"Across {len(report.seeds)} perturbation seeds"],
+            rows, title="schedule-perturbation racecheck"))
+        if report.static_findings is not None:
+            print(f"static RACE/ORD/DET003 findings: "
+                  f"{len(report.static_findings)}")
+    if not report.all_invariant:
+        print("error: scenario fingerprints diverged under "
+              "schedule perturbation — a same-timestamp ordering "
+              "race is live (cross-check the RACE/ORD lint rules)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -1069,6 +1183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "racecheck":
+        return _cmd_racecheck(args)
     return _cmd_experiment(args)
 
 

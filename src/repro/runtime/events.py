@@ -15,6 +15,16 @@ Determinism contract: given the same sequence of ``schedule`` calls
 order on every run. All randomness in the runtime layer (channel
 delays, loss, traffic drift) is drawn from seeded generators *inside*
 event actions, so the contract extends to entire scenario runs.
+
+The seq tie-break is also a *liability*: any observable that changes
+when two same-instant events swap places is a latent schedule race —
+reproducible today only because insertion order happens to be stable.
+:class:`PerturbedEventLoop` makes that hazard testable: it replaces
+the seq tie-break with a seeded random one, permuting same-timestamp
+events while leaving the time order untouched. ``repro racecheck``
+replays every canned scenario under several perturbation seeds and
+asserts fingerprint invariance; the static side of the same contract
+is the RACE/ORD rule pack in :mod:`repro.analysis.rules.concurrency`.
 """
 
 from __future__ import annotations
@@ -23,6 +33,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+import numpy as np
 
 Action = Callable[[], None]
 
@@ -51,35 +63,60 @@ class SimClock:
 class Event:
     """One scheduled action.
 
-    Ordering is (time, seq): two events at the same instant fire in
-    the order they were scheduled, which is what makes replays
-    bit-reproducible.
+    Ordering is (time, tie, seq): two events at the same instant fire
+    in the order they were scheduled (``tie`` is 0.0 for every event
+    in the standard queue), which is what makes replays
+    bit-reproducible. A :class:`PerturbedEventQueue` assigns seeded
+    random ``tie`` values instead, permuting same-instant events to
+    expose schedule races.
     """
 
     time: float
+    tie: float
     seq: int
     action: Action = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                           repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; the loop skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancel()
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    ``len()`` and :meth:`peek_time` see only *live* events: a
+    cancelled event no longer counts toward the queue's length and
+    never surfaces as the next-event time, even while its heap entry
+    is still buried awaiting lazy removal.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+
+    def _tie_break(self) -> float:
+        """Tie value for the next pushed event (0.0 = insertion
+        order; see :class:`PerturbedEventQueue`)."""
+        return 0.0
 
     def push(self, time: float, action: Action) -> Event:
-        event = Event(time=float(time), seq=next(self._seq),
-                      action=action)
+        event = Event(time=float(time), tie=self._tie_break(),
+                      seq=next(self._seq), action=action, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -93,8 +130,30 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
                 return event
         return None
+
+
+class PerturbedEventQueue(EventQueue):
+    """An :class:`EventQueue` that permutes same-timestamp events.
+
+    Every push draws the event's ``tie`` from a seeded generator, so
+    events sharing an instant pop in a seed-determined shuffle rather
+    than insertion order (strict time order is untouched, and ``seq``
+    still breaks the measure-zero tie-of-ties). Two queues built with
+    the same seed replay identically; different seeds explore
+    different legal schedules — the runtime's determinism contract
+    says every observable fingerprint must be invariant across all of
+    them.
+    """
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self._tie_rng = np.random.default_rng(seed)
+
+    def _tie_break(self) -> float:
+        return float(self._tie_rng.random())
 
 
 class EventLoop:
@@ -157,3 +216,19 @@ class EventLoop:
                 f"event loop exceeded {max_events} events")
         self.events_fired += fired
         return fired
+
+
+class PerturbedEventLoop(EventLoop):
+    """An :class:`EventLoop` over a :class:`PerturbedEventQueue`.
+
+    Drop-in replacement used by the schedule-perturbation verifier
+    (``repro racecheck``): same clock, same scheduling API, but
+    same-instant events dispatch in a seed-determined permutation.
+    A scenario whose fingerprint changes under any perturbation seed
+    depends on the seq tie-break — a schedule race.
+    """
+
+    def __init__(self, seed: int, start: float = 0.0) -> None:
+        super().__init__(start)
+        self.perturb_seed = int(seed)
+        self.queue = PerturbedEventQueue(seed)

@@ -37,6 +37,7 @@ transient windows.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -88,26 +89,46 @@ class ChannelSpec:
             raise ValueError("retransmit_timeout must be positive")
 
 
+#: stable per-kind indices for the keyed message RNG (enum definition
+#: order; appending new kinds keeps old keys stable)
+_KIND_INDEX = {kind: index for index, kind in enumerate(MessageKind)}
+
+
 class ConfigChannel:
     """Seeded message transport between controller and agents.
 
-    All randomness (latency draws, loss coin-flips) comes from one
-    ``numpy`` generator consumed in event order, so a scenario replay
-    with the same seed produces the identical delivery schedule.
+    All randomness (latency draws, loss coin-flips) is *keyed*, not
+    streamed: every ``(message, attempt)`` derives its own generator
+    from ``(channel seed, node, version, kind, attempt)``, counter-mode
+    style. A shared generator consumed in dispatch order would make
+    delivery schedules depend on how same-timestamp events happen to
+    be ordered — exactly the seq-tie-break race ``repro racecheck``
+    perturbs for — whereas keyed draws give every retransmission the
+    same coin flips no matter which of its same-instant siblings fired
+    first. Replays with the same channel seed produce the identical
+    delivery schedule under *any* legal event ordering.
     """
 
     def __init__(self, spec: ChannelSpec, seed: int = 0) -> None:
         self.spec = spec
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
         self.sent = 0
         self.lost = 0
         self.retransmits = 0
 
-    def _latency(self) -> float:
+    def _message_rng(self, message: ConfigMessage,
+                     attempt: int) -> np.random.Generator:
+        """The keyed generator for one delivery attempt."""
+        node_key = zlib.crc32(message.node.encode("utf-8"))
+        return np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, node_key, message.version,
+             _KIND_INDEX[message.kind], attempt])
+
+    def _latency(self, rng: np.random.Generator) -> float:
         if self.spec.jitter <= 0:
             return self.spec.base_delay
         return self.spec.base_delay + float(
-            self._rng.uniform(0.0, self.spec.jitter))
+            rng.uniform(0.0, self.spec.jitter))
 
     def send(self, loop: EventLoop, agent: NodeAgent,
              message: ConfigMessage,
@@ -123,9 +144,14 @@ class ConfigChannel:
             self.retransmits += 1
             get_registry().inc("runtime.channel.retransmits")
 
+        # All three draws happen up front from the keyed stream so a
+        # delivery's fate is fixed at send time, independent of how
+        # same-instant events interleave.
+        rng = self._message_rng(message, _attempt)
         dropped = (self.spec.loss > 0 and
-                   float(self._rng.random()) < self.spec.loss)
-        latency = self._latency()
+                   float(rng.random()) < self.spec.loss)
+        latency = self._latency(rng)
+        ack_latency = self._latency(rng)
 
         def _retry() -> None:
             if _attempt < self.spec.max_retries:
@@ -143,7 +169,6 @@ class ConfigChannel:
             if ack is None:  # dead node: wait and re-send
                 loop.schedule_in(self.spec.retransmit_timeout, _retry)
                 return
-            ack_latency = self._latency()
             loop.schedule_in(ack_latency, lambda: on_ack(ack))
 
         loop.schedule_in(latency, _deliver)

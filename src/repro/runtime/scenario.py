@@ -340,11 +340,18 @@ def _emulation_configs(state_nodes: Sequence[str],
 
 
 def run_scenario(scenario: Scenario,
-                 workdir: Optional[Path] = None) -> ScenarioReport:
+                 workdir: Optional[Path] = None,
+                 loop_factory: Optional[Callable[[], EventLoop]] = None
+                 ) -> ScenarioReport:
     """Play a scenario over simulated time; returns the timeline.
 
     The run is seeded end to end: traffic drift, channel latency/loss
     draws, and epoch traces all derive from ``scenario.seed``.
+
+    ``loop_factory`` substitutes the event loop — the schedule
+    perturbation verifier (``repro racecheck``) passes a
+    :class:`~repro.runtime.events.PerturbedEventLoop` builder here to
+    replay the same scenario under permuted same-instant event orders.
 
     In estimator mode (``scenario.estimator == "sketch"``) each
     epoch's trace is packed into a zero-copy
@@ -355,18 +362,20 @@ def run_scenario(scenario: Scenario,
     resident trace/traffic state stays O(sketch + chunk).
     """
     if scenario.estimator is None:
-        return _run_scenario(scenario, None)
+        return _run_scenario(scenario, None, loop_factory)
     if workdir is not None:
         path = Path(workdir)
         path.mkdir(parents=True, exist_ok=True)
-        return _run_scenario(scenario, path)
+        return _run_scenario(scenario, path, loop_factory)
     with tempfile.TemporaryDirectory(
             prefix="repro-estimator-") as tmp:
-        return _run_scenario(scenario, Path(tmp))
+        return _run_scenario(scenario, Path(tmp), loop_factory)
 
 
 def _run_scenario(scenario: Scenario,
-                  trace_dir: Optional[Path]) -> ScenarioReport:
+                  trace_dir: Optional[Path],
+                  loop_factory: Optional[Callable[[], EventLoop]] = None
+                  ) -> ScenarioReport:
     from repro.experiments.common import setup_topology
     from repro.simulation.emulation import Emulation
     from repro.simulation.tracegen import TraceGenerator, TraceSpec
@@ -380,7 +389,7 @@ def _run_scenario(scenario: Scenario,
     baseline_state = setup.state
     baseline_classes = list(baseline_state.classes)
 
-    loop = EventLoop()
+    loop = EventLoop() if loop_factory is None else loop_factory()
     channel = ConfigChannel(scenario.channel,
                             seed=scenario.seed * 7919 + 1)
     driver = RolloutDriver(channel, scenario.strategy)

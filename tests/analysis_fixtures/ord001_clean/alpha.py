@@ -1,0 +1,9 @@
+"""ORD001 clean half A: distinct instant from beta's."""
+
+
+def start(loop, epoch):
+    loop.schedule_at(epoch * 300.0, refresh)
+
+
+def refresh():
+    pass

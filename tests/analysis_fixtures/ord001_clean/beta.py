@@ -1,0 +1,9 @@
+"""ORD001 clean half B: staggered after alpha's instant."""
+
+
+def start(loop, epoch):
+    loop.schedule_at(epoch * 300.0 + 1.5, rollout)
+
+
+def rollout():
+    pass

@@ -1,0 +1,9 @@
+"""ORD001 trigger half A: schedules at epoch * 300.0, as does beta."""
+
+
+def start(loop, epoch):
+    loop.schedule_at(epoch * 300.0, refresh)
+
+
+def refresh():
+    pass

@@ -1,0 +1,10 @@
+"""ORD001 trigger half B: the same timestamp expression as alpha —
+whichever module's event fires first is decided by seq order."""
+
+
+def start(loop, epoch):
+    loop.schedule_at(epoch * 300.0, rollout)
+
+
+def rollout():
+    pass

@@ -1,0 +1,18 @@
+"""DET003 clean: every seed chains back to the scenario seed."""
+
+import numpy as np
+
+
+def build(scenario, width):
+    rng = np.random.default_rng(scenario.seed * 7919 + 1)
+    derived = scenario.seed + 3
+    sketch = CountSketch(width, seed=derived)
+    manifest = {"hash_seed": scenario.seed}
+    resumed = CountSketch(width, seed=int(manifest["hash_seed"]))
+    return rng, sketch, resumed
+
+
+class CountSketch:
+    def __init__(self, width, seed):
+        self.width = width
+        self.seed = seed

@@ -1,0 +1,15 @@
+"""DET003 trigger: seeds that never descend from the scenario seed."""
+
+import numpy as np
+
+
+def build(width):
+    rng = np.random.default_rng(1234)  # hard-coded seed
+    sketch = CountSketch(width, seed=99)  # ambient constant seed
+    return rng, sketch
+
+
+class CountSketch:
+    def __init__(self, width, seed):
+        self.width = width
+        self.seed = seed

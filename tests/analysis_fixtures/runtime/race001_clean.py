@@ -1,0 +1,19 @@
+"""RACE001 clean: one owning handler; the other writer is never
+scheduled, so the module state has a single event-time writer."""
+
+TICKS = {"count": 0, "last": None}
+
+
+class Daemon:
+    def __init__(self, loop):
+        self.loop = loop
+
+    def start(self):
+        self.loop.schedule_at(0.0, self.on_tick)
+
+    def on_tick(self):
+        TICKS["count"] += 1
+
+    def reset(self):
+        # called synchronously from setup code, not via the loop
+        TICKS["last"] = None

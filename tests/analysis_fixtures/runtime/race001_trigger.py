@@ -1,0 +1,18 @@
+"""RACE001 trigger: module state written from two event handlers."""
+
+TICKS = {"count": 0, "last": None}
+
+
+class Daemon:
+    def __init__(self, loop):
+        self.loop = loop
+
+    def start(self):
+        self.loop.schedule_at(0.0, self.on_tick)
+        self.loop.schedule_in(5.0, self.on_flush)
+
+    def on_tick(self):
+        TICKS["count"] += 1
+
+    def on_flush(self):
+        TICKS["last"] = "flush"

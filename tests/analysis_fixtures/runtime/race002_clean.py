@@ -1,0 +1,24 @@
+"""RACE002 clean: captured values are bound at schedule time."""
+
+
+def fan_out(loop, nodes):
+    for node in nodes:
+        # default argument freezes the current iteration's value
+        loop.schedule_in(1.0, lambda node=node: push(node))
+
+
+def staged(loop):
+    version = 1
+
+    def apply(version=version):
+        return install(version)
+
+    loop.schedule_in(2.0, apply)
+
+
+def push(node):
+    return node
+
+
+def install(version):
+    return version

@@ -1,0 +1,25 @@
+"""RACE002 trigger: scheduled closures capturing unstable locals."""
+
+
+def fan_out(loop, nodes):
+    for node in nodes:
+        # late binding: every firing sees the final iteration's node
+        loop.schedule_in(1.0, lambda: push(node))
+
+
+def staged(loop):
+    version = 1
+
+    def apply():
+        return install(version)
+
+    loop.schedule_in(2.0, apply)
+    version = 2  # rebound after scheduling: apply() observes 2
+
+
+def push(node):
+    return node
+
+
+def install(version):
+    return version

@@ -25,6 +25,12 @@ from repro.analysis import (
 )
 from repro.analysis.docsync import parse_metric_table
 from repro.analysis.rules import default_rules
+from repro.analysis.rules.concurrency import (
+    HandlerSharedStateRule,
+    ScheduleCollisionRule,
+    ScheduledClosureRule,
+    SeedProvenanceRule,
+)
 from repro.analysis.rules.determinism import (
     UnseededRandomRule,
     WallClockRule,
@@ -72,6 +78,14 @@ RULE_CASES = [
      "lpsolve/hyg004_clean.py"),
     (SketchSeedRule, "SKT001", "sketch/skt001_trigger.py", 2,
      "sketch/skt001_clean.py"),
+    (HandlerSharedStateRule, "RACE001", "runtime/race001_trigger.py", 2,
+     "runtime/race001_clean.py"),
+    (ScheduledClosureRule, "RACE002", "runtime/race002_trigger.py", 2,
+     "runtime/race002_clean.py"),
+    (ScheduleCollisionRule, "ORD001", "ord001_trigger", 2,
+     "ord001_clean"),
+    (SeedProvenanceRule, "DET003", "runtime/det003_trigger.py", 2,
+     "runtime/det003_clean.py"),
 ]
 
 
@@ -153,6 +167,63 @@ class TestPragmas:
             encoding="utf-8")
         findings = run_rule(WallClockRule(), target)
         assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_pragma_covers_multi_line_statement(self, tmp_path):
+        # The pragma sits on the closing line of a call that spans
+        # four lines; the finding anchors on the opening line.
+        target = tmp_path / "runtime" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import time\n\n"
+            "def f(log):\n"
+            "    log.record(\n"
+            "        time.time(),\n"
+            "        'started',\n"
+            "    )  # repro-lint: allow[DET001]\n",
+            encoding="utf-8")
+        assert run_rule(WallClockRule(), target) == []
+
+    def test_pragma_on_decorated_def_covers_header(self, tmp_path):
+        # HYG002 anchors on the ``def`` line; a pragma on the
+        # decorator line above it must still suppress.
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import functools\n\n\n"
+            "@functools.lru_cache()  # repro-lint: allow[HYG002]\n"
+            "def f(items=[]):\n"
+            "    return items\n",
+            encoding="utf-8")
+        engine = LintEngine(rules=[MutableDefaultRule()],
+                            project_root=tmp_path)
+        assert engine.run([target]) == []
+
+    def test_pragma_span_does_not_leak_to_siblings(self, tmp_path):
+        # A pragma inside one statement must not blanket the next.
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(a=[]):  # repro-lint: allow[HYG002]\n"
+            "    return a\n\n\n"
+            "def g(b=[]):\n"
+            "    return b\n",
+            encoding="utf-8")
+        engine = LintEngine(rules=[MutableDefaultRule()],
+                            project_root=tmp_path)
+        findings = engine.run([target])
+        assert [f.line for f in findings] == [5]
+
+    def test_project_rule_honours_pragma(self, tmp_path):
+        # ORD001 findings are emitted from finalize(), after per-file
+        # contexts are gone; allow[] pragmas must still be honoured.
+        for name, pragma in [("alpha", ""),
+                             ("beta", "  # repro-lint: allow[ORD001]")]:
+            (tmp_path / f"{name}.py").write_text(
+                "def start(loop, epoch):\n"
+                f"    loop.schedule_at(epoch * 60.0, start){pragma}\n",
+                encoding="utf-8")
+        engine = LintEngine(rules=[ScheduleCollisionRule()],
+                            project_root=tmp_path)
+        findings = engine.run([tmp_path])
+        assert [f.file for f in findings] == ["alpha.py"]
 
 
 class TestBaseline:
@@ -347,3 +418,36 @@ class TestCli:
 
     def test_lint_missing_path_is_usage_error(self, capsys):
         assert main(["lint", "definitely/not/a/path.py"]) == 2
+
+    def test_check_baseline_flags_stale_entries(self, tmp_path, capsys):
+        # Baseline both findings, then "fix" one: the stale entry is
+        # tolerated by default but fatal under --check-baseline.
+        trigger = (FIXTURES / "hyg002_trigger.py").read_text(
+            encoding="utf-8")
+        target = tmp_path / "mod.py"
+        target.write_text(trigger, encoding="utf-8")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(target), "--rules", "HYG002",
+                     "--write-baseline", "--baseline", baseline]) == 0
+        capsys.readouterr()
+
+        fixed = trigger.replace("def tally(key, counts={}):",
+                                "def tally(key, counts=None):")
+        assert fixed != trigger
+        target.write_text(fixed, encoding="utf-8")
+        assert main(["lint", str(target), "--rules", "HYG002",
+                     "--baseline", baseline]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(target), "--rules", "HYG002",
+                     "--baseline", baseline, "--check-baseline"]) == 1
+        err = capsys.readouterr().err
+        assert "stale" in err
+
+    def test_check_baseline_passes_when_in_sync(self, tmp_path, capsys):
+        trigger = str(FIXTURES / "hyg002_trigger.py")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", trigger, "--rules", "HYG002",
+                     "--write-baseline", "--baseline", baseline]) == 0
+        capsys.readouterr()
+        assert main(["lint", trigger, "--rules", "HYG002",
+                     "--baseline", baseline, "--check-baseline"]) == 0

@@ -1,0 +1,127 @@
+"""``repro lint --fix``: the HYG003 unused-import auto-fixer.
+
+The invariants pinned here: a fix pass leaves the file HYG003-clean,
+a second pass is a byte-identical no-op, and the fixer shares the
+rule's blind spots (pragmas, ``__all__`` re-exports, ``__init__.py``,
+``__future__`` imports) so fix and scan can never disagree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, fix_file, fix_unused_imports
+from repro.analysis.rules.hygiene import UnusedImportRule
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def _hyg003(tmp_path: Path, source: str):
+    target = tmp_path / "mod.py"
+    target.write_text(source, encoding="utf-8")
+    engine = LintEngine(rules=[UnusedImportRule()],
+                        project_root=tmp_path)
+    return engine.run([target])
+
+
+class TestFixUnusedImports:
+    def test_wholly_unused_statement_deleted(self):
+        result = fix_unused_imports(
+            "import os\nimport json\n\nprint(json.dumps({}))\n")
+        assert result.changed
+        assert result.removed == ["os"]
+        assert result.source == (
+            "import json\n\nprint(json.dumps({}))\n")
+
+    def test_partially_used_from_import_rewritten(self):
+        result = fix_unused_imports(
+            "from os.path import join, split, basename\n\n"
+            "print(join('a', basename('b')))\n")
+        assert result.removed == ["split"]
+        assert result.source.startswith(
+            "from os.path import join, basename\n")
+
+    def test_asname_preserved_in_rewrite(self):
+        result = fix_unused_imports(
+            "import numpy as np, json\n\nprint(np.zeros(1))\n")
+        assert result.removed == ["json"]
+        assert result.source.startswith("import numpy as np\n")
+
+    def test_multi_line_import_collapsed(self):
+        result = fix_unused_imports(
+            "from collections import (\n"
+            "    OrderedDict,\n"
+            "    defaultdict,\n"
+            ")\n\n"
+            "d = defaultdict(list)\n")
+        assert result.removed == ["OrderedDict"]
+        assert result.source == (
+            "from collections import defaultdict\n\n"
+            "d = defaultdict(list)\n")
+
+    def test_pragma_suppressed_import_kept(self):
+        source = ("import os  # repro-lint: allow[HYG003]\n"
+                  "import json\n\nprint(json.dumps({}))\n")
+        result = fix_unused_imports(source)
+        assert result.removed == []
+        assert result.source == source
+
+    def test_dunder_all_export_kept(self):
+        source = ("from os.path import join\n\n"
+                  "__all__ = ['join']\n")
+        result = fix_unused_imports(source)
+        assert result.removed == []
+
+    def test_future_import_kept(self):
+        source = "from __future__ import annotations\n"
+        assert fix_unused_imports(source).removed == []
+
+    def test_init_py_untouched(self, tmp_path):
+        target = tmp_path / "__init__.py"
+        target.write_text("import os\n", encoding="utf-8")
+        result = fix_file(target)
+        assert result.removed == []
+        assert target.read_text(encoding="utf-8") == "import os\n"
+
+    def test_fix_then_scan_is_clean(self, tmp_path):
+        source = ("import os\nimport sys\n"
+                  "from json import dumps, loads\n\n"
+                  "print(dumps(sys.argv))\n")
+        fixed = fix_unused_imports(source).source
+        assert _hyg003(tmp_path, fixed) == []
+
+    def test_second_pass_is_noop(self):
+        source = ("import os\nimport json\n"
+                  "from os.path import join, split\n\n"
+                  "print(json.dumps(join('a', 'b')))\n")
+        once = fix_unused_imports(source)
+        assert once.changed
+        twice = fix_unused_imports(once.source)
+        assert not twice.changed
+        assert twice.source == once.source
+
+
+class TestCliFix:
+    def test_fix_rewrites_file_and_scan_passes(self, tmp_path, capsys):
+        target = tmp_path / "runtime" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import os\nimport json\n\nprint(json.dumps({}))\n",
+            encoding="utf-8")
+        assert main(["lint", str(target), "--rules", "HYG003",
+                     "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "os" in out
+        assert target.read_text(encoding="utf-8") == (
+            "import json\n\nprint(json.dumps({}))\n")
+
+    def test_fix_on_clean_file_reports_nothing_changed(self, tmp_path,
+                                                       capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import json\n\nprint(json.dumps({}))\n",
+                          encoding="utf-8")
+        assert main(["lint", str(target), "--rules", "HYG003",
+                     "--fix"]) == 0
+        assert target.read_text(encoding="utf-8") == (
+            "import json\n\nprint(json.dumps({}))\n")

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.runtime.events import EventLoop, EventQueue, SimClock
+from repro.runtime.events import (
+    EventLoop,
+    EventQueue,
+    PerturbedEventLoop,
+    PerturbedEventQueue,
+    SimClock,
+)
 
 
 class TestSimClock:
@@ -49,6 +55,79 @@ class TestEventQueue:
 
     def test_peek_empty(self):
         assert EventQueue().peek_time() is None
+
+    def test_len_excludes_cancelled_events(self):
+        # Regression: cancelled events used to stay in the count
+        # until their heap entry was popped.
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None)
+                  for i in range(4)]
+        assert len(queue) == 4
+        events[1].cancel()
+        events[3].cancel()
+        assert len(queue) == 2
+        events[1].cancel()  # double-cancel must not double-decrement
+        assert len(queue) == 2
+        assert queue.pop() is events[0]
+        assert len(queue) == 1
+
+    def test_peek_time_skips_leading_cancelled_run(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.5, lambda: None)
+        queue.push(3.0, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 1
+
+    def test_all_cancelled_is_empty(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+        assert queue.pop() is None
+
+
+def _drain_labels(queue):
+    order = []
+    while (event := queue.pop()) is not None:
+        order.append(event.action())
+    return order
+
+
+class TestPerturbedEventQueue:
+    def _fill(self, queue):
+        for label in "abcdefgh":
+            queue.push(1.0, lambda label=label: label)
+        return queue
+
+    def test_some_seed_permutes_same_instant_events(self):
+        baseline = _drain_labels(self._fill(EventQueue()))
+        assert baseline == list("abcdefgh")
+        permuted = [
+            _drain_labels(self._fill(PerturbedEventQueue(seed)))
+            for seed in range(1, 6)]
+        assert any(order != baseline for order in permuted)
+        assert all(sorted(order) == sorted(baseline)
+                   for order in permuted)
+
+    def test_same_seed_reproduces_order(self):
+        runs = [_drain_labels(self._fill(PerturbedEventQueue(11)))
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_distinct_times_keep_time_order(self):
+        queue = PerturbedEventQueue(3)
+        queue.push(2.0, lambda: "late")
+        queue.push(1.0, lambda: "early")
+        assert _drain_labels(queue) == ["early", "late"]
+
+    def test_perturbed_loop_exposes_seed(self):
+        loop = PerturbedEventLoop(17)
+        assert loop.perturb_seed == 17
+        assert isinstance(loop.queue, PerturbedEventQueue)
 
 
 class TestEventLoop:
